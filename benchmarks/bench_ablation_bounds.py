@@ -1,0 +1,15 @@
+"""Ablation benchmark: pruning power of the static vs dynamic upper bound."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import exp_ablation
+
+
+def test_bound_tightness_ablation(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        exp_ablation.run_bounds_ablation, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_report(results_dir, "ablation_bounds", result.render())
+    for row in result.rows:
+        assert row["oracle_exact"] <= row["dynamic_bound_exact"] <= row["static_bound_exact"]

@@ -1,0 +1,16 @@
+"""Ablation benchmark: lazy top-k maintenance vs eager affected-vertex recomputation."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import exp_ablation
+
+
+def test_lazy_update_ablation(benchmark, scale, results_dir):
+    result = benchmark.pedantic(
+        exp_ablation.run_lazy_ablation, kwargs={"scale": scale, "num_updates": 40},
+        rounds=1, iterations=1,
+    )
+    save_report(results_dir, "ablation_lazy", result.render())
+    for row in result.rows:
+        assert row["lazy_recomputations"] <= row["eager_recomputations"]

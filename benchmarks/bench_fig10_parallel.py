@@ -1,0 +1,48 @@
+"""Benchmark ``fig10``: parallel engines, runtime and speedup (paper Fig. 10).
+
+Also the partitioning ablation: the report records the per-worker balance of
+VertexPEBW (block partition) vs EdgePEBW (edge-work balanced partition).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale, save_report
+from repro.core.ego_betweenness import all_ego_betweenness
+from repro.datasets.registry import load_dataset
+from repro.experiments import exp_fig10
+from repro.parallel.engines import edge_parallel_ego_betweenness, vertex_parallel_ego_betweenness
+
+_GRAPH = load_dataset("livejournal", scale=bench_scale())
+
+
+@pytest.mark.benchmark(group="fig10-all-vertices")
+def test_fig10_sequential_all_vertices(benchmark):
+    """The sequential baseline the speedups are measured against."""
+    scores = benchmark(all_ego_betweenness, _GRAPH)
+    assert len(scores) == _GRAPH.num_vertices
+
+
+@pytest.mark.benchmark(group="fig10-all-vertices")
+def test_fig10_vertex_pebw_16_workers(benchmark):
+    run = benchmark(vertex_parallel_ego_betweenness, _GRAPH, 16)
+    assert run.load_report.speedup >= 1.0
+
+
+@pytest.mark.benchmark(group="fig10-all-vertices")
+def test_fig10_edge_pebw_16_workers(benchmark):
+    run = benchmark(edge_parallel_ego_betweenness, _GRAPH, 16)
+    assert run.load_report.speedup >= 1.0
+
+
+def test_fig10_speedup_sweep(benchmark, scale, results_dir):
+    """The 1–16 worker sweep behind both panels of Fig. 10."""
+    result = benchmark.pedantic(exp_fig10.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_report(results_dir, "fig10", result.render())
+    # Reproduction checks on the figure's shape: speedups grow with the
+    # worker count and EdgePEBW dominates VertexPEBW.
+    edge_speedups = [row["EdgePEBW_speedup"] for row in result.rows]
+    assert edge_speedups == sorted(edge_speedups)
+    for row in result.rows:
+        assert row["EdgePEBW_speedup"] >= row["VertexPEBW_speedup"] - 1e-9

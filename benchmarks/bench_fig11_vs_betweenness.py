@@ -1,0 +1,39 @@
+"""Benchmark ``fig11``: TopBW vs TopEBW, runtime and overlap (paper Fig. 11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale, save_report
+from repro.baselines.brandes import top_k_betweenness
+from repro.core.opt_search import opt_b_search
+from repro.datasets.registry import load_dataset
+from repro.experiments import exp_fig11
+from repro.experiments.common import scaled_k_values
+
+_GRAPH = load_dataset("pokec", scale=bench_scale())
+_K = scaled_k_values(_GRAPH.num_vertices, (500,))[0]
+
+
+@pytest.mark.benchmark(group="fig11-pokec")
+def test_fig11_top_bw(benchmark):
+    """Brandes-based top-k betweenness (the expensive baseline)."""
+    result = benchmark.pedantic(top_k_betweenness, args=(_GRAPH, _K), rounds=1, iterations=1)
+    assert len(result.entries) == _K
+
+
+@pytest.mark.benchmark(group="fig11-pokec")
+def test_fig11_top_ebw(benchmark):
+    """OptBSearch-based top-k ego-betweenness (orders of magnitude cheaper)."""
+    result = benchmark(opt_b_search, _GRAPH, _K)
+    assert len(result.entries) == _K
+
+
+def test_fig11_runtime_and_overlap(benchmark, scale, results_dir):
+    result = benchmark.pedantic(exp_fig11.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_report(results_dir, "fig11", result.render())
+    for row in result.rows:
+        # Shape checks from the paper: TopEBW is faster than TopBW and the
+        # member overlap is substantial.
+        assert row["TopEBW_s"] <= row["TopBW_s"]
+        assert row["overlap"] >= 0.3

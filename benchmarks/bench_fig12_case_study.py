@@ -1,0 +1,28 @@
+"""Benchmark ``fig12`` + ``table3``/``table4``: the DB / IR case study (paper Exp-7)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import exp_fig12
+
+
+def test_fig12_case_study_sweep(benchmark, scale, results_dir):
+    """TopBW vs TopEBW on the DB and IR collaboration stand-ins (Fig. 12)."""
+    result = benchmark.pedantic(exp_fig12.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_report(results_dir, "fig12", result.render())
+    for row in result.rows:
+        assert row["TopEBW_s"] <= row["TopBW_s"]
+        assert row["overlap"] >= 0.3
+
+
+def test_tables3_and_4_top10_authors(benchmark, scale, results_dir):
+    """The top-10 author tables (Tables III and IV)."""
+    result = benchmark.pedantic(
+        exp_fig12.top10_tables, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    save_report(results_dir, "table3_4", result.render())
+    assert len(result.rows) == 20
+    # The paper reports 80–90% overlap of the two top-10 lists; require a
+    # substantial overlap on the synthetic stand-ins as well.
+    assert result.metadata["DB_top10_overlap"] >= 0.5
+    assert result.metadata["IR_top10_overlap"] >= 0.5

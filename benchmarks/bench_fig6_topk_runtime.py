@@ -1,0 +1,36 @@
+"""Benchmark ``fig6``: BaseBSearch vs OptBSearch runtime varying k (paper Fig. 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale, save_report
+from repro.core.base_search import base_b_search
+from repro.core.opt_search import opt_b_search
+from repro.datasets.registry import load_dataset
+from repro.experiments import exp_fig6
+from repro.experiments.common import scaled_k_values
+
+_GRAPH = load_dataset("livejournal", scale=bench_scale())
+_K = scaled_k_values(_GRAPH.num_vertices, (500,))[0]
+
+
+@pytest.mark.benchmark(group="fig6-livejournal")
+def test_fig6_base_b_search(benchmark):
+    """One BaseBSearch run at the default k on the largest stand-in."""
+    result = benchmark(base_b_search, _GRAPH, _K)
+    assert len(result.entries) == _K
+
+
+@pytest.mark.benchmark(group="fig6-livejournal")
+def test_fig6_opt_b_search(benchmark):
+    """One OptBSearch run at the default k on the largest stand-in."""
+    result = benchmark(opt_b_search, _GRAPH, _K)
+    assert len(result.entries) == _K
+
+
+def test_fig6_full_sweep(benchmark, scale, results_dir):
+    """The full per-dataset k sweep behind the five panels of Fig. 6."""
+    result = benchmark.pedantic(exp_fig6.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_report(results_dir, "fig6", result.render())
+    assert len(result.series) == 5

@@ -1,0 +1,21 @@
+"""Benchmark ``fig7``: OptBSearch sensitivity to the gradient ratio θ (paper Fig. 7).
+
+Also serves as the θ ablation bench called out in DESIGN.md: the report
+records runtime, exact computations and re-push counts per θ, exposing the
+trade-off the paper describes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import exp_fig7
+
+
+def test_fig7_theta_sweep(benchmark, scale, results_dir):
+    result = benchmark.pedantic(exp_fig7.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_report(results_dir, "fig7", result.render())
+    assert {row["theta"] for row in result.rows} == set(exp_fig7.DEFAULT_THETAS)
+    # All θ values must return the same answer, only the work profile moves.
+    for dataset in {row["dataset"] for row in result.rows}:
+        exact_counts = [row["exact"] for row in result.rows if row["dataset"] == dataset]
+        assert min(exact_counts) > 0

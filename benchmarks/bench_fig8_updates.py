@@ -1,0 +1,56 @@
+"""Benchmark ``fig8``: average update time of the maintenance algorithms (paper Fig. 8).
+
+Also doubles as the lazy-vs-eager ablation: the report records how many exact
+recomputations the lazy maintainer skipped relative to the local index.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale, save_report
+from repro.datasets.registry import load_dataset
+from repro.dynamic.lazy_topk import LazyTopKMaintainer
+from repro.dynamic.local_update import EgoBetweennessIndex
+from repro.dynamic.stream import split_insert_delete_workload
+from repro.experiments import exp_fig8
+
+_GRAPH = load_dataset("dblp", scale=bench_scale())
+_DELETIONS, _INSERTIONS = split_insert_delete_workload(_GRAPH, min(50, _GRAPH.num_edges // 4), seed=7)
+
+
+@pytest.mark.benchmark(group="fig8-single-update")
+def test_fig8_local_insert_single(benchmark):
+    """Per-update cost of LocalInsert on the DBLP stand-in."""
+    index = EgoBetweennessIndex(_GRAPH)
+    edge = _DELETIONS[0].edge
+    index.delete_edge(*edge)
+
+    def insert_then_delete():
+        index.insert_edge(*edge)
+        index.delete_edge(*edge)
+
+    benchmark(insert_then_delete)
+
+
+@pytest.mark.benchmark(group="fig8-single-update")
+def test_fig8_lazy_insert_single(benchmark):
+    """Per-update cost of LazyInsert on the DBLP stand-in."""
+    maintainer = LazyTopKMaintainer(_GRAPH, 20)
+    edge = _DELETIONS[0].edge
+    maintainer.delete_edge(*edge)
+
+    def insert_then_delete():
+        maintainer.insert_edge(*edge)
+        maintainer.delete_edge(*edge)
+
+    benchmark(insert_then_delete)
+
+
+def test_fig8_full_update_experiment(benchmark, scale, results_dir):
+    """The full per-dataset insert/delete averages behind Fig. 8(a–b)."""
+    result = benchmark.pedantic(
+        exp_fig8.run, kwargs={"scale": scale, "num_updates": 40}, rounds=1, iterations=1
+    )
+    save_report(results_dir, "fig8", result.render())
+    assert len(result.rows) == 5

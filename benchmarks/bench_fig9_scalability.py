@@ -1,0 +1,18 @@
+"""Benchmark ``fig9``: scalability with graph size (paper Fig. 9)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import exp_fig9
+
+
+def test_fig9_subsampling_sweep(benchmark, scale, results_dir):
+    """Both searches over 20–100% edge and vertex subsamples of LiveJournal."""
+    result = benchmark.pedantic(exp_fig9.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_report(results_dir, "fig9", result.render())
+    assert len(result.rows) == 2 * len(exp_fig9.DEFAULT_FRACTIONS)
+    # Runtime must grow with the sampled fraction for both algorithms
+    # (allowing noise at tiny sizes: compare the extremes only).
+    for mode in ("vary m", "vary n"):
+        rows = [row for row in result.rows if row["mode"] == mode]
+        assert rows[0]["m"] <= rows[-1]["m"]

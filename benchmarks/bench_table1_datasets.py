@@ -1,0 +1,13 @@
+"""Benchmark ``table1``: dataset statistics (paper Table I)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import exp_table1
+
+
+def test_table1_dataset_statistics(benchmark, scale, results_dir):
+    """Build every registry stand-in and compute its statistics."""
+    result = benchmark.pedantic(exp_table1.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_report(results_dir, "table1", result.render())
+    assert len(result.rows) == 5

@@ -1,0 +1,16 @@
+"""Benchmark ``table2``: pruning effectiveness, BaseBS vs OptBS (paper Table II)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_report
+from repro.experiments import exp_table2
+
+
+def test_table2_exact_computation_counts(benchmark, scale, results_dir):
+    """Count exactly-computed vertices for both searches over the k sweep."""
+    result = benchmark.pedantic(exp_table2.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    save_report(results_dir, "table2", result.render())
+    # Reproduction check: the dynamic bound never computes more vertices than
+    # the static one (the paper's Table II shape).
+    for row in result.rows:
+        assert row["OptBS_exact"] <= row["BaseBS_exact"]

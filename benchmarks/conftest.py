@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+synthetic stand-in datasets.  The dataset scale is controlled with the
+``REPRO_BENCH_SCALE`` environment variable (default 0.3): larger values make
+the graphs bigger and the runtimes more meaningful at the cost of wall-clock
+time; 0.3 keeps the full suite in the low minutes on a laptop.
+
+Each benchmark also writes the rendered experiment report to
+``benchmarks/results/<experiment>.txt`` so that the reproduced tables and
+figure series can be inspected (and are referenced from EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale(default: float = 0.3) -> float:
+    """Return the dataset scale used by the benchmark harness."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Session-wide dataset scale factor."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the rendered experiment reports are written to."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: Path, name: str, text: str) -> None:
+    """Write a rendered experiment report next to the benchmarks."""
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,70 @@
+"""Scenario: tracking influential users in an evolving social network.
+
+The paper's Section IV motivates maintenance algorithms with frequently
+updated real-world networks.  This example simulates a growing social
+network: friendships are added and removed over time, and two consumers track
+the ego-betweenness ranking —
+
+* an analytics job that needs *every* user's score after each change
+  (``EgoBetweennessIndex``, LocalInsert / LocalDelete), and
+* a dashboard that only shows the current top-10 "bridge" users
+  (``LazyTopKMaintainer``, LazyInsert / LazyDelete), which skips most of the
+  recomputation work.
+
+Run with::
+
+    python examples/dynamic_social_network.py
+"""
+
+from __future__ import annotations
+
+from repro import EgoBetweennessIndex, LazyTopKMaintainer
+from repro.analysis.reporting import format_table
+from repro.datasets.registry import load_dataset
+from repro.dynamic.stream import generate_update_stream
+
+
+def main() -> None:
+    graph = load_dataset("youtube", scale=0.25)
+    print(f"Initial network: n={graph.num_vertices}, m={graph.num_edges}")
+
+    index = EgoBetweennessIndex(graph)
+    dashboard = LazyTopKMaintainer(graph, k=10)
+
+    stream = generate_update_stream(graph, count=120, seed=2024, insert_fraction=0.6)
+    inserts = sum(1 for event in stream if event.operation == "insert")
+    print(f"Replaying {len(stream)} updates ({inserts} insertions, {len(stream) - inserts} deletions)\n")
+
+    for event in stream:
+        if event.operation == "insert":
+            index.insert_edge(event.u, event.v)
+            dashboard.insert_edge(event.u, event.v)
+        else:
+            index.delete_edge(event.u, event.v)
+            dashboard.delete_edge(event.u, event.v)
+
+    # The dashboard's lazily maintained answer matches the exhaustive index.
+    rows = []
+    for rank, (vertex, score) in enumerate(dashboard.top_k().entries, start=1):
+        rows.append(
+            {
+                "rank": rank,
+                "user": vertex,
+                "ego_betweenness": round(score, 3),
+                "degree": dashboard.graph.degree(vertex),
+                "index_agrees": abs(index.score(vertex) - score) < 1e-9,
+            }
+        )
+    print(format_table(rows, title="Top-10 bridge users after all updates"))
+
+    print(
+        "\nWork comparison over the update stream:\n"
+        f"  lazy dashboard recomputed {dashboard.exact_recomputations} vertices exactly "
+        f"and skipped {dashboard.skipped_recomputations};\n"
+        f"  the full index patched every affected vertex on every update "
+        f"(last update took {index.last_update_seconds * 1000:.2f} ms)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Scenario: computing every vertex's ego-betweenness with the parallel engines.
+
+Reproduces the Section V story on a skewed communication graph: the
+vertex-partitioned engine (VertexPEBW) is limited by the few enormous hubs
+that land on one worker, while the edge-work-balanced engine (EdgePEBW)
+spreads that work and scales almost linearly.  The schedule speedups are
+deterministic; pass ``--process`` to also run the real multiprocessing
+backend.
+
+Run with::
+
+    python examples/parallel_scaling.py [--process]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import edge_parallel_ego_betweenness, vertex_parallel_ego_betweenness
+from repro.analysis.reporting import format_table
+from repro.datasets.registry import load_dataset
+
+
+def main() -> None:
+    backend = "process" if "--process" in sys.argv[1:] else "serial"
+    graph = load_dataset("wikitalk", scale=0.5)
+    print(
+        f"WikiTalk-style communication graph: n={graph.num_vertices}, m={graph.num_edges}, "
+        f"dmax={graph.max_degree()}  (backend: {backend})\n"
+    )
+
+    rows = []
+    for workers in (1, 4, 8, 16):
+        vertex_run = vertex_parallel_ego_betweenness(graph, workers, backend=backend)
+        edge_run = edge_parallel_ego_betweenness(graph, workers, backend=backend)
+        rows.append(
+            {
+                "workers": workers,
+                "VertexPEBW speedup": round(vertex_run.load_report.speedup, 2),
+                "EdgePEBW speedup": round(edge_run.load_report.speedup, 2),
+                "VertexPEBW balance": round(vertex_run.load_report.balance, 2),
+                "EdgePEBW balance": round(edge_run.load_report.balance, 2),
+            }
+        )
+    print(format_table(rows, title="Schedule speedup and load balance (paper Fig. 10 shape)"))
+    print(
+        "\nBoth engines return exactly the same scores as the sequential computation;\n"
+        "only the work assignment differs.  The skewed per-vertex workload caps the\n"
+        "vertex-partitioned engine well below the worker count, while the edge-work\n"
+        "balanced engine stays close to ideal."
+    )
+
+
+if __name__ == "__main__":
+    main()

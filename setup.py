@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package and no network access, so
+``pip install -e .`` must be able to fall back to the legacy
+``setup.py develop`` path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""``repro`` — Efficient Top-k Ego-Betweenness Search (ICDE 2022), in Python.
+
+A from-scratch reproduction of the paper's full system:
+
+* the graph substrate (adjacency graph, degree-order orientation, triangle
+  enumeration, generators, edge-list I/O) — :mod:`repro.graph`;
+* exact ego-betweenness and the two top-k search algorithms with upper-bound
+  pruning, BaseBSearch and OptBSearch — :mod:`repro.core`;
+* dynamic maintenance under edge insertions/deletions, both the local
+  all-vertex index and the lazy top-k maintainer — :mod:`repro.dynamic`;
+* the vertex- and edge-parallel all-vertex engines — :mod:`repro.parallel`;
+* the Brandes betweenness baseline (TopBW) — :mod:`repro.baselines`;
+* synthetic dataset stand-ins and the experiment harness reproducing every
+  table and figure of the evaluation — :mod:`repro.datasets`,
+  :mod:`repro.experiments`.
+
+Quickstart
+----------
+>>> from repro import Graph, top_k_ego_betweenness
+>>> g = Graph(edges=[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+>>> result = top_k_ego_betweenness(g, k=2)
+>>> len(result.entries)
+2
+"""
+
+from repro.baselines import top_k_betweenness
+from repro.core import (
+    SearchStats,
+    TopKResult,
+    all_ego_betweenness,
+    base_b_search,
+    ego_betweenness,
+    opt_b_search,
+    static_upper_bound,
+    top_k_ego_betweenness,
+)
+from repro.dynamic import EgoBetweennessIndex, LazyTopKMaintainer
+from repro.errors import ReproError
+from repro.graph import Graph
+from repro.parallel import edge_parallel_ego_betweenness, vertex_parallel_ego_betweenness
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "ReproError",
+    "ego_betweenness",
+    "all_ego_betweenness",
+    "static_upper_bound",
+    "base_b_search",
+    "opt_b_search",
+    "top_k_ego_betweenness",
+    "TopKResult",
+    "SearchStats",
+    "EgoBetweennessIndex",
+    "LazyTopKMaintainer",
+    "vertex_parallel_ego_betweenness",
+    "edge_parallel_ego_betweenness",
+    "top_k_betweenness",
+]

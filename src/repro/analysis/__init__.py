@@ -1,0 +1,15 @@
+"""Analysis toolkit: overlap metrics, graph statistics and text reports."""
+
+from repro.analysis.overlap import jaccard_similarity, rank_correlation, top_k_overlap
+from repro.analysis.stats import GraphStats, graph_statistics
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "top_k_overlap",
+    "jaccard_similarity",
+    "rank_correlation",
+    "GraphStats",
+    "graph_statistics",
+    "format_table",
+    "format_series",
+]

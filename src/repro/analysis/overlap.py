@@ -1,0 +1,71 @@
+"""Agreement metrics between two top-k rankings.
+
+Exp-6 and Exp-7 of the paper measure how similar the top-k by ego-betweenness
+is to the top-k by classical betweenness: the headline number is the
+*overlap* (fraction of shared members), reported to exceed 60–80%.  This
+module implements that overlap plus two standard supplements (Jaccard
+similarity of the member sets, Kendall-tau rank correlation over the shared
+members) used in the extended analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["top_k_overlap", "jaccard_similarity", "rank_correlation"]
+
+
+def top_k_overlap(first: Iterable[Hashable], second: Iterable[Hashable]) -> float:
+    """Return ``|A ∩ B| / max(|A|, |B|)`` for two top-k member lists.
+
+    This matches the "overlap" reported in Fig. 11(c–d) and Fig. 12(c–d) of
+    the paper (both lists normally have the same length ``k``).  Returns 1.0
+    when both lists are empty.
+    """
+    a, b = set(first), set(second)
+    if not a and not b:
+        return 1.0
+    return len(a & b) / max(len(a), len(b))
+
+
+def jaccard_similarity(first: Iterable[Hashable], second: Iterable[Hashable]) -> float:
+    """Return the Jaccard similarity ``|A ∩ B| / |A ∪ B|`` of the member sets."""
+    a, b = set(first), set(second)
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)
+
+
+def rank_correlation(first: Sequence[Hashable], second: Sequence[Hashable]) -> float:
+    """Return Kendall's tau over the items present in both rankings.
+
+    Each ranking is a sequence ordered best-first.  Items appearing in only
+    one ranking are ignored; with fewer than two shared items the correlation
+    is defined as 1.0 (no discordance is observable).
+    """
+    rank_a: Dict[Hashable, int] = {item: i for i, item in enumerate(first)}
+    rank_b: Dict[Hashable, int] = {item: i for i, item in enumerate(second)}
+    shared: List[Hashable] = [item for item in first if item in rank_b]
+    if len(shared) < 2:
+        return 1.0
+    if len(set(shared)) != len(shared):
+        raise InvalidParameterError("rankings must not contain duplicate items")
+    concordant = 0
+    discordant = 0
+    for i in range(len(shared)):
+        for j in range(i + 1, len(shared)):
+            x, y = shared[i], shared[j]
+            delta_a = rank_a[x] - rank_a[y]
+            delta_b = rank_b[x] - rank_b[y]
+            product = delta_a * delta_b
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    total = concordant + discordant
+    if total == 0:
+        return 1.0
+    return (concordant - discordant) / total

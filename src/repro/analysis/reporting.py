@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The paper's evaluation artefacts are tables and line plots.  The offline
+reproduction renders both as monospace text: tables with aligned columns and
+"figures" as one labelled series of ``x -> y`` values per line, which is what
+the experiment harness prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned monospace table.
+
+    Column order follows the keys of the first row; missing values render as
+    empty cells.  Returns an empty string for an empty row list.
+    """
+    if not rows:
+        return "" if title is None else f"{title}\n(no rows)"
+    columns: List[str] = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    rendered_rows = [[_render_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str = "x",
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render named series of ``x -> y`` points (the text form of a figure).
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name (e.g. ``"BaseBSearch"``) to its points.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        rendered_points = ", ".join(
+            f"{x}={_render_number(y, precision)}" for x, y in points.items()
+        )
+        lines.append(f"{name} [{x_label}]: {rendered_points}")
+    return "\n".join(lines)
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        return _render_number(value, 4)
+    return str(value)
+
+
+def _render_number(value: float, precision: int) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{precision}f}"

@@ -1,0 +1,71 @@
+"""Whole-graph statistics for the Table I experiment and dataset reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.arboricity import arboricity_upper_bound, degeneracy
+from repro.graph.graph import Graph
+from repro.graph.triangles import count_triangles, global_clustering_coefficient
+
+__all__ = ["GraphStats", "graph_statistics"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph.
+
+    Attributes mirror the columns of the paper's Table I plus the structural
+    quantities that drive the algorithms' cost (triangles, degeneracy,
+    arboricity bound, clustering).
+    """
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    average_degree: float
+    num_triangles: int
+    degeneracy: int
+    arboricity_upper_bound: int
+    clustering_coefficient: float
+    num_components: int
+
+    def as_dict(self) -> dict:
+        """Return the statistics as a plain dictionary (for table rendering)."""
+        return {
+            "n": self.num_vertices,
+            "m": self.num_edges,
+            "dmax": self.max_degree,
+            "avg_degree": round(self.average_degree, 2),
+            "triangles": self.num_triangles,
+            "degeneracy": self.degeneracy,
+            "arboricity<=": self.arboricity_upper_bound,
+            "clustering": round(self.clustering_coefficient, 4),
+            "components": self.num_components,
+        }
+
+
+def graph_statistics(graph: Graph, include_triangles: bool = True) -> GraphStats:
+    """Compute summary statistics of ``graph``.
+
+    Parameters
+    ----------
+    include_triangles:
+        Triangle counting is the only super-linear part; disable it for very
+        large graphs when only the Table I columns are needed.
+    """
+    n = graph.num_vertices
+    m = graph.num_edges
+    triangles = count_triangles(graph) if include_triangles else 0
+    clustering = global_clustering_coefficient(graph) if include_triangles else 0.0
+    return GraphStats(
+        num_vertices=n,
+        num_edges=m,
+        max_degree=graph.max_degree(),
+        average_degree=(2.0 * m / n) if n else 0.0,
+        num_triangles=triangles,
+        degeneracy=degeneracy(graph) if n else 0,
+        arboricity_upper_bound=arboricity_upper_bound(graph),
+        clustering_coefficient=clustering,
+        num_components=len(graph.connected_components()),
+    )

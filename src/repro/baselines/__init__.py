@@ -1,0 +1,24 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.brandes` — Brandes' exact betweenness centrality (the
+  ``TopBW`` baseline of Exp-6/7) plus a pivot-sampling approximation for
+  larger graphs.
+* :mod:`repro.baselines.naive` — the "straightforward algorithm": build every
+  ego network explicitly and compute its betweenness by shortest-path
+  counting, then select the top-k.
+"""
+
+from repro.baselines.brandes import (
+    approximate_betweenness_centrality,
+    betweenness_centrality,
+    top_k_betweenness,
+)
+from repro.baselines.naive import naive_all_ego_betweenness, naive_top_k
+
+__all__ = [
+    "betweenness_centrality",
+    "approximate_betweenness_centrality",
+    "top_k_betweenness",
+    "naive_all_ego_betweenness",
+    "naive_top_k",
+]

@@ -1,0 +1,115 @@
+"""Command-line interface: ``egobw`` / ``python -m repro``.
+
+Subcommands
+-----------
+``topk``
+    Run a top-k ego-betweenness search on an edge-list file or a registry
+    dataset.
+``stats``
+    Print the summary statistics of a graph.
+``experiment``
+    Run one of the paper-reproduction experiments and print its report.
+``datasets``
+    List the registry datasets and their stand-in sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import graph_statistics
+from repro.core.topk import top_k_ego_betweenness
+from repro.datasets.registry import dataset_names, load_dataset, registry_table
+from repro.errors import ReproError
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="egobw",
+        description="Efficient Top-k Ego-Betweenness Search (ICDE 2022) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    topk = subparsers.add_parser("topk", help="run a top-k ego-betweenness search")
+    _add_graph_source_arguments(topk)
+    topk.add_argument("-k", type=int, default=10, help="number of results (default 10)")
+    topk.add_argument(
+        "--method",
+        choices=("opt", "base", "naive"),
+        default="opt",
+        help="search algorithm (default: opt = OptBSearch)",
+    )
+    topk.add_argument("--theta", type=float, default=1.05, help="OptBSearch gradient ratio")
+
+    stats = subparsers.add_parser("stats", help="print graph statistics")
+    _add_graph_source_arguments(stats)
+
+    experiment = subparsers.add_parser("experiment", help="run a reproduction experiment")
+    experiment.add_argument("experiment_id", choices=sorted(EXPERIMENTS), help="experiment id")
+    experiment.add_argument("--scale", type=float, default=0.5, help="dataset scale factor")
+
+    subparsers.add_parser("datasets", help="list the registry datasets")
+    return parser
+
+
+def _add_graph_source_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--edge-list", help="path to a whitespace edge-list file")
+    source.add_argument(
+        "--dataset",
+        choices=dataset_names(),
+        help="name of a registry dataset (synthetic stand-in)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.5, help="scale factor for registry datasets"
+    )
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.edge_list:
+        return read_edge_list(args.edge_list)
+    return load_dataset(args.dataset, scale=args.scale)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "topk":
+            graph = _load_graph(args)
+            result = top_k_ego_betweenness(graph, args.k, method=args.method, theta=args.theta)
+            rows = [
+                {"rank": rank + 1, "vertex": vertex, "ego_betweenness": round(score, 4)}
+                for rank, (vertex, score) in enumerate(result.entries)
+            ]
+            print(format_table(rows, title=f"Top-{args.k} ego-betweenness ({result.stats.algorithm})"))
+            print(
+                f"exact computations: {result.stats.exact_computations}, "
+                f"elapsed: {result.stats.elapsed_seconds:.4f}s"
+            )
+        elif args.command == "stats":
+            graph = _load_graph(args)
+            print(format_table([graph_statistics(graph).as_dict()], title="Graph statistics"))
+        elif args.command == "experiment":
+            result = run_experiment(args.experiment_id, scale=args.scale)
+            print(result.render())
+        elif args.command == "datasets":
+            print(format_table(registry_table(scale=0.25), title="Registry datasets (scale=0.25)"))
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

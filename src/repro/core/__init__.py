@@ -1,0 +1,40 @@
+"""Core contribution of the paper: top-k ego-betweenness search.
+
+Public entry points:
+
+* :func:`~repro.core.ego_betweenness.ego_betweenness` — exact ego-betweenness
+  of one vertex,
+* :func:`~repro.core.ego_betweenness.all_ego_betweenness` — exact values for
+  every vertex,
+* :func:`~repro.core.base_search.base_b_search` — BaseBSearch (Algorithm 1),
+* :func:`~repro.core.opt_search.opt_b_search` — OptBSearch (Algorithms 2–3),
+* :func:`~repro.core.topk.top_k_ego_betweenness` — unified dispatcher.
+"""
+
+from repro.core.bounds import (
+    bound_decomposition,
+    dynamic_upper_bound,
+    static_upper_bound,
+)
+from repro.core.ego_betweenness import (
+    all_ego_betweenness,
+    ego_betweenness,
+    ego_betweenness_reference,
+)
+from repro.core.base_search import base_b_search
+from repro.core.opt_search import opt_b_search
+from repro.core.topk import SearchStats, TopKResult, top_k_ego_betweenness
+
+__all__ = [
+    "ego_betweenness",
+    "ego_betweenness_reference",
+    "all_ego_betweenness",
+    "static_upper_bound",
+    "dynamic_upper_bound",
+    "bound_decomposition",
+    "base_b_search",
+    "opt_b_search",
+    "top_k_ego_betweenness",
+    "TopKResult",
+    "SearchStats",
+]

@@ -1,0 +1,126 @@
+"""Upper bounds on ego-betweenness (Lemmas 1–3 of the paper).
+
+* ``static_upper_bound``: Lemma 2's ``ub(p) = d(p)(d(p)-1)/2`` — the number of
+  neighbour pairs of ``p``; it never underestimates ``CB(p)`` because every
+  pair contributes at most 1.
+* ``dynamic_upper_bound``: Lemma 3's ``˜ub(p)``, tightened by "identified
+  information" gathered while other vertices were computed exactly — known
+  edges between ``p``'s neighbours (which contribute 0) and known alternative
+  connectors for non-adjacent pairs (which cap the pair's contribution at
+  ``1/(|identified connectors| + 1)``).
+* ``bound_decomposition``: the exact three-way split of Lemma 1
+  (``C̄p + Ĉp + C̈p = d(p)(d(p)-1)/2``), exposed for tests and analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Set
+
+from repro.graph.graph import Graph, Vertex
+
+__all__ = [
+    "static_upper_bound",
+    "dynamic_upper_bound",
+    "bound_decomposition",
+    "BoundDecomposition",
+]
+
+
+def static_upper_bound(degree: int) -> float:
+    """Return Lemma 2's static upper bound ``d (d - 1) / 2`` for a degree."""
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    return degree * (degree - 1) / 2.0
+
+
+def dynamic_upper_bound(
+    degree: int,
+    identified_edges: int,
+    identified_link_counts: Mapping[frozenset, int] | Mapping[frozenset, Set[Vertex]],
+) -> float:
+    """Return Lemma 3's dynamic upper bound ``˜ub(p)``.
+
+    Parameters
+    ----------
+    degree:
+        ``d(p)``.
+    identified_edges:
+        ``∗C̄p`` — the number of neighbour pairs of ``p`` currently known to
+        be adjacent (each such pair contributes 0 to ``CB(p)``).
+    identified_link_counts:
+        For every neighbour pair currently known to be non-adjacent, the
+        identified alternative connectors — either the count or the set of
+        connector vertices.  Each such pair contributes at most
+        ``1/(count + 1)``.
+
+    Notes
+    -----
+    Because the identified sets are always subsets of the true sets
+    (``∗C̄p ≤ C̄p``, ``|∗Ŝp(u,v)| ≤ |Ŝp(u,v)|``), the returned value never
+    drops below the true ``CB(p)`` — this is exactly Lemma 3's argument and
+    is re-verified by the property-based tests.
+    """
+    bound = static_upper_bound(degree) - identified_edges
+    for value in identified_link_counts.values():
+        count = len(value) if isinstance(value, (set, frozenset)) else int(value)
+        if count > 0:
+            bound -= 1.0 - 1.0 / (count + 1)
+    return bound
+
+
+@dataclass(frozen=True)
+class BoundDecomposition:
+    """The Lemma 1 decomposition of the neighbour pairs of a vertex.
+
+    Attributes
+    ----------
+    adjacent_pairs:
+        ``C̄p`` — neighbour pairs that are adjacent.
+    linked_pairs:
+        ``Ĉp`` — non-adjacent pairs with at least one connector ≠ p.
+    exclusive_pairs:
+        ``C̈p`` — non-adjacent pairs whose only connector is p.
+    total_pairs:
+        ``d(p)(d(p)-1)/2``.
+    """
+
+    adjacent_pairs: int
+    linked_pairs: int
+    exclusive_pairs: int
+    total_pairs: int
+
+    @property
+    def is_consistent(self) -> bool:
+        """Lemma 1: the three categories partition all neighbour pairs."""
+        return self.adjacent_pairs + self.linked_pairs + self.exclusive_pairs == self.total_pairs
+
+
+def bound_decomposition(graph: Graph, p: Vertex) -> BoundDecomposition:
+    """Return the exact Lemma 1 decomposition for vertex ``p``."""
+    neighbors = list(graph.neighbors(p))
+    degree = len(neighbors)
+    total_pairs = degree * (degree - 1) // 2
+    adjacent = 0
+    linked = 0
+    exclusive = 0
+    neighbor_set = graph.neighbors(p)
+    for i, u in enumerate(neighbors):
+        nu = graph.neighbors(u)
+        for v in neighbors[i + 1 :]:
+            if v in nu:
+                adjacent += 1
+                continue
+            nv = graph.neighbors(v)
+            small, large = (nu, nv) if len(nu) <= len(nv) else (nv, nu)
+            has_connector = any(w != p and w in large and w in neighbor_set for w in small)
+            if has_connector:
+                linked += 1
+            else:
+                exclusive += 1
+    return BoundDecomposition(
+        adjacent_pairs=adjacent,
+        linked_pairs=linked,
+        exclusive_pairs=exclusive,
+        total_pairs=total_pairs,
+    )

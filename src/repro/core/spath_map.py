@@ -1,0 +1,131 @@
+"""Shortest-path count maps (``S_p``) and the identified-information store.
+
+Two closely related structures live here:
+
+:class:`SPathMap`
+    The per-vertex hash map ``S_p`` of the paper's Algorithms 1/3/5: for a
+    pair ``(x, y)`` of ``p``'s neighbours it stores 0 when the pair is
+    adjacent and otherwise the number of vertices (excluding ``p``) that
+    connect ``x`` and ``y`` inside ``GE(p)``.  The dynamic maintenance
+    algorithms of Section IV query these values; this implementation computes
+    them on demand from the current graph instead of persisting
+    ``O(Σ d(p)^2)`` entries, which keeps the update algorithms exact while
+    bounding memory.
+
+:class:`IdentifiedInfo`
+    The "identified information" store that powers OptBSearch's dynamic
+    upper bound (Lemma 3).  While a vertex ``u`` is being computed exactly,
+    the triangles and diamonds touched reveal, for *other* vertices ``p``,
+    edges between ``p``'s neighbours and alternative connectors for
+    non-adjacent neighbour pairs.  Only facts that are certain are recorded,
+    so the derived bound is always a true upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.core.bounds import dynamic_upper_bound, static_upper_bound
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["SPathMap", "IdentifiedInfo", "pair_key"]
+
+
+def pair_key(u: Vertex, v: Vertex) -> FrozenSet[Vertex]:
+    """Return the canonical dictionary key for the unordered pair ``{u, v}``."""
+    return frozenset((u, v))
+
+
+class SPathMap:
+    """On-demand view of the paper's per-vertex map ``S_p``.
+
+    ``value(p, x, y)`` returns the number of vertices other than ``p`` that
+    connect ``x`` and ``y`` inside ``GE(p)`` — i.e.
+    ``|N(x) ∩ N(y) ∩ N(p)|`` for a non-adjacent pair — and 0 when the pair is
+    adjacent (mirroring the sentinel the paper stores for visited triangles).
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+
+    def value(self, p: Vertex, x: Vertex, y: Vertex) -> int:
+        """Return ``S_p(x, y)`` for the *current* state of the graph."""
+        graph = self._graph
+        if graph.has_edge(x, y):
+            return 0
+        np_ = graph.neighbors(p)
+        nx = graph.neighbors(x)
+        ny = graph.neighbors(y)
+        # Iterate the smallest of the three sets.
+        smallest = min((np_, nx, ny), key=len)
+        if smallest is np_:
+            return sum(1 for w in np_ if w != p and w in nx and w in ny)
+        if smallest is nx:
+            return sum(1 for w in nx if w != p and w in ny and w in np_)
+        return sum(1 for w in ny if w != p and w in nx and w in np_)
+
+    def contribution(self, p: Vertex, x: Vertex, y: Vertex) -> float:
+        """Return the pair's contribution ``b_xy(p)`` to ``CB(p)``."""
+        graph = self._graph
+        if graph.has_edge(x, y):
+            return 0.0
+        return 1.0 / (self.value(p, x, y) + 1)
+
+
+class IdentifiedInfo:
+    """Identified edges and connectors per vertex, for the dynamic bound.
+
+    The store distinguishes two kinds of facts about a vertex ``p`` that is
+    *not yet* computed exactly:
+
+    * ``record_edge(p, x, y)`` — the pair ``(x, y)`` of ``p``'s neighbours is
+      adjacent, hence contributes 0 to ``CB(p)``.
+    * ``record_link(p, x, y, w)`` — the non-adjacent pair ``(x, y)`` of
+      ``p``'s neighbours has the alternative connector ``w`` (≠ p), hence
+      contributes at most ``1/(count+1)``.
+
+    Connectors are stored as sets so repeated discoveries of the same fact
+    (e.g. from two different exact computations touching the same diamond)
+    never inflate the count — inflating it could make the bound dip below
+    the true value, breaking OptBSearch's correctness.
+    """
+
+    __slots__ = ("_edges", "_links")
+
+    def __init__(self) -> None:
+        self._edges: Dict[Vertex, Set[FrozenSet[Vertex]]] = {}
+        self._links: Dict[Vertex, Dict[FrozenSet[Vertex], Set[Vertex]]] = {}
+
+    def record_edge(self, p: Vertex, x: Vertex, y: Vertex) -> None:
+        """Record that the pair ``(x, y)`` of ``p``'s neighbours is adjacent."""
+        self._edges.setdefault(p, set()).add(pair_key(x, y))
+
+    def record_link(self, p: Vertex, x: Vertex, y: Vertex, connector: Vertex) -> None:
+        """Record that ``connector`` joins the non-adjacent pair ``(x, y)`` in ``GE(p)``."""
+        pairs = self._links.setdefault(p, {})
+        pairs.setdefault(pair_key(x, y), set()).add(connector)
+
+    def identified_edge_count(self, p: Vertex) -> int:
+        """Return ``∗C̄p``."""
+        return len(self._edges.get(p, ()))
+
+    def identified_links(self, p: Vertex) -> Dict[FrozenSet[Vertex], Set[Vertex]]:
+        """Return the identified connector sets ``∗Ŝp(u, v)`` for vertex ``p``."""
+        return self._links.get(p, {})
+
+    def upper_bound(self, p: Vertex, degree: int) -> float:
+        """Return Lemma 3's dynamic bound ``˜ub(p)`` from the recorded facts."""
+        return dynamic_upper_bound(
+            degree, self.identified_edge_count(p), self.identified_links(p)
+        )
+
+    def discard(self, p: Vertex) -> None:
+        """Drop the stored facts for ``p`` (called after its exact computation)."""
+        self._edges.pop(p, None)
+        self._links.pop(p, None)
+
+    def static_bound(self, degree: int) -> float:
+        """Convenience passthrough of the static bound (Lemma 2)."""
+        return static_upper_bound(degree)

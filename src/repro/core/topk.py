@@ -1,0 +1,201 @@
+"""Result containers and the unified top-k dispatch API.
+
+Every search algorithm returns a :class:`TopKResult`, which carries the
+ranked ``(vertex, score)`` entries plus a :class:`SearchStats` record with
+the counters the paper reports (most importantly the number of vertices whose
+ego-betweenness was computed exactly — Table II — and the number of bound
+re-pushes performed by OptBSearch).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["SearchStats", "TopKResult", "TopKAccumulator", "top_k_ego_betweenness"]
+
+
+@dataclass
+class SearchStats:
+    """Counters describing the work a top-k search performed.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that produced the result.
+    exact_computations:
+        Number of vertices whose ego-betweenness was computed exactly
+        (the quantity reported in Table II of the paper).
+    bound_updates:
+        Number of dynamic-bound recomputations (OptBSearch only).
+    repushes:
+        Number of times a vertex was pushed back into the priority structure
+        with a tightened bound (OptBSearch only).
+    pruned_vertices:
+        Number of vertices eliminated without an exact computation.
+    elapsed_seconds:
+        Wall-clock time of the search.
+    """
+
+    algorithm: str = ""
+    exact_computations: int = 0
+    bound_updates: int = 0
+    repushes: int = 0
+    pruned_vertices: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class TopKResult:
+    """Ranked top-k ego-betweenness result.
+
+    Attributes
+    ----------
+    entries:
+        ``(vertex, score)`` pairs sorted by non-increasing score; ties are
+        broken deterministically by the vertex sort key.
+    k:
+        The requested ``k``.
+    stats:
+        Work counters for the search that produced this result.
+    """
+
+    entries: List[Tuple[Vertex, float]]
+    k: int
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def vertices(self) -> List[Vertex]:
+        """The ranked vertices (best first)."""
+        return [v for v, _ in self.entries]
+
+    @property
+    def scores(self) -> Dict[Vertex, float]:
+        """Mapping from each returned vertex to its exact ego-betweenness."""
+        return dict(self.entries)
+
+    @property
+    def threshold(self) -> float:
+        """The smallest score in the result (0.0 when the result is empty)."""
+        if not self.entries:
+            return 0.0
+        return self.entries[-1][1]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return any(v == vertex for v, _ in self.entries)
+
+
+class TopKAccumulator:
+    """Size-bounded min-heap of ``(score, vertex)`` used by the searches.
+
+    Keeps the ``k`` best (score, vertex) pairs seen so far; exposes the
+    current threshold (the k-th best score) which drives the early
+    termination tests of both search algorithms.
+    """
+
+    __slots__ = ("_k", "_heap", "_counter")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise InvalidParameterError("k must be a positive integer")
+        self._k = k
+        self._heap: List[Tuple[float, int, Vertex]] = []
+        self._counter = 0
+
+    def offer(self, vertex: Vertex, score: float) -> None:
+        """Consider ``vertex`` with ``score`` for inclusion in the top-k."""
+        self._counter += 1
+        entry = (score, self._counter, vertex)
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, entry)
+        elif score > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    @property
+    def is_full(self) -> bool:
+        """``True`` once ``k`` candidates have been accepted."""
+        return len(self._heap) >= self._k
+
+    @property
+    def threshold(self) -> float:
+        """The k-th best score so far (``-inf`` until the heap is full)."""
+        if not self.is_full:
+            return float("-inf")
+        return self._heap[0][0]
+
+    def ranked_entries(self) -> List[Tuple[Vertex, float]]:
+        """Return the accumulated entries sorted best-first."""
+        ordered = sorted(
+            self._heap,
+            key=lambda item: (-item[0], (type(item[2]).__name__, repr(item[2]))),
+        )
+        return [(vertex, score) for score, _, vertex in ordered]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def top_k_ego_betweenness(
+    graph: Graph,
+    k: int,
+    method: str = "opt",
+    theta: float = 1.05,
+) -> TopKResult:
+    """Find the ``k`` vertices with the highest ego-betweenness.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    k:
+        Number of results to return (values larger than ``n`` are clamped).
+    method:
+        ``"opt"`` (OptBSearch, the default), ``"base"`` (BaseBSearch) or
+        ``"naive"`` (compute every vertex then select — the straightforward
+        algorithm the paper uses as a strawman).
+    theta:
+        Gradient ratio for OptBSearch (ignored by the other methods).
+
+    Returns
+    -------
+    TopKResult
+        The ranked result with search statistics.
+    """
+    # Imported lazily to avoid an import cycle (the search modules import
+    # the accumulator defined above).
+    from repro.core.base_search import base_b_search
+    from repro.core.opt_search import opt_b_search
+    from repro.core.ego_betweenness import all_ego_betweenness
+
+    if k < 1:
+        raise InvalidParameterError("k must be a positive integer")
+    method = method.lower()
+    if method == "base":
+        return base_b_search(graph, k)
+    if method == "opt":
+        return opt_b_search(graph, k, theta=theta)
+    if method == "naive":
+        start = time.perf_counter()
+        scores = all_ego_betweenness(graph)
+        accumulator = TopKAccumulator(min(k, max(len(scores), 1)))
+        for vertex, score in scores.items():
+            accumulator.offer(vertex, score)
+        stats = SearchStats(
+            algorithm="naive",
+            exact_computations=len(scores),
+            pruned_vertices=0,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        return TopKResult(entries=accumulator.ranked_entries(), k=k, stats=stats)
+    raise InvalidParameterError(f"unknown method {method!r}; use 'opt', 'base' or 'naive'")

@@ -1,0 +1,27 @@
+"""Dataset registry: synthetic stand-ins for the paper's evaluation graphs.
+
+The paper's experiments use five SNAP datasets (Youtube, WikiTalk, DBLP,
+Pokec, LiveJournal) and two DBLP-derived case-study graphs (DB, IR).  None of
+these can be downloaded in the offline environment, so this subpackage
+provides reproducible synthetic graphs of the same structural class and with
+the same relative ordering of sizes — see DESIGN.md for the substitution
+rationale.  Users who do have the original edge lists can load them with
+:func:`repro.graph.io.read_edge_list` and feed them to every algorithm and
+benchmark unchanged.
+"""
+
+from repro.datasets.collaboration import CollaborationGraph, db_case_study_graph, ir_case_study_graph
+from repro.datasets.paper_example import paper_example_graph, paper_figure1_like_graph
+from repro.datasets.registry import DatasetSpec, dataset_names, load_dataset, registry_table
+
+__all__ = [
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "registry_table",
+    "CollaborationGraph",
+    "db_case_study_graph",
+    "ir_case_study_graph",
+    "paper_example_graph",
+    "paper_figure1_like_graph",
+]

@@ -1,0 +1,93 @@
+"""The paper's running example, as far as it can be reconstructed exactly.
+
+Example 1 of the paper specifies the ego network of vertex ``d`` completely:
+``N(d) = {a, b, c, g, h, i}`` with the in-ego edges
+``a–b, a–c, b–c, c–g, c–h, g–i, h–i`` — this yields ``CB(d) = 14/3`` and is
+reproduced *exactly* by :func:`paper_example_graph` (the correctness anchor
+used by the unit tests).
+
+The full 16-vertex graph of Fig. 1(a) is only shown as a drawing; the text
+does not list its edges, so it cannot be reconstructed with certainty.
+:func:`paper_figure1_like_graph` therefore builds a graph *in the spirit of*
+Fig. 1(a): the exact ego network of ``d`` above, extended with the star-like
+vertex ``x`` (whose ego-betweenness equals its upper bound), a well-connected
+hub ``f`` and the low-degree periphery ``j, k, u, v, y, z``.  It is used by
+the examples and documentation, not as a numeric oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.graph import Graph
+
+__all__ = ["paper_example_graph", "paper_figure1_like_graph", "EXAMPLE1_EGO_EDGES"]
+
+#: The exact ego network of vertex ``d`` from Example 1 of the paper.
+EXAMPLE1_EGO_EDGES: List[Tuple[str, str]] = [
+    # spokes from d to its six neighbours
+    ("d", "a"),
+    ("d", "b"),
+    ("d", "c"),
+    ("d", "g"),
+    ("d", "h"),
+    ("d", "i"),
+    # edges between the neighbours
+    ("a", "b"),
+    ("a", "c"),
+    ("b", "c"),
+    ("c", "g"),
+    ("c", "h"),
+    ("g", "i"),
+    ("h", "i"),
+]
+
+
+def paper_example_graph() -> Graph:
+    """Return the exact ego network of vertex ``d`` from Example 1.
+
+    In this 7-vertex graph the ego network of ``d`` is the whole graph, so
+    ``CB(d) = 14/3`` exactly as computed in the paper.
+    """
+    return Graph(edges=EXAMPLE1_EGO_EDGES)
+
+
+def paper_figure1_like_graph() -> Graph:
+    """Return a 16-vertex graph in the spirit of the paper's Fig. 1(a).
+
+    The graph contains the exact Example-1 ego network of ``d``, a hub ``f``
+    bridging two regions, a star centre ``x`` whose ego-betweenness equals
+    its static upper bound, and the low-degree periphery
+    ``j, k, u, v, y, z``.  Vertex labels match the paper's figure; edge-level
+    details beyond the ``d`` ego network are this reproduction's own choice
+    (see the module docstring).
+    """
+    edges: List[Tuple[str, str]] = list(EXAMPLE1_EGO_EDGES)
+    edges += [
+        # the hub f bridges the c/i region with the x-star region
+        ("f", "c"),
+        ("f", "i"),
+        ("f", "h"),
+        ("f", "k"),
+        ("f", "x"),
+        ("f", "b"),
+        # e sits between c, g, i and the periphery j
+        ("e", "c"),
+        ("e", "g"),
+        ("e", "i"),
+        ("e", "a"),
+        ("e", "j"),
+        # the star around x
+        ("x", "y"),
+        ("x", "z"),
+        ("x", "u"),
+        ("x", "v"),
+        # low-degree periphery
+        ("j", "i"),
+        ("j", "k"),
+        ("k", "j"),
+    ]
+    graph = Graph()
+    for u, v in edges:
+        graph.add_edge(u, v, exist_ok=True)
+    return graph

@@ -1,0 +1,214 @@
+"""Named synthetic stand-ins for the paper's five evaluation datasets.
+
+Table I of the paper lists the datasets, their sizes and types:
+
+=============  ==========  ===========  ========  =======================
+Dataset        n           m            d_max     Type
+=============  ==========  ===========  ========  =======================
+Youtube        1,134,890   2,987,624    28,754    Social network
+WikiTalk       2,394,385   4,659,565    100,029   Communication network
+DBLP           1,843,617   8,350,260    2,213     Collaboration network
+Pokec          1,632,803   22,301,964   14,854    Social network
+LiveJournal    3,997,962   34,681,189   14,815    Social network
+=============  ==========  ===========  ========  =======================
+
+The synthetic stand-ins preserve (a) the structural class of each dataset,
+(b) the relative ordering of sizes (LiveJournal largest, Youtube smallest
+social network, WikiTalk with the most extreme degree skew, DBLP
+triangle-rich) and (c) reproducibility via fixed seeds, while scaling the
+absolute sizes down to what pure Python can process in benchmark time.  The
+``scale`` parameter scales the vertex counts linearly so that tests can use
+tiny instances and benchmark runs can use larger ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import DatasetError, InvalidParameterError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    overlapping_cliques_graph,
+    powerlaw_cluster_graph,
+    random_bipartite_expansion_graph,
+)
+from repro.graph.graph import Graph
+
+__all__ = ["DatasetSpec", "dataset_names", "load_dataset", "registry_table", "DEFAULT_SCALE"]
+
+DEFAULT_SCALE = 1.0
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one registry dataset.
+
+    Attributes
+    ----------
+    name:
+        Registry key (lower-case paper dataset name).
+    paper_name:
+        The dataset name as printed in the paper.
+    category:
+        Structural class ("social", "communication", "collaboration").
+    paper_vertices / paper_edges / paper_max_degree:
+        The sizes reported in Table I of the paper (for reference only).
+    builder:
+        Callable ``scale -> Graph`` producing the synthetic stand-in.
+    description:
+        Human-readable note on the substitution.
+    """
+
+    name: str
+    paper_name: str
+    category: str
+    paper_vertices: int
+    paper_edges: int
+    paper_max_degree: int
+    builder: Callable[[float], Graph]
+    description: str
+
+
+def _youtube(scale: float) -> Graph:
+    n = max(int(1200 * scale), 60)
+    return powerlaw_cluster_graph(n=n, m=3, p=0.25, seed=101)
+
+
+def _wikitalk(scale: float) -> Graph:
+    hubs = max(int(60 * scale), 8)
+    leaves = max(int(2400 * scale), 80)
+    return random_bipartite_expansion_graph(
+        num_hubs=hubs, num_leaves=leaves, attachments=2, seed=202
+    )
+
+
+def _dblp(scale: float) -> Graph:
+    cliques = max(int(650 * scale), 30)
+    return overlapping_cliques_graph(
+        num_cliques=cliques,
+        clique_size_range=(3, 7),
+        overlap=2,
+        extra_edges=max(int(40 * scale), 4),
+        seed=303,
+    )
+
+
+def _pokec(scale: float) -> Graph:
+    n = max(int(1600 * scale), 80)
+    return barabasi_albert_graph(n=n, m=6, seed=404)
+
+
+def _livejournal(scale: float) -> Graph:
+    n = max(int(2600 * scale), 120)
+    return powerlaw_cluster_graph(n=n, m=5, p=0.15, seed=505)
+
+
+_REGISTRY: Dict[str, DatasetSpec] = {
+    "youtube": DatasetSpec(
+        name="youtube",
+        paper_name="Youtube",
+        category="social",
+        paper_vertices=1_134_890,
+        paper_edges=2_987_624,
+        paper_max_degree=28_754,
+        builder=_youtube,
+        description="Power-law social graph with moderate clustering (Holme-Kim).",
+    ),
+    "wikitalk": DatasetSpec(
+        name="wikitalk",
+        paper_name="WikiTalk",
+        category="communication",
+        paper_vertices=2_394_385,
+        paper_edges=4_659_565,
+        paper_max_degree=100_029,
+        builder=_wikitalk,
+        description="Hub-and-spoke communication graph with extreme degree skew.",
+    ),
+    "dblp": DatasetSpec(
+        name="dblp",
+        paper_name="DBLP",
+        category="collaboration",
+        paper_vertices=1_843_617,
+        paper_edges=8_350_260,
+        paper_max_degree=2_213,
+        builder=_dblp,
+        description="Overlapping-clique collaboration graph (papers as cliques).",
+    ),
+    "pokec": DatasetSpec(
+        name="pokec",
+        paper_name="Pokec",
+        category="social",
+        paper_vertices=1_632_803,
+        paper_edges=22_301_964,
+        paper_max_degree=14_854,
+        builder=_pokec,
+        description="Denser preferential-attachment social graph.",
+    ),
+    "livejournal": DatasetSpec(
+        name="livejournal",
+        paper_name="LiveJournal",
+        category="social",
+        paper_vertices=3_997_962,
+        paper_edges=34_681_189,
+        paper_max_degree=14_815,
+        builder=_livejournal,
+        description="Largest stand-in: power-law social graph with clustering.",
+    ),
+}
+
+
+def dataset_names() -> List[str]:
+    """Return the registry dataset names in the paper's Table I order."""
+    return list(_REGISTRY)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the :class:`DatasetSpec` for ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(dataset_names())}"
+        )
+    return _REGISTRY[key]
+
+
+def load_dataset(name: str, scale: float = DEFAULT_SCALE) -> Graph:
+    """Build and return the synthetic stand-in for dataset ``name``.
+
+    Parameters
+    ----------
+    scale:
+        Linear scaling factor for the instance size; ``1.0`` is the default
+        benchmark size, smaller values produce proportionally smaller graphs
+        for quick tests.
+    """
+    if scale <= 0:
+        raise InvalidParameterError("scale must be positive")
+    return dataset_spec(name).builder(scale)
+
+
+def registry_table(scale: float = DEFAULT_SCALE) -> List[Dict[str, object]]:
+    """Return one row per dataset with paper sizes and stand-in sizes.
+
+    Used by the Table I experiment; building every stand-in at the requested
+    scale is cheap relative to the experiments that consume them.
+    """
+    rows: List[Dict[str, object]] = []
+    for name in dataset_names():
+        spec = dataset_spec(name)
+        graph = load_dataset(name, scale=scale)
+        rows.append(
+            {
+                "dataset": spec.paper_name,
+                "category": spec.category,
+                "paper_n": spec.paper_vertices,
+                "paper_m": spec.paper_edges,
+                "paper_dmax": spec.paper_max_degree,
+                "repro_n": graph.num_vertices,
+                "repro_m": graph.num_edges,
+                "repro_dmax": graph.max_degree(),
+                "description": spec.description,
+            }
+        )
+    return rows

@@ -1,0 +1,24 @@
+"""Dynamic maintenance of ego-betweenness under edge updates (Section IV).
+
+* :class:`~repro.dynamic.local_update.EgoBetweennessIndex` — maintains the
+  exact ego-betweenness of *every* vertex across edge insertions and
+  deletions using the local update rules of Lemmas 4–7 (LocalInsert /
+  LocalDelete).
+* :class:`~repro.dynamic.lazy_topk.LazyTopKMaintainer` — maintains only the
+  top-k result set, skipping exact recomputations whose outcome cannot change
+  the answer (LazyInsert / LazyDelete, Algorithm 6).
+* :mod:`repro.dynamic.stream` — update-workload generators used by the
+  Fig. 8 experiment.
+"""
+
+from repro.dynamic.local_update import EgoBetweennessIndex, affected_vertices
+from repro.dynamic.lazy_topk import LazyTopKMaintainer
+from repro.dynamic.stream import UpdateEvent, generate_update_stream
+
+__all__ = [
+    "EgoBetweennessIndex",
+    "affected_vertices",
+    "LazyTopKMaintainer",
+    "UpdateEvent",
+    "generate_update_stream",
+]

@@ -1,0 +1,239 @@
+"""Local maintenance of all ego-betweenness values (LocalInsert / LocalDelete).
+
+Observation 1 of the paper: inserting or deleting an edge ``(u, v)`` only
+changes the ego-betweenness of ``u``, ``v`` and their common neighbours
+``N(u) ∩ N(v)`` — every other ego network is untouched.  The update rules of
+Lemmas 4–7 then express the new values as the old values plus per-pair
+corrections; each correction is the difference between the pair's
+contribution before and after the update, where a pair's contribution is
+``1/(S_p(x, y) + 1)`` for a non-adjacent pair and 0 for an adjacent pair.
+
+:class:`EgoBetweennessIndex` implements those rules by evaluating the old and
+new contributions of exactly the affected pairs (the same pairs the lemmas
+enumerate), which is mathematically identical to applying the lemma deltas
+and keeps the implementation robust against sign mistakes.  The affected-pair
+enumeration per update touches
+
+* for each endpoint: the pairs among the common neighbours ``L`` plus the
+  new/vanishing pairs ``(other endpoint, x)``,
+* for each common neighbour ``w``: the pair ``(u, v)`` plus the pairs
+  ``(x, u)`` / ``(x, v)`` with ``x ∈ N(w)`` adjacent to the other endpoint,
+
+matching the work bound of the paper's Algorithms 4–5.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.core.ego_betweenness import all_ego_betweenness, ego_betweenness
+from repro.core.spath_map import SPathMap
+from repro.errors import EdgeExistsError, EdgeNotFoundError, SelfLoopError
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["EgoBetweennessIndex", "affected_vertices"]
+
+
+def affected_vertices(graph: Graph, u: Vertex, v: Vertex) -> Set[Vertex]:
+    """Return the vertices whose ego-betweenness an update of ``(u, v)`` touches.
+
+    Observation 1: the affected set is ``{u, v} ∪ (N(u) ∩ N(v))``.  The graph
+    must contain both endpoints; the edge itself may or may not be present.
+    """
+    affected = {u, v}
+    if u in graph and v in graph:
+        affected |= graph.common_neighbors(u, v)
+    return affected
+
+
+class EgoBetweennessIndex:
+    """Exact ego-betweenness of every vertex, maintained under edge updates.
+
+    Parameters
+    ----------
+    graph:
+        The graph to index.  The index keeps its own copy, so the caller's
+        graph is never mutated by :meth:`insert_edge` / :meth:`delete_edge`.
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+    >>> index = EgoBetweennessIndex(g)
+    >>> index.insert_edge(1, 3)
+    >>> abs(index.score(2) - ego_betweenness(index.graph, 2)) < 1e-12
+    True
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph.copy()
+        self._scores: Dict[Vertex, float] = all_ego_betweenness(self._graph)
+        self._spath = SPathMap(self._graph)
+        self.last_update_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The graph the index currently reflects (treat as read-only)."""
+        return self._graph
+
+    def score(self, vertex: Vertex) -> float:
+        """Return the maintained ego-betweenness of ``vertex``."""
+        return self._scores[vertex]
+
+    def scores(self) -> Dict[Vertex, float]:
+        """Return a copy of the full ego-betweenness map."""
+        return dict(self._scores)
+
+    def top_k(self, k: int) -> List[Tuple[Vertex, float]]:
+        """Return the ``k`` best (vertex, score) pairs, best first."""
+        ordered = sorted(
+            self._scores.items(),
+            key=lambda item: (-item[1], (type(item[0]).__name__, repr(item[0]))),
+        )
+        return ordered[: max(k, 0)]
+
+    # ------------------------------------------------------------------
+    # Updates (LocalInsert / LocalDelete)
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """LocalInsert: add edge ``(u, v)`` and patch the affected scores.
+
+        Returns the set of vertices whose score was updated.  Raises
+        :class:`EdgeExistsError` when the edge is already present and
+        :class:`SelfLoopError` for ``u == v``.
+        """
+        start = time.perf_counter()
+        if u == v:
+            raise SelfLoopError(u)
+        graph = self._graph
+        if graph.has_vertex(u) and graph.has_vertex(v) and graph.has_edge(u, v):
+            raise EdgeExistsError(u, v)
+
+        for endpoint in (u, v):
+            if not graph.has_vertex(endpoint):
+                graph.add_vertex(endpoint)
+                self._scores[endpoint] = 0.0
+
+        common = graph.common_neighbors(u, v)
+        affected_pairs = self._collect_affected_pairs(u, v, common, inserting=True)
+
+        old = self._pair_contributions(affected_pairs)
+        graph.add_edge(u, v)
+        new = self._pair_contributions(affected_pairs)
+        self._apply_deltas(affected_pairs, old, new)
+
+        self.last_update_seconds = time.perf_counter() - start
+        return {u, v} | common
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """LocalDelete: remove edge ``(u, v)`` and patch the affected scores.
+
+        Returns the set of vertices whose score was updated.  Raises
+        :class:`EdgeNotFoundError` when the edge is absent.
+        """
+        start = time.perf_counter()
+        graph = self._graph
+        if not (graph.has_vertex(u) and graph.has_vertex(v) and graph.has_edge(u, v)):
+            raise EdgeNotFoundError(u, v)
+
+        common = graph.common_neighbors(u, v)
+        affected_pairs = self._collect_affected_pairs(u, v, common, inserting=False)
+
+        old = self._pair_contributions(affected_pairs)
+        graph.remove_edge(u, v)
+        new = self._pair_contributions(affected_pairs)
+        self._apply_deltas(affected_pairs, old, new)
+
+        self.last_update_seconds = time.perf_counter() - start
+        return {u, v} | common
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _collect_affected_pairs(
+        self, u: Vertex, v: Vertex, common: Set[Vertex], inserting: bool
+    ) -> Dict[Vertex, List[FrozenSet[Vertex]]]:
+        """Enumerate, per affected vertex, the neighbour pairs whose
+        contribution the update may change (the pairs of Lemmas 4–7)."""
+        graph = self._graph
+        pairs: Dict[Vertex, List[FrozenSet[Vertex]]] = {u: [], v: [], **{w: [] for w in common}}
+
+        # Endpoint u (Lemma 4 / 6): pairs among L, plus pairs (v, x).
+        for endpoint, other in ((u, v), (v, u)):
+            endpoint_pairs = pairs[endpoint]
+            common_list = list(common)
+            for i, x in enumerate(common_list):
+                for y in common_list[i + 1 :]:
+                    endpoint_pairs.append(frozenset((x, y)))
+            for x in graph.neighbors(endpoint):
+                if x != other:
+                    endpoint_pairs.append(frozenset((other, x)))
+
+        # Common neighbours w (Lemma 5 / 7): the pair (u, v), plus pairs
+        # (x, v) with x ∈ N(w) ∩ N(u) and pairs (x, u) with x ∈ N(w) ∩ N(v).
+        for w in common:
+            w_pairs = pairs[w]
+            w_pairs.append(frozenset((u, v)))
+            neighbors_w = graph.neighbors(w)
+            for x in neighbors_w:
+                if x in (u, v):
+                    continue
+                if graph.has_edge(x, u):
+                    w_pairs.append(frozenset((x, v)))
+                if graph.has_edge(x, v):
+                    w_pairs.append(frozenset((x, u)))
+        return pairs
+
+    def _pair_contributions(
+        self, affected_pairs: Dict[Vertex, List[FrozenSet[Vertex]]]
+    ) -> Dict[Tuple[Vertex, FrozenSet[Vertex]], float]:
+        """Evaluate the contribution of every (vertex, pair) in the current graph.
+
+        A pair only contributes when both members are currently neighbours of
+        the vertex; otherwise the pair does not exist in the ego network and
+        its contribution is 0 (this is what makes the before/after difference
+        handle appearing and vanishing pairs uniformly).
+        """
+        graph = self._graph
+        contributions: Dict[Tuple[Vertex, FrozenSet[Vertex]], float] = {}
+        for p, pair_list in affected_pairs.items():
+            neighbors_p = graph.neighbors(p)
+            for pair in pair_list:
+                key = (p, pair)
+                if key in contributions:
+                    continue
+                x, y = tuple(pair)
+                if x not in neighbors_p or y not in neighbors_p:
+                    contributions[key] = 0.0
+                else:
+                    contributions[key] = self._spath.contribution(p, x, y)
+        return contributions
+
+    def _apply_deltas(
+        self,
+        affected_pairs: Dict[Vertex, List[FrozenSet[Vertex]]],
+        old: Dict[Tuple[Vertex, FrozenSet[Vertex]], float],
+        new: Dict[Tuple[Vertex, FrozenSet[Vertex]], float],
+    ) -> None:
+        for p, pair_list in affected_pairs.items():
+            delta = 0.0
+            seen: Set[FrozenSet[Vertex]] = set()
+            for pair in pair_list:
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                key = (p, pair)
+                delta += new[key] - old[key]
+            if delta:
+                self._scores[p] = self._scores.get(p, 0.0) + delta
+
+    # ------------------------------------------------------------------
+    # Verification helper
+    # ------------------------------------------------------------------
+    def recompute_from_scratch(self, vertices: Iterable[Vertex] | None = None) -> Dict[Vertex, float]:
+        """Recompute scores directly from the graph (used by tests)."""
+        targets = self._graph.vertices() if vertices is None else list(vertices)
+        return {p: ego_betweenness(self._graph, p) for p in targets}

@@ -1,0 +1,141 @@
+"""Update-workload generation for the dynamic-maintenance experiments.
+
+Exp-3 of the paper evaluates the maintenance algorithms by randomly selecting
+1,000 edges per dataset for insertion and deletion.  This module produces the
+equivalent reproducible workloads: a deletion stream removes edges that exist
+in the graph, an insertion stream re-inserts previously removed edges or adds
+brand-new non-edges, and a mixed stream interleaves both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Literal, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["UpdateEvent", "generate_update_stream", "split_insert_delete_workload"]
+
+Operation = Literal["insert", "delete"]
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """A single edge update: ``operation`` is ``"insert"`` or ``"delete"``."""
+
+    operation: Operation
+    u: Vertex
+    v: Vertex
+
+    @property
+    def edge(self) -> Tuple[Vertex, Vertex]:
+        """The affected edge as a tuple."""
+        return (self.u, self.v)
+
+
+def split_insert_delete_workload(
+    graph: Graph, count: int, seed: int = 0
+) -> Tuple[List[UpdateEvent], List[UpdateEvent]]:
+    """Return matching deletion and insertion workloads of ``count`` edges each.
+
+    Mirrors the paper's Exp-3 protocol: ``count`` existing edges are sampled
+    uniformly at random; the deletion workload removes them and the insertion
+    workload re-inserts them (applied to a graph from which they were first
+    removed, or measured as delete-then-insert pairs).
+    """
+    if count < 0:
+        raise InvalidParameterError("count must be non-negative")
+    edges = graph.edge_list()
+    if count > len(edges):
+        raise InvalidParameterError(
+            f"cannot sample {count} edges from a graph with {len(edges)} edges"
+        )
+    rng = random.Random(seed)
+    sample = rng.sample(edges, count)
+    deletions = [UpdateEvent("delete", u, v) for u, v in sample]
+    insertions = [UpdateEvent("insert", u, v) for u, v in sample]
+    return deletions, insertions
+
+
+def generate_update_stream(
+    graph: Graph,
+    count: int,
+    seed: int = 0,
+    insert_fraction: float = 0.5,
+) -> List[UpdateEvent]:
+    """Return a mixed, replayable stream of edge insertions and deletions.
+
+    The stream is constructed so it is always applicable in order to a copy
+    of ``graph``: deletions target edges present at that point of the stream
+    and insertions target vertex pairs absent at that point (including
+    re-insertion of previously deleted edges).
+
+    Parameters
+    ----------
+    count:
+        Total number of update events.
+    insert_fraction:
+        Approximate fraction of insertions in the stream.
+    """
+    if count < 0:
+        raise InvalidParameterError("count must be non-negative")
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise InvalidParameterError("insert_fraction must lie in [0, 1]")
+
+    rng = random.Random(seed)
+    working = graph.copy()
+    vertices = working.vertices()
+    if len(vertices) < 2:
+        raise InvalidParameterError("the graph needs at least two vertices")
+
+    events: List[UpdateEvent] = []
+    removed_pool: List[Tuple[Vertex, Vertex]] = []
+    for _ in range(count):
+        want_insert = rng.random() < insert_fraction
+        if want_insert:
+            event = _make_insert(working, rng, vertices, removed_pool)
+            if event is None:
+                event = _make_delete(working, rng, removed_pool)
+        else:
+            event = _make_delete(working, rng, removed_pool)
+            if event is None:
+                event = _make_insert(working, rng, vertices, removed_pool)
+        if event is None:
+            break
+        events.append(event)
+    return events
+
+
+def _make_delete(
+    working: Graph, rng: random.Random, removed_pool: List[Tuple[Vertex, Vertex]]
+) -> UpdateEvent | None:
+    edges = working.edge_list()
+    if not edges:
+        return None
+    u, v = edges[rng.randrange(len(edges))]
+    working.remove_edge(u, v)
+    removed_pool.append((u, v))
+    return UpdateEvent("delete", u, v)
+
+
+def _make_insert(
+    working: Graph,
+    rng: random.Random,
+    vertices: Sequence[Vertex],
+    removed_pool: List[Tuple[Vertex, Vertex]],
+) -> UpdateEvent | None:
+    # Prefer re-inserting a previously removed edge; otherwise look for a
+    # random non-edge (bounded number of attempts keeps this O(1) expected).
+    while removed_pool:
+        u, v = removed_pool.pop(rng.randrange(len(removed_pool)))
+        if not working.has_edge(u, v):
+            working.add_edge(u, v)
+            return UpdateEvent("insert", u, v)
+    for _ in range(64):
+        u, v = rng.sample(list(vertices), 2)
+        if not working.has_edge(u, v):
+            working.add_edge(u, v)
+            return UpdateEvent("insert", u, v)
+    return None

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the ``repro`` (ego-betweenness) library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can distinguish library failures from programming errors with a single
+``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-structure related errors."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex) -> None:
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"vertex {self.vertex!r} is not in the graph"
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u, v) -> None:
+        super().__init__((u, v))
+        self.edge = (u, v)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"edge {self.edge!r} is not in the graph"
+
+
+class EdgeExistsError(GraphError, ValueError):
+    """Raised when inserting an edge that already exists."""
+
+    def __init__(self, u, v) -> None:
+        super().__init__((u, v))
+        self.edge = (u, v)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"edge {self.edge!r} already exists"
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Raised when a self-loop edge (u, u) is supplied.
+
+    The ego-betweenness model of the paper is defined on simple graphs; a
+    self-loop has no meaning in an ego network and is rejected eagerly.
+    """
+
+    def __init__(self, vertex) -> None:
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"self-loops are not allowed (vertex {self.vertex!r})"
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when an algorithm receives an out-of-range parameter.
+
+    Examples: ``k < 1`` in a top-k search, ``theta < 1`` in OptBSearch, a
+    non-positive worker count in the parallel engines.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset cannot be located or generated."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """Raised when parsing an edge-list / SNAP file fails."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        super().__init__(message)
+        self.line_number = line_number
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        base = super().__str__()
+        if self.line_number is None:
+            return base
+        return f"{base} (line {self.line_number})"

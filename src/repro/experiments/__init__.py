@@ -1,0 +1,11 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every experiment module exposes a ``run(...)`` function returning plain data
+(rows or series) plus a ``render(...)`` helper producing the text report the
+CLI prints and EXPERIMENTS.md records.  The mapping from paper artefact to
+experiment id lives in DESIGN.md's per-experiment index.
+"""
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,79 @@
+"""Shared plumbing for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = ["ExperimentResult", "timed", "scaled_k_values", "DEFAULT_EXPERIMENT_SCALE"]
+
+#: Default dataset scale used by the CLI and the benchmark harness.  The
+#: paper's graphs have millions of edges; the synthetic stand-ins at scale
+#: 1.0 have tens of thousands, and most experiments further reduce the scale
+#: so a full run stays within minutes of pure-Python time.
+DEFAULT_EXPERIMENT_SCALE = 0.5
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container for an experiment's output.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier from DESIGN.md's per-experiment index (e.g. ``"fig6"``).
+    title:
+        Human-readable description, including the paper artefact reproduced.
+    rows:
+        Table-style results (one dict per row); may be empty.
+    series:
+        Figure-style results: ``{panel: {series_name: {x: y}}}``; may be empty.
+    metadata:
+        Parameters the experiment ran with (scale, k values, seeds, ...).
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    series: Dict[str, Dict[str, Dict[Any, float]]] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Render the result as the text report printed by the CLI."""
+        parts: List[str] = [f"== {self.experiment_id}: {self.title} =="]
+        if self.metadata:
+            rendered_metadata = ", ".join(f"{k}={v}" for k, v in self.metadata.items())
+            parts.append(f"parameters: {rendered_metadata}")
+        if self.rows:
+            parts.append(format_table(self.rows))
+        for panel, panel_series in self.series.items():
+            parts.append(format_series(panel_series, title=f"-- {panel} --"))
+        return "\n".join(parts)
+
+
+def timed(function: Callable[[], Any]) -> tuple:
+    """Run ``function`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def scaled_k_values(num_vertices: int, paper_values: Sequence[int] = (50, 100, 200, 500, 1000, 2000)) -> List[int]:
+    """Scale the paper's ``k`` sweep to the synthetic stand-in sizes.
+
+    The paper sweeps ``k`` over {50, ..., 2000} on graphs with millions of
+    vertices; the stand-ins have a few thousand, so the sweep is scaled by
+    the ratio of the graph sizes (with a floor of 1 and a cap of ``n``),
+    preserving the *relative* sweep the figures show.
+    """
+    reference = 1_000_000
+    scaled: List[int] = []
+    for value in paper_values:
+        k = max(1, int(round(value * num_vertices / reference * 40)))
+        k = min(k, max(num_vertices, 1))
+        if k not in scaled:
+            scaled.append(k)
+    return scaled

@@ -1,0 +1,118 @@
+"""Ablation experiments for the design choices called out in DESIGN.md.
+
+``bounds`` ablation
+    How much tighter is the dynamic bound than the static bound at the moment
+    OptBSearch decides whether to compute a vertex?  Measured as the pruning
+    gap: exact computations under the static bound only (BaseBSearch), under
+    the dynamic bound (OptBSearch), and under a hypothetical perfect oracle
+    (the true top-k boundary).
+
+``lazy`` ablation
+    How many exact recomputations does the lazy top-k maintainer skip
+    compared with eagerly recomputing every affected vertex (the local
+    index), over the same update stream?
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.base_search import base_b_search
+from repro.core.ego_betweenness import all_ego_betweenness
+from repro.core.opt_search import opt_b_search
+from repro.datasets.registry import dataset_names, dataset_spec, load_dataset
+from repro.dynamic.lazy_topk import LazyTopKMaintainer
+from repro.dynamic.local_update import EgoBetweennessIndex, affected_vertices
+from repro.dynamic.stream import generate_update_stream
+from repro.experiments.common import DEFAULT_EXPERIMENT_SCALE, ExperimentResult, scaled_k_values
+
+__all__ = ["run_bounds_ablation", "run_lazy_ablation"]
+
+
+def run_bounds_ablation(
+    scale: float = DEFAULT_EXPERIMENT_SCALE,
+    datasets: Optional[Iterable[str]] = None,
+    k: Optional[int] = None,
+    theta: float = 1.05,
+) -> ExperimentResult:
+    """Compare pruning power: static bound vs dynamic bound vs perfect oracle."""
+    result = ExperimentResult(
+        experiment_id="ablation-bounds",
+        title="Pruning power of the static vs dynamic upper bound",
+        metadata={"scale": scale, "theta": theta},
+    )
+    selected = list(datasets) if datasets is not None else dataset_names()
+    for name in selected:
+        graph = load_dataset(name, scale=scale)
+        chosen_k = k if k is not None else scaled_k_values(graph.num_vertices, (500,))[0]
+        base = base_b_search(graph, chosen_k)
+        opt = opt_b_search(graph, chosen_k, theta=theta)
+        # Perfect oracle: with exact scores known up front, only the k result
+        # vertices (plus ties) would ever need computing.
+        scores = all_ego_betweenness(graph)
+        ordered = sorted(scores.values(), reverse=True)
+        threshold = ordered[chosen_k - 1] if chosen_k <= len(ordered) else 0.0
+        oracle = sum(1 for value in scores.values() if value >= threshold)
+        result.rows.append(
+            {
+                "dataset": dataset_spec(name).paper_name,
+                "k": chosen_k,
+                "static_bound_exact": base.stats.exact_computations,
+                "dynamic_bound_exact": opt.stats.exact_computations,
+                "oracle_exact": oracle,
+                "dynamic_saving_vs_static": base.stats.exact_computations
+                - opt.stats.exact_computations,
+                "gap_to_oracle": opt.stats.exact_computations - oracle,
+            }
+        )
+    return result
+
+
+def run_lazy_ablation(
+    scale: float = DEFAULT_EXPERIMENT_SCALE,
+    datasets: Optional[Iterable[str]] = None,
+    num_updates: int = 60,
+    k: Optional[int] = None,
+    seed: int = 13,
+) -> ExperimentResult:
+    """Compare lazy top-k maintenance against eager affected-vertex recomputation."""
+    result = ExperimentResult(
+        experiment_id="ablation-lazy",
+        title="Exact recomputations: lazy top-k maintenance vs eager local updates",
+        metadata={"scale": scale, "num_updates": num_updates},
+    )
+    selected = list(datasets) if datasets is not None else dataset_names()
+    for name in selected:
+        graph = load_dataset(name, scale=scale)
+        chosen_k = k if k is not None else scaled_k_values(graph.num_vertices, (500,))[0]
+        stream = generate_update_stream(graph, num_updates, seed=seed)
+
+        lazy = LazyTopKMaintainer(graph, chosen_k)
+        eager_recomputations = 0
+        eager_graph = graph.copy()
+        for event in stream:
+            if event.operation == "insert":
+                eager_recomputations += len(affected_vertices(eager_graph, event.u, event.v))
+                eager_graph.add_edge(event.u, event.v, exist_ok=True)
+                lazy.insert_edge(event.u, event.v)
+            else:
+                eager_recomputations += len(affected_vertices(eager_graph, event.u, event.v))
+                eager_graph.remove_edge(event.u, event.v)
+                lazy.delete_edge(event.u, event.v)
+
+        result.rows.append(
+            {
+                "dataset": dataset_spec(name).paper_name,
+                "updates": len(stream),
+                "k": chosen_k,
+                "eager_recomputations": eager_recomputations,
+                "lazy_recomputations": lazy.exact_recomputations,
+                "lazy_skipped": lazy.skipped_recomputations,
+                "saving_ratio": round(
+                    1.0 - lazy.exact_recomputations / eager_recomputations, 3
+                )
+                if eager_recomputations
+                else 0.0,
+            }
+        )
+    return result

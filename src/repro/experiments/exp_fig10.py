@@ -1,0 +1,90 @@
+"""Experiment ``fig10`` — parallel engines: runtime and speedup (Fig. 10).
+
+The paper runs VertexPEBW and EdgePEBW with 1–16 threads on LiveJournal and
+reports (a) runtime and (b) speedup over the sequential all-vertex
+computation; EdgePEBW reaches ≈16× at 16 threads while VertexPEBW saturates
+around 12× because of load skew.  The reproduction computes, for the same
+worker counts, the deterministic schedule speedup of both engines (see
+:mod:`repro.parallel.load_balance` and DESIGN.md for why the model is used
+instead of wall-clock process timings) plus the measured sequential runtime,
+and verifies both engines return the sequential scores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.ego_betweenness import all_ego_betweenness
+from repro.datasets.registry import dataset_spec, load_dataset
+from repro.experiments.common import DEFAULT_EXPERIMENT_SCALE, ExperimentResult, timed
+from repro.parallel.engines import (
+    edge_parallel_ego_betweenness,
+    vertex_parallel_ego_betweenness,
+)
+
+__all__ = ["run", "DEFAULT_THREAD_COUNTS"]
+
+DEFAULT_THREAD_COUNTS = (1, 4, 8, 12, 16)
+
+
+def run(
+    scale: float = DEFAULT_EXPERIMENT_SCALE,
+    dataset: str = "livejournal",
+    thread_counts: Sequence[int] = DEFAULT_THREAD_COUNTS,
+    backend: str = "serial",
+) -> ExperimentResult:
+    """Evaluate VertexPEBW and EdgePEBW over the worker-count sweep."""
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Parallel all-vertex computation: runtime model and speedup (paper Fig. 10)",
+        metadata={"scale": scale, "dataset": dataset, "threads": list(thread_counts)},
+    )
+    graph = load_dataset(dataset, scale=scale)
+    paper_name = dataset_spec(dataset).paper_name
+
+    sequential_scores, sequential_seconds = timed(lambda: all_ego_betweenness(graph))
+
+    vertex_speedups: Dict[int, float] = {}
+    edge_speedups: Dict[int, float] = {}
+    vertex_runtimes: Dict[int, float] = {}
+    edge_runtimes: Dict[int, float] = {}
+    for threads in thread_counts:
+        vertex_run = vertex_parallel_ego_betweenness(graph, threads, backend=backend)
+        edge_run = edge_parallel_ego_betweenness(graph, threads, backend=backend)
+        _check_scores(sequential_scores, vertex_run.scores)
+        _check_scores(sequential_scores, edge_run.scores)
+        vertex_speedups[threads] = vertex_run.load_report.speedup
+        edge_speedups[threads] = edge_run.load_report.speedup
+        vertex_runtimes[threads] = sequential_seconds / vertex_run.load_report.speedup
+        edge_runtimes[threads] = sequential_seconds / edge_run.load_report.speedup
+        result.rows.append(
+            {
+                "dataset": paper_name,
+                "threads": threads,
+                "VertexPEBW_speedup": round(vertex_run.load_report.speedup, 2),
+                "EdgePEBW_speedup": round(edge_run.load_report.speedup, 2),
+                "VertexPEBW_balance": round(vertex_run.load_report.balance, 3),
+                "EdgePEBW_balance": round(edge_run.load_report.balance, 3),
+                "sequential_s": round(sequential_seconds, 4),
+                "VertexPEBW_model_s": round(vertex_runtimes[threads], 4),
+                "EdgePEBW_model_s": round(edge_runtimes[threads], 4),
+            }
+        )
+    result.series[f"{paper_name} runtime (model)"] = {
+        "VertexPEBW": vertex_runtimes,
+        "EdgePEBW": edge_runtimes,
+    }
+    result.series[f"{paper_name} speedup"] = {
+        "VertexPEBW": vertex_speedups,
+        "EdgePEBW": edge_speedups,
+    }
+    return result
+
+
+def _check_scores(expected: Dict, actual: Dict) -> None:
+    """Assert the parallel scores equal the sequential ones (sanity guard)."""
+    if len(expected) != len(actual):
+        raise AssertionError("parallel run returned a different number of scores")
+    for vertex, value in expected.items():
+        if abs(actual[vertex] - value) > 1e-9:
+            raise AssertionError(f"parallel score mismatch at vertex {vertex!r}")

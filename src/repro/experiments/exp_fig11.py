@@ -1,0 +1,75 @@
+"""Experiment ``fig11`` — TopBW vs TopEBW: runtime and overlap (Fig. 11).
+
+Exp-6 of the paper compares the top-k by classical betweenness (TopBW,
+Brandes' algorithm) against the top-k by ego-betweenness (TopEBW, i.e.
+OptBSearch) on WikiTalk and Pokec: TopEBW is at least two orders of magnitude
+faster and the member overlap of the two top-k sets exceeds 60–80%.  The
+reproduction runs both on the stand-ins (with the exact Brandes baseline,
+which is feasible at stand-in scale) and reports runtime, overlap and rank
+correlation per ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.analysis.overlap import rank_correlation, top_k_overlap
+from repro.baselines.brandes import top_k_betweenness
+from repro.core.opt_search import opt_b_search
+from repro.datasets.registry import dataset_spec, load_dataset
+from repro.experiments.common import DEFAULT_EXPERIMENT_SCALE, ExperimentResult, scaled_k_values
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = DEFAULT_EXPERIMENT_SCALE,
+    datasets: Iterable[str] = ("wikitalk", "pokec"),
+    k_values: Optional[Sequence[int]] = None,
+    theta: float = 1.05,
+) -> ExperimentResult:
+    """Compare TopBW and TopEBW runtime and result overlap per ``k``."""
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="TopBW vs TopEBW: runtime and top-k overlap (paper Fig. 11)",
+        metadata={"scale": scale, "theta": theta},
+    )
+    for name in datasets:
+        graph = load_dataset(name, scale=scale)
+        ks = list(k_values) if k_values is not None else scaled_k_values(graph.num_vertices)
+        paper_name = dataset_spec(name).paper_name
+
+        # Brandes' scores do not depend on k: compute once, reuse per k.
+        bw_full = top_k_betweenness(graph, max(ks), exact=True)
+        bw_runtime = bw_full.stats.elapsed_seconds
+
+        runtime_series: Dict[int, float] = {}
+        ebw_runtime_series: Dict[int, float] = {}
+        overlap_series: Dict[int, float] = {}
+        for k in ks:
+            ebw = opt_b_search(graph, k, theta=theta)
+            bw_members = bw_full.vertices[:k]
+            overlap = top_k_overlap(bw_members, ebw.vertices)
+            correlation = rank_correlation(bw_members, ebw.vertices)
+            runtime_series[k] = bw_runtime
+            ebw_runtime_series[k] = ebw.stats.elapsed_seconds
+            overlap_series[k] = overlap
+            result.rows.append(
+                {
+                    "dataset": paper_name,
+                    "k": k,
+                    "TopBW_s": round(bw_runtime, 4),
+                    "TopEBW_s": round(ebw.stats.elapsed_seconds, 4),
+                    "speedup": round(bw_runtime / ebw.stats.elapsed_seconds, 1)
+                    if ebw.stats.elapsed_seconds > 0
+                    else float("inf"),
+                    "overlap": round(overlap, 3),
+                    "kendall_tau": round(correlation, 3),
+                }
+            )
+        result.series[f"{paper_name} runtime"] = {
+            "TopBW": runtime_series,
+            "TopEBW": ebw_runtime_series,
+        }
+        result.series[f"{paper_name} overlap"] = {"BW ∩ EBW": overlap_series}
+    return result

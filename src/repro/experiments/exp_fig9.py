@@ -1,0 +1,90 @@
+"""Experiment ``fig9`` — scalability of the search algorithms (Fig. 9).
+
+The paper subsamples 20–100% of LiveJournal's edges (panel a) and vertices
+(panel b) and shows that OptBSearch's runtime grows smoothly while
+BaseBSearch's grows much more sharply.  The reproduction applies the same
+protocol to the LiveJournal stand-in (any registry dataset can be selected).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.core.base_search import base_b_search
+from repro.core.opt_search import opt_b_search
+from repro.datasets.registry import dataset_spec, load_dataset
+from repro.experiments.common import DEFAULT_EXPERIMENT_SCALE, ExperimentResult, scaled_k_values
+from repro.graph.graph import Graph
+
+__all__ = ["run", "edge_subsample", "vertex_subsample"]
+
+DEFAULT_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def edge_subsample(graph: Graph, fraction: float, seed: int = 0) -> Graph:
+    """Return a subgraph containing a random ``fraction`` of the edges."""
+    rng = random.Random(seed)
+    edges = graph.edge_list()
+    keep = rng.sample(edges, int(round(len(edges) * fraction))) if fraction < 1.0 else edges
+    sub = Graph(vertices=graph.vertices())
+    for u, v in keep:
+        sub.add_edge(u, v, exist_ok=True)
+    return sub
+
+
+def vertex_subsample(graph: Graph, fraction: float, seed: int = 0) -> Graph:
+    """Return the subgraph induced by a random ``fraction`` of the vertices."""
+    rng = random.Random(seed)
+    vertices = graph.vertices()
+    if fraction >= 1.0:
+        return graph.copy()
+    keep = rng.sample(vertices, int(round(len(vertices) * fraction)))
+    return graph.subgraph(keep)
+
+
+def run(
+    scale: float = DEFAULT_EXPERIMENT_SCALE,
+    dataset: str = "livejournal",
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    k: Optional[int] = None,
+    theta: float = 1.05,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Sweep edge and vertex subsampling fractions for both search algorithms."""
+    result = ExperimentResult(
+        experiment_id="fig9",
+        title="Scalability with graph size (paper Fig. 9)",
+        metadata={"scale": scale, "dataset": dataset, "fractions": list(fractions)},
+    )
+    graph = load_dataset(dataset, scale=scale)
+    chosen_k = k if k is not None else scaled_k_values(graph.num_vertices, (500,))[0]
+    paper_name = dataset_spec(dataset).paper_name
+
+    for mode, sampler in (("vary m", edge_subsample), ("vary n", vertex_subsample)):
+        base_series: Dict[str, float] = {}
+        opt_series: Dict[str, float] = {}
+        for fraction in fractions:
+            sub = sampler(graph, fraction, seed=seed)
+            effective_k = min(chosen_k, max(sub.num_vertices, 1))
+            base = base_b_search(sub, effective_k)
+            opt = opt_b_search(sub, effective_k, theta=theta)
+            label = f"{int(fraction * 100)}%"
+            base_series[label] = base.stats.elapsed_seconds
+            opt_series[label] = opt.stats.elapsed_seconds
+            result.rows.append(
+                {
+                    "dataset": paper_name,
+                    "mode": mode,
+                    "fraction": label,
+                    "n": sub.num_vertices,
+                    "m": sub.num_edges,
+                    "BaseBSearch_s": round(base.stats.elapsed_seconds, 4),
+                    "OptBSearch_s": round(opt.stats.elapsed_seconds, 4),
+                }
+            )
+        result.series[f"{paper_name} ({mode})"] = {
+            "BaseBSearch": base_series,
+            "OptBSearch": opt_series,
+        }
+    return result

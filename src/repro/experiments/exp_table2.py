@@ -1,0 +1,52 @@
+"""Experiment ``table2`` — pruning effectiveness (Table II of the paper).
+
+Table II reports, for ``k ∈ {500, 1000, 2000}``, the number of vertices whose
+ego-betweenness each search computes exactly.  OptBSearch's dynamic bound
+lets it compute strictly fewer vertices than BaseBSearch on every dataset.
+The reproduction runs the same comparison on the synthetic stand-ins with the
+``k`` sweep scaled to the stand-in sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.base_search import base_b_search
+from repro.core.opt_search import opt_b_search
+from repro.datasets.registry import dataset_names, dataset_spec, load_dataset
+from repro.experiments.common import DEFAULT_EXPERIMENT_SCALE, ExperimentResult, scaled_k_values
+
+__all__ = ["run"]
+
+
+def run(
+    scale: float = DEFAULT_EXPERIMENT_SCALE,
+    datasets: Optional[Iterable[str]] = None,
+    k_values: Optional[Sequence[int]] = None,
+    theta: float = 1.05,
+) -> ExperimentResult:
+    """Count exact computations of BaseBSearch vs OptBSearch per dataset and k."""
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Number of vertices computed exactly (paper Table II)",
+        metadata={"scale": scale, "theta": theta},
+    )
+    selected = list(datasets) if datasets is not None else dataset_names()
+    for name in selected:
+        graph = load_dataset(name, scale=scale)
+        ks = list(k_values) if k_values is not None else scaled_k_values(
+            graph.num_vertices, paper_values=(500, 1000, 2000)
+        )
+        for k in ks:
+            base = base_b_search(graph, k)
+            opt = opt_b_search(graph, k, theta=theta)
+            result.rows.append(
+                {
+                    "dataset": dataset_spec(name).paper_name,
+                    "k": k,
+                    "BaseBS_exact": base.stats.exact_computations,
+                    "OptBS_exact": opt.stats.exact_computations,
+                    "saving": base.stats.exact_computations - opt.stats.exact_computations,
+                }
+            )
+    return result

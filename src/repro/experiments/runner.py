@@ -1,0 +1,51 @@
+"""Experiment registry and dispatcher used by the CLI and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import InvalidParameterError
+from repro.experiments import (
+    exp_ablation,
+    exp_fig6,
+    exp_fig7,
+    exp_fig8,
+    exp_fig9,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_table1,
+    exp_table2,
+)
+from repro.experiments.common import DEFAULT_EXPERIMENT_SCALE, ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+#: Mapping from experiment id to the callable that runs it.  Every callable
+#: accepts a ``scale`` keyword argument; other parameters use their defaults.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": exp_table1.run,
+    "table2": exp_table2.run,
+    "fig6": exp_fig6.run,
+    "fig7": exp_fig7.run,
+    "fig8": exp_fig8.run,
+    "fig9": exp_fig9.run,
+    "fig10": exp_fig10.run,
+    "fig11": exp_fig11.run,
+    "fig12": exp_fig12.run,
+    "table3+4": exp_fig12.top10_tables,
+    "ablation-bounds": exp_ablation.run_bounds_ablation,
+    "ablation-lazy": exp_ablation.run_lazy_ablation,
+}
+
+
+def run_experiment(
+    experiment_id: str, scale: float = DEFAULT_EXPERIMENT_SCALE, **kwargs
+) -> ExperimentResult:
+    """Run one experiment by id and return its :class:`ExperimentResult`."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key](scale=scale, **kwargs)

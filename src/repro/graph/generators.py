@@ -1,0 +1,362 @@
+"""Seeded synthetic graph generators.
+
+The paper evaluates on five SNAP datasets that cannot be redistributed or
+downloaded in this offline environment, so the reproduction substitutes
+synthetic graphs whose *structural class* matches each dataset (power-law
+social networks, extremely skewed communication networks, clique-heavy
+collaboration networks).  All generators take an explicit integer ``seed``
+and use a private :class:`random.Random` instance, so every dataset in the
+registry is reproducible bit-for-bit across runs and machines.
+
+The generators are written from scratch (no networkx dependency) because the
+graph substrate itself is part of the system under reproduction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "empty_graph",
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "powerlaw_cluster_graph",
+    "watts_strogatz_graph",
+    "planted_partition_graph",
+    "overlapping_cliques_graph",
+    "random_bipartite_expansion_graph",
+]
+
+
+# ----------------------------------------------------------------------
+# Deterministic elementary graphs
+# ----------------------------------------------------------------------
+def empty_graph(n: int) -> Graph:
+    """Return a graph with ``n`` isolated vertices labelled ``0..n-1``."""
+    _require(n >= 0, "n must be non-negative")
+    return Graph(vertices=range(n))
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph ``K_n``."""
+    _require(n >= 0, "n must be non-negative")
+    g = empty_graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """Return the path ``P_n`` on vertices ``0..n-1``."""
+    _require(n >= 0, "n must be non-negative")
+    g = empty_graph(n)
+    for u in range(n - 1):
+        g.add_edge(u, u + 1)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle ``C_n`` (requires ``n >= 3``)."""
+    _require(n >= 3, "a cycle requires at least 3 vertices")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """Return a star with centre ``0`` and ``n_leaves`` leaves ``1..n``."""
+    _require(n_leaves >= 0, "n_leaves must be non-negative")
+    g = empty_graph(n_leaves + 1)
+    for leaf in range(1, n_leaves + 1):
+        g.add_edge(0, leaf)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Random models
+# ----------------------------------------------------------------------
+def erdos_renyi_graph(n: int, p: float, seed: int = 0) -> Graph:
+    """Return a ``G(n, p)`` Erdős–Rényi graph.
+
+    Uses the geometric skipping technique so the cost is proportional to the
+    number of generated edges rather than ``n^2`` for sparse graphs.
+    """
+    _require(n >= 0, "n must be non-negative")
+    _require(0.0 <= p <= 1.0, "p must lie in [0, 1]")
+    rng = random.Random(seed)
+    g = empty_graph(n)
+    if p == 0.0 or n < 2:
+        return g
+    if p == 1.0:
+        return complete_graph(n)
+
+    import math
+
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            g.add_edge(v, w)
+    return g
+
+
+def barabasi_albert_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Return a Barabási–Albert preferential-attachment graph.
+
+    Starts from a star on ``m + 1`` vertices; each new vertex attaches to
+    ``m`` distinct existing vertices chosen proportionally to degree.
+    Produces the heavy-tailed degree distributions typical of the social
+    networks (Youtube, Pokec, LiveJournal) used in the paper.
+    """
+    _require(n >= 1, "n must be positive")
+    _require(1 <= m < n, "m must satisfy 1 <= m < n")
+    rng = random.Random(seed)
+    g = star_graph(m)  # vertices 0..m, centre 0
+    # The repeated-endpoints list implements preferential attachment:
+    # a vertex appears once per incident edge.
+    repeated: List[int] = []
+    for u, v in g.edges():
+        repeated.append(u)
+        repeated.append(v)
+    for new_vertex in range(m + 1, n):
+        targets: Set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            g.add_edge(new_vertex, t)
+            repeated.append(new_vertex)
+            repeated.append(t)
+    return g
+
+
+def powerlaw_cluster_graph(n: int, m: int, p: float, seed: int = 0) -> Graph:
+    """Return a Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert, but after each preferential attachment step a
+    triangle-closing step connects the new vertex to a random neighbour of
+    the previously chosen target with probability ``p``.  Higher ``p`` yields
+    more triangles, which matters for ego-betweenness workloads because the
+    cost of each exact computation is driven by triangle density.
+    """
+    _require(n >= 1, "n must be positive")
+    _require(1 <= m < n, "m must satisfy 1 <= m < n")
+    _require(0.0 <= p <= 1.0, "p must lie in [0, 1]")
+    rng = random.Random(seed)
+    g = star_graph(m)
+    repeated: List[int] = []
+    for u, v in g.edges():
+        repeated.append(u)
+        repeated.append(v)
+    for new_vertex in range(m + 1, n):
+        added: Set[int] = set()
+        attempts = 0
+        last_target: Optional[int] = None
+        while len(added) < m and attempts < 20 * m:
+            attempts += 1
+            if last_target is not None and rng.random() < p:
+                # Triangle-closing step: pick a neighbour of the last target.
+                candidates = [
+                    w for w in g.neighbors(last_target) if w != new_vertex and w not in added
+                ]
+                if candidates:
+                    target = rng.choice(candidates)
+                else:
+                    target = rng.choice(repeated)
+            else:
+                target = rng.choice(repeated)
+            if target == new_vertex or target in added:
+                continue
+            g.add_edge(new_vertex, target)
+            added.add(target)
+            repeated.append(new_vertex)
+            repeated.append(target)
+            last_target = target
+    return g
+
+
+def watts_strogatz_graph(n: int, k: int, p: float, seed: int = 0) -> Graph:
+    """Return a Watts–Strogatz small-world graph.
+
+    Every vertex starts connected to its ``k`` nearest ring neighbours
+    (``k`` must be even); each edge is rewired to a uniformly random endpoint
+    with probability ``p``.
+    """
+    _require(n >= 3, "n must be at least 3")
+    _require(k >= 2 and k % 2 == 0, "k must be an even integer >= 2")
+    _require(k < n, "k must be smaller than n")
+    _require(0.0 <= p <= 1.0, "p must lie in [0, 1]")
+    rng = random.Random(seed)
+    g = empty_graph(n)
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            g.add_edge(u, (u + offset) % n, exist_ok=True)
+    if p == 0.0:
+        return g
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if rng.random() < p and g.has_edge(u, v):
+                candidates = [w for w in range(n) if w != u and not g.has_edge(u, w)]
+                if not candidates:
+                    continue
+                w = rng.choice(candidates)
+                g.remove_edge(u, v)
+                g.add_edge(u, w)
+    return g
+
+
+def planted_partition_graph(
+    sizes: Sequence[int], p_in: float, p_out: float, seed: int = 0
+) -> Graph:
+    """Return a planted-partition (stochastic block) graph.
+
+    Vertices are split into blocks of the given ``sizes``; within-block pairs
+    are connected with probability ``p_in`` and cross-block pairs with
+    ``p_out``.  Used for the communication-network stand-in, whose hubs
+    bridge otherwise weakly connected groups.
+    """
+    _require(all(s >= 0 for s in sizes), "block sizes must be non-negative")
+    _require(0.0 <= p_in <= 1.0 and 0.0 <= p_out <= 1.0, "probabilities must lie in [0, 1]")
+    rng = random.Random(seed)
+    n = sum(sizes)
+    g = empty_graph(n)
+    block_of: List[int] = []
+    for block_index, size in enumerate(sizes):
+        block_of.extend([block_index] * size)
+    for u in range(n):
+        for v in range(u + 1, n):
+            probability = p_in if block_of[u] == block_of[v] else p_out
+            if probability > 0.0 and rng.random() < probability:
+                g.add_edge(u, v)
+    return g
+
+
+def overlapping_cliques_graph(
+    num_cliques: int,
+    clique_size_range: Tuple[int, int] = (3, 8),
+    overlap: int = 1,
+    extra_edges: int = 0,
+    seed: int = 0,
+) -> Graph:
+    """Return a collaboration-style graph built from overlapping cliques.
+
+    Models co-authorship networks (the DBLP dataset and the DB / IR case
+    study graphs): every paper contributes a clique over its authors, and
+    prolific authors appear in many cliques, producing the high-degree
+    "bridge" vertices the case study highlights.
+
+    Parameters
+    ----------
+    num_cliques:
+        Number of cliques ("papers") to generate.
+    clique_size_range:
+        Inclusive ``(low, high)`` range for clique sizes.
+    overlap:
+        Number of members of each new clique drawn from already-used
+        vertices (creating inter-clique bridges).  The remaining members are
+        fresh vertices.
+    extra_edges:
+        Additional random edges sprinkled between existing vertices.
+    """
+    _require(num_cliques >= 1, "num_cliques must be positive")
+    low, high = clique_size_range
+    _require(2 <= low <= high, "clique_size_range must satisfy 2 <= low <= high")
+    _require(overlap >= 0, "overlap must be non-negative")
+    _require(extra_edges >= 0, "extra_edges must be non-negative")
+
+    rng = random.Random(seed)
+    g = Graph()
+    used: List[int] = []
+    next_vertex = 0
+    for _ in range(num_cliques):
+        size = rng.randint(low, high)
+        members: List[int] = []
+        if used and overlap > 0:
+            # A few vertices are re-used; prolific vertices (appearing often
+            # in ``used``) are proportionally more likely to be picked,
+            # mimicking preferential attachment of productive authors.
+            reused = rng.sample(used, k=min(overlap, len(set(used))))
+            members.extend(dict.fromkeys(reused))
+        while len(members) < size:
+            members.append(next_vertex)
+            next_vertex += 1
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if u != v:
+                    g.add_edge(u, v, exist_ok=True)
+        used.extend(members)
+    vertices = g.vertices()
+    for _ in range(extra_edges):
+        u, v = rng.sample(vertices, 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def random_bipartite_expansion_graph(
+    num_hubs: int, num_leaves: int, attachments: int = 2, seed: int = 0
+) -> Graph:
+    """Return a hub-and-spoke graph with extreme degree skew.
+
+    A small set of hubs receives attachments from a large set of leaves; a
+    sparse hub-hub backbone connects the hubs.  This reproduces the degree
+    profile of the WikiTalk communication network (a handful of vertices with
+    five-digit degrees, the vast majority with degree 1–3), which is the
+    regime where the static upper bound ``d(d-1)/2`` is least tight and the
+    dynamic bound of OptBSearch pays off most.
+    """
+    _require(num_hubs >= 1, "num_hubs must be positive")
+    _require(num_leaves >= 0, "num_leaves must be non-negative")
+    _require(attachments >= 1, "attachments must be positive")
+    rng = random.Random(seed)
+    g = empty_graph(num_hubs + num_leaves)
+    hubs = list(range(num_hubs))
+    # Hub backbone: a sparse random tree plus a few chords.
+    for i in range(1, num_hubs):
+        g.add_edge(i, rng.randrange(i), exist_ok=True)
+    for _ in range(num_hubs // 2):
+        u, v = rng.sample(hubs, 2)
+        g.add_edge(u, v, exist_ok=True)
+    # Leaves attach preferentially to low-index hubs (Zipf-like skew).
+    weights = [1.0 / (rank + 1) for rank in range(num_hubs)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def pick_hub() -> int:
+        r = rng.random()
+        for index, threshold in enumerate(cumulative):
+            if r <= threshold:
+                return index
+        return num_hubs - 1
+
+    for leaf_offset in range(num_leaves):
+        leaf = num_hubs + leaf_offset
+        chosen: Set[int] = set()
+        while len(chosen) < min(attachments, num_hubs):
+            chosen.add(pick_hub())
+        for hub in chosen:
+            g.add_edge(leaf, hub, exist_ok=True)
+    return g
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvalidParameterError(message)

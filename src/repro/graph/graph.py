@@ -1,0 +1,339 @@
+"""A mutable, undirected, simple graph backed by adjacency sets.
+
+The :class:`Graph` class is intentionally small and dependency-free: it is the
+substrate every algorithm in the reproduction builds on, so its operations are
+kept to the set the paper actually needs (neighbour queries, degree queries,
+edge membership, induced subgraphs and ego networks) plus the mutation
+operations required by the dynamic maintenance algorithms of Section IV
+(edge insertion and deletion).
+
+Vertices may be any hashable object.  Edges are unordered pairs of distinct
+vertices; self-loops and parallel edges are rejected, matching the simple
+graph model of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+__all__ = ["Graph", "Vertex", "Edge", "normalize_edge"]
+
+
+def normalize_edge(u: Vertex, v: Vertex) -> Tuple[Vertex, Vertex]:
+    """Return a canonical representation of the undirected edge ``{u, v}``.
+
+    The canonical form orders the endpoints deterministically (by type name
+    and ``repr``), so that ``normalize_edge(u, v) == normalize_edge(v, u)``
+    for every pair of distinct vertices.
+    """
+    ku = (type(u).__name__, repr(u))
+    kv = (type(v).__name__, repr(v))
+    return (u, v) if ku <= kv else (v, u)
+
+
+class Graph:
+    """Undirected simple graph stored as adjacency sets.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` pairs used to initialise the graph.
+    vertices:
+        Optional iterable of vertices to add (isolated vertices are allowed
+        and participate in top-k searches with ego-betweenness 0).
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+    >>> g.degree(2)
+    2
+    >>> sorted(g.neighbors(1))
+    [2, 3]
+    >>> g.has_edge(3, 1)
+    True
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[Edge]] = None,
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._num_edges: int = 0
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge]) -> "Graph":
+        """Build a graph from an iterable of edges, ignoring duplicates."""
+        return cls(edges=edges)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Dict[Vertex, Set[Vertex]]) -> "Graph":
+        """Build a graph from an adjacency mapping ``vertex -> neighbour set``.
+
+        The mapping is validated to be symmetric and self-loop free.  Used by
+        the parallel workers, which receive plain dictionaries rather than
+        :class:`Graph` instances.
+        """
+        graph = cls(vertices=adjacency)
+        for u, nbrs in adjacency.items():
+            for v in nbrs:
+                if u == v:
+                    raise SelfLoopError(u)
+                if not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+        return graph
+
+    def to_adjacency(self) -> Dict[Vertex, Set[Vertex]]:
+        """Return a deep copy of the adjacency mapping."""
+        return {v: set(nbrs) for v, nbrs in self._adj.items()}
+
+    def copy(self) -> "Graph":
+        """Return an independent deep copy of the graph."""
+        clone = Graph()
+        clone._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # Size queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m``."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adj
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    # ------------------------------------------------------------------
+    # Vertex operations
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add ``vertex`` to the graph (no-op when it already exists)."""
+        if vertex not in self._adj:
+            self._adj[vertex] = set()
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and every incident edge.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If the vertex is not present.
+        """
+        if vertex not in self._adj:
+            raise VertexNotFoundError(vertex)
+        neighbors = self._adj.pop(vertex)
+        for nbr in neighbors:
+            self._adj[nbr].discard(vertex)
+        self._num_edges -= len(neighbors)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` when ``vertex`` is in the graph."""
+        return vertex in self._adj
+
+    def vertices(self) -> List[Vertex]:
+        """Return a list of all vertices (insertion order)."""
+        return list(self._adj)
+
+    # ------------------------------------------------------------------
+    # Edge operations
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Vertex, v: Vertex, exist_ok: bool = False) -> None:
+        """Insert the undirected edge ``(u, v)``.
+
+        Missing endpoints are added automatically.
+
+        Parameters
+        ----------
+        exist_ok:
+            When ``True`` a duplicate insertion is silently ignored; when
+            ``False`` (the default) it raises :class:`EdgeExistsError`.
+
+        Raises
+        ------
+        SelfLoopError
+            If ``u == v``.
+        EdgeExistsError
+            If the edge already exists and ``exist_ok`` is ``False``.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            if exist_ok:
+                return
+            raise EdgeExistsError(u, v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the undirected edge ``(u, v)``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        if u not in self._adj or v not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` when the undirected edge ``(u, v)`` exists."""
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over every edge exactly once as a canonical pair."""
+        seen: Set[FrozenSet[Vertex]] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    yield normalize_edge(u, v)
+
+    def edge_list(self) -> List[Edge]:
+        """Return every edge as a list of canonical pairs."""
+        return list(self.edges())
+
+    # ------------------------------------------------------------------
+    # Neighbourhood queries
+    # ------------------------------------------------------------------
+    def neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """Return the neighbour set ``N(vertex)`` (a live set — do not mutate).
+
+        Raises
+        ------
+        VertexNotFoundError
+            If the vertex is not present.
+        """
+        try:
+            return self._adj[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree(self, vertex: Vertex) -> int:
+        """Return ``d(vertex) = |N(vertex)|``."""
+        return len(self.neighbors(vertex))
+
+    def degrees(self) -> Dict[Vertex, int]:
+        """Return a mapping from every vertex to its degree."""
+        return {v: len(nbrs) for v, nbrs in self._adj.items()}
+
+    def max_degree(self) -> int:
+        """Return ``d_max``, the maximum degree (0 for an empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def common_neighbors(self, u: Vertex, v: Vertex) -> Set[Vertex]:
+        """Return ``N(u) ∩ N(v)``, the neighbours of the edge/pair ``(u, v)``."""
+        nu, nv = self.neighbors(u), self.neighbors(v)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        return {w for w in nu if w in nv}
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """Return the subgraph induced by ``vertices``.
+
+        Vertices not present in the graph are ignored; isolated members of
+        ``vertices`` are preserved as isolated vertices of the result.
+        """
+        selected = {v for v in vertices if v in self._adj}
+        sub = Graph(vertices=selected)
+        for v in selected:
+            for w in self._adj[v]:
+                if w in selected and not sub.has_edge(v, w):
+                    sub.add_edge(v, w)
+        return sub
+
+    def ego_network(self, vertex: Vertex) -> "Graph":
+        """Return the ego network ``GE(vertex)`` (Definition 1 of the paper).
+
+        The ego network is the subgraph induced by ``N(vertex) ∪ {vertex}``.
+        """
+        nbrs = self.neighbors(vertex)
+        return self.subgraph(set(nbrs) | {vertex})
+
+    # ------------------------------------------------------------------
+    # Whole-graph statistics helpers
+    # ------------------------------------------------------------------
+    def degree_sequence(self) -> List[int]:
+        """Return the sorted (non-increasing) degree sequence."""
+        return sorted((len(nbrs) for nbrs in self._adj.values()), reverse=True)
+
+    def density(self) -> float:
+        """Return the edge density ``2m / (n (n-1))`` (0 for n < 2)."""
+        n = self.num_vertices
+        if n < 2:
+            return 0.0
+        return 2.0 * self.num_edges / (n * (n - 1))
+
+    def connected_components(self) -> List[Set[Vertex]]:
+        """Return the connected components as a list of vertex sets."""
+        seen: Set[Vertex] = set()
+        components: List[Set[Vertex]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            component: Set[Vertex] = set()
+            stack = [start]
+            seen.add(start)
+            while stack:
+                v = stack.pop()
+                component.add(v)
+                for w in self._adj[v]:
+                    if w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+            components.append(component)
+        return components

@@ -1,0 +1,140 @@
+"""Degree-order orientation of an undirected graph (the DAG ``G+``).
+
+Section II of the paper defines a total order ``≺`` on vertices (larger
+degree first, larger identifier breaking ties) and orients every undirected
+edge ``(u, v)`` from the lower-ranked to the higher-ranked endpoint so that
+the resulting directed graph ``G+`` respects ``u ≺ v``.  Orienting the graph
+this way guarantees that
+
+* ``G+`` is acyclic, and
+* every triangle of ``G`` has exactly one vertex with out-edges to the other
+  two, so triangle enumeration driven by out-neighbourhood intersections
+  touches each triangle exactly once (the classical "forward" algorithm whose
+  running time is ``O(α m)`` with ``α`` the arboricity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+from repro._ordering import degree_rank, order_vertices
+from repro.errors import VertexNotFoundError
+from repro.graph.graph import Graph, Vertex
+
+__all__ = ["DegreeOrder", "OrientedGraph", "orient"]
+
+
+class DegreeOrder:
+    """The paper's total order ``≺`` materialised for a fixed graph snapshot.
+
+    The order is computed once from the degree map of the graph; it does not
+    track later mutations (the dynamic algorithms of Section IV never need
+    it to).
+    """
+
+    __slots__ = ("_rank", "_ordered")
+
+    def __init__(self, graph: Graph) -> None:
+        degrees = graph.degrees()
+        self._ordered: List[Vertex] = order_vertices(degrees)
+        self._rank: Dict[Vertex, int] = {v: i for i, v in enumerate(self._ordered)}
+
+    def rank(self, vertex: Vertex) -> int:
+        """Return the 0-based rank of ``vertex`` (0 = highest ranked)."""
+        try:
+            return self._rank[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def precedes(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` iff ``u ≺ v``."""
+        return self.rank(u) < self.rank(v)
+
+    def ordered_vertices(self) -> List[Vertex]:
+        """Return all vertices from highest to lowest rank."""
+        return list(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._rank
+
+
+class OrientedGraph:
+    """The oriented DAG ``G+`` of an undirected graph under ``≺``.
+
+    Each undirected edge ``(u, v)`` with ``u ≺ v`` becomes the directed edge
+    ``u → v``?  The paper orients edges "to respect the total order u ≺ v",
+    i.e. the edge points from the *higher-ranked* endpoint towards the
+    lower-ranked endpoint is a matter of convention; what matters for
+    correctness is that the orientation is consistent and acyclic.  We follow
+    the standard forward-algorithm convention: the edge is directed from the
+    lower-ranked endpoint to the higher-ranked endpoint **in rank value**,
+    i.e. from the vertex that comes *earlier* in the total order to the one
+    that comes later.  With that convention the out-degree of every vertex is
+    bounded by ``O(√m)`` on real-world graphs and each triangle is discovered
+    exactly once from its earliest vertex.
+    """
+
+    __slots__ = ("_order", "_out")
+
+    def __init__(self, graph: Graph, order: DegreeOrder | None = None) -> None:
+        self._order = order if order is not None else DegreeOrder(graph)
+        self._out: Dict[Vertex, Set[Vertex]] = {v: set() for v in graph.vertices()}
+        rank = self._order.rank
+        for u, v in graph.edges():
+            if rank(u) < rank(v):
+                self._out[u].add(v)
+            else:
+                self._out[v].add(u)
+
+    @property
+    def order(self) -> DegreeOrder:
+        """The :class:`DegreeOrder` the orientation was built from."""
+        return self._order
+
+    def out_neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """Return ``N+(vertex)``, the out-neighbourhood in ``G+``."""
+        try:
+            return self._out[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def out_degree(self, vertex: Vertex) -> int:
+        """Return ``|N+(vertex)|``."""
+        return len(self.out_neighbors(vertex))
+
+    def vertices(self) -> List[Vertex]:
+        """Return all vertices."""
+        return list(self._out)
+
+    def directed_edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Iterate over every directed edge ``u → v`` of ``G+``."""
+        for u, nbrs in self._out.items():
+            for v in nbrs:
+                yield (u, v)
+
+    def max_out_degree(self) -> int:
+        """Return the maximum out-degree (0 for an empty graph)."""
+        if not self._out:
+            return 0
+        return max(len(nbrs) for nbrs in self._out.values())
+
+    def is_acyclic(self) -> bool:
+        """Verify (by rank monotonicity) that the orientation is a DAG.
+
+        Every directed edge goes from a lower rank to a strictly higher rank,
+        so acyclicity holds by construction; this method re-checks the
+        invariant and is used by the validation utilities and tests.
+        """
+        rank = self._order.rank
+        return all(rank(u) < rank(v) for u, v in self.directed_edges())
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+
+def orient(graph: Graph) -> OrientedGraph:
+    """Convenience wrapper returning the oriented DAG ``G+`` of ``graph``."""
+    return OrientedGraph(graph)

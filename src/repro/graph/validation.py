@@ -1,0 +1,51 @@
+"""Structural validation helpers used by tests and the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.orientation import OrientedGraph
+
+__all__ = ["validate_simple_graph", "validate_orientation"]
+
+
+def validate_simple_graph(graph: Graph) -> None:
+    """Check the internal consistency of a :class:`Graph`.
+
+    Verifies that adjacency is symmetric, that no self-loop exists and that
+    the cached edge count matches the adjacency structure.  Raises
+    :class:`GraphError` on the first violation.
+    """
+    half_edges = 0
+    for v in graph.vertices():
+        for w in graph.neighbors(v):
+            if w == v:
+                raise GraphError(f"self-loop found on vertex {v!r}")
+            if not graph.has_edge(w, v):
+                raise GraphError(f"asymmetric adjacency between {v!r} and {w!r}")
+            half_edges += 1
+    if half_edges != 2 * graph.num_edges:
+        raise GraphError(
+            f"edge count mismatch: adjacency implies {half_edges // 2}, "
+            f"cached value is {graph.num_edges}"
+        )
+
+
+def validate_orientation(graph: Graph, oriented: OrientedGraph) -> None:
+    """Check that ``oriented`` is a consistent orientation of ``graph``.
+
+    Every undirected edge must appear exactly once as a directed edge, and
+    the orientation must be acyclic under the degree order.
+    """
+    directed: List = list(oriented.directed_edges())
+    if len(directed) != graph.num_edges:
+        raise GraphError(
+            f"orientation has {len(directed)} arcs but the graph has {graph.num_edges} edges"
+        )
+    for u, v in directed:
+        if not graph.has_edge(u, v):
+            raise GraphError(f"orientation contains arc ({u!r}, {v!r}) missing from the graph")
+    if not oriented.is_acyclic():
+        raise GraphError("orientation is not acyclic under the degree order")

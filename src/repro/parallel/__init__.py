@@ -1,0 +1,47 @@
+"""Parallel all-vertex ego-betweenness computation (Section V).
+
+Two engines are provided, mirroring the paper's VertexPEBW and EdgePEBW:
+
+* :func:`~repro.parallel.engines.vertex_parallel_ego_betweenness`
+  (VertexPEBW) — the unit of parallel work is a vertex; tasks are assigned to
+  workers in contiguous blocks of the vertex ordering, so the skewed degree
+  distribution of real graphs translates directly into skewed worker loads.
+* :func:`~repro.parallel.engines.edge_parallel_ego_betweenness`
+  (EdgePEBW) — the unit of accounting is the directed edge work inside each
+  ego network; tasks are spread over workers so that every worker receives an
+  approximately equal amount of edge work, which removes the skew and yields
+  the higher speedups of Fig. 10.
+
+Both engines produce exactly the same values as the sequential
+:func:`repro.core.ego_betweenness.all_ego_betweenness` for every worker
+count; only the schedule differs.  Execution backends live in
+:mod:`repro.parallel.executor` (in-process serial execution for benchmarks
+and tests, a ``multiprocessing`` pool for real parallel runs), and
+:mod:`repro.parallel.load_balance` provides the deterministic speedup model
+used to reproduce the shape of Fig. 10 independently of Python's
+process-start overhead.
+"""
+
+from repro.parallel.engines import (
+    edge_parallel_ego_betweenness,
+    vertex_parallel_ego_betweenness,
+)
+from repro.parallel.executor import ParallelBackend, run_chunks
+from repro.parallel.load_balance import LoadBalanceReport, simulate_schedule
+from repro.parallel.partition import (
+    balanced_partition,
+    block_partition,
+    vertex_work_estimates,
+)
+
+__all__ = [
+    "vertex_parallel_ego_betweenness",
+    "edge_parallel_ego_betweenness",
+    "ParallelBackend",
+    "run_chunks",
+    "block_partition",
+    "balanced_partition",
+    "vertex_work_estimates",
+    "simulate_schedule",
+    "LoadBalanceReport",
+]

@@ -1,0 +1,94 @@
+"""Deterministic load-balance analysis and speedup modelling.
+
+The paper's Fig. 10 reports wall-clock speedups of OpenMP threads on a large
+machine.  In the offline Python reproduction the interesting quantity — how
+much better the edge-balanced schedule is than the vertex-blocked schedule —
+is a property of the *schedule*, not of the thread runtime, so it can be
+computed exactly: the parallel makespan of a schedule is the largest total
+work assigned to any worker, and the speedup over one worker is
+``total work / makespan``.  This module computes that model from the same
+work estimates the engines use, which reproduces the shape of Fig. 10
+deterministically; the ``process`` backend of the executor provides the
+corresponding real measurements for users who want them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.graph.graph import Vertex
+
+__all__ = ["LoadBalanceReport", "simulate_schedule"]
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Per-worker load statistics for one schedule.
+
+    Attributes
+    ----------
+    num_workers:
+        Number of workers in the schedule.
+    worker_loads:
+        Total estimated work assigned to each worker.
+    total_work:
+        Sum of all task work.
+    makespan:
+        The largest worker load — the simulated parallel runtime.
+    speedup:
+        ``total_work / makespan`` (1.0 for a single worker, bounded above by
+        ``num_workers``).
+    balance:
+        Mean worker load divided by the maximum worker load (1.0 = perfectly
+        balanced).
+    """
+
+    num_workers: int
+    worker_loads: List[float]
+    total_work: float
+    makespan: float
+    speedup: float
+    balance: float
+
+
+def simulate_schedule(
+    chunks: Sequence[Sequence[Vertex]],
+    weights: Dict[Vertex, float],
+    num_workers: int,
+) -> LoadBalanceReport:
+    """Compute the load-balance report for an explicit schedule.
+
+    Parameters
+    ----------
+    chunks:
+        The per-worker task lists produced by a partitioning strategy.
+    weights:
+        Per-task work estimates.
+    num_workers:
+        Number of workers (``len(chunks)`` may be smaller when some workers
+        received no tasks).
+    """
+    if num_workers < 1:
+        raise InvalidParameterError("num_workers must be positive")
+    loads = [sum(weights.get(task, 1.0) for task in chunk) for chunk in chunks]
+    while len(loads) < num_workers:
+        loads.append(0.0)
+    total = sum(loads)
+    makespan = max(loads) if loads else 0.0
+    if makespan <= 0.0:
+        speedup = 1.0
+        balance = 1.0
+    else:
+        speedup = total / makespan if total else 1.0
+        mean_load = total / num_workers
+        balance = mean_load / makespan
+    return LoadBalanceReport(
+        num_workers=num_workers,
+        worker_loads=loads,
+        total_work=total,
+        makespan=makespan,
+        speedup=speedup,
+        balance=balance,
+    )

@@ -1,0 +1,114 @@
+"""Tests for the analysis toolkit: overlap metrics, statistics, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overlap import jaccard_similarity, rank_correlation, top_k_overlap
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.stats import graph_statistics
+from repro.errors import InvalidParameterError
+from repro.graph.generators import complete_graph, erdos_renyi_graph, star_graph
+from repro.graph.graph import Graph
+
+
+class TestOverlap:
+    def test_identical_lists(self):
+        assert top_k_overlap([1, 2, 3], [3, 2, 1]) == 1.0
+        assert jaccard_similarity([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_disjoint_lists(self):
+        assert top_k_overlap([1, 2], [3, 4]) == 0.0
+        assert jaccard_similarity([1, 2], [3, 4]) == 0.0
+
+    def test_partial_overlap(self):
+        assert top_k_overlap([1, 2, 3, 4], [3, 4, 5, 6]) == pytest.approx(0.5)
+        assert jaccard_similarity([1, 2, 3, 4], [3, 4, 5, 6]) == pytest.approx(2 / 6)
+
+    def test_empty_lists(self):
+        assert top_k_overlap([], []) == 1.0
+        assert jaccard_similarity([], []) == 1.0
+
+    def test_different_lengths(self):
+        assert top_k_overlap([1, 2, 3, 4], [1, 2]) == pytest.approx(0.5)
+
+
+class TestRankCorrelation:
+    def test_identical_rankings(self):
+        assert rank_correlation([1, 2, 3, 4], [1, 2, 3, 4]) == 1.0
+
+    def test_reversed_rankings(self):
+        assert rank_correlation([1, 2, 3, 4], [4, 3, 2, 1]) == -1.0
+
+    def test_partial_agreement(self):
+        value = rank_correlation([1, 2, 3, 4], [1, 3, 2, 4])
+        assert -1.0 < value < 1.0
+
+    def test_few_shared_items(self):
+        assert rank_correlation([1, 2], [3, 4]) == 1.0
+        assert rank_correlation([1], [1]) == 1.0
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            rank_correlation([1, 1, 2], [1, 2, 1])
+
+
+class TestGraphStatistics:
+    def test_complete_graph_stats(self):
+        stats = graph_statistics(complete_graph(6))
+        assert stats.num_vertices == 6
+        assert stats.num_edges == 15
+        assert stats.max_degree == 5
+        assert stats.num_triangles == 20
+        assert stats.degeneracy == 5
+        assert stats.clustering_coefficient == pytest.approx(1.0)
+        assert stats.num_components == 1
+
+    def test_star_graph_stats(self):
+        stats = graph_statistics(star_graph(7))
+        assert stats.num_triangles == 0
+        assert stats.max_degree == 7
+        assert stats.average_degree == pytest.approx(2 * 7 / 8)
+
+    def test_without_triangle_counting(self):
+        stats = graph_statistics(erdos_renyi_graph(50, 0.1, seed=1), include_triangles=False)
+        assert stats.num_triangles == 0
+        assert stats.clustering_coefficient == 0.0
+
+    def test_as_dict_keys(self):
+        stats = graph_statistics(Graph(edges=[(0, 1)]))
+        payload = stats.as_dict()
+        assert {"n", "m", "dmax", "triangles", "degeneracy"} <= set(payload)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_order(self):
+        rows = [
+            {"dataset": "Youtube", "n": 100, "time": 1.5},
+            {"dataset": "WikiTalk", "n": 2500, "time": 0.25},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "dataset" in lines[1] and "time" in lines[1]
+        assert "Youtube" in lines[3]
+        assert "WikiTalk" in lines[4]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == ""
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_format_table_handles_missing_columns(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows)
+        assert "b" in text
+
+    def test_format_series(self):
+        text = format_series(
+            {"BaseBSearch": {50: 1.0, 100: 2.0}, "OptBSearch": {50: 0.5}},
+            x_label="k",
+            title="fig",
+        )
+        assert text.startswith("fig")
+        assert "BaseBSearch [k]: 50=1, 100=2" in text
+        assert "OptBSearch" in text

@@ -1,0 +1,161 @@
+"""Tests for degeneracy/arboricity, edge-list I/O and the synthetic generators."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError, InvalidParameterError
+from repro.graph.arboricity import (
+    arboricity_lower_bound,
+    arboricity_upper_bound,
+    degeneracy,
+    degeneracy_ordering,
+)
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    overlapping_cliques_graph,
+    path_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    random_bipartite_expansion_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.io import parse_edge_lines, read_edge_list, relabel_to_integers, write_edge_list
+from repro.graph.validation import validate_simple_graph
+
+
+class TestDegeneracyArboricity:
+    def test_degeneracy_of_elementary_graphs(self):
+        assert degeneracy(path_graph(10)) == 1
+        assert degeneracy(cycle_graph(10)) == 2
+        assert degeneracy(complete_graph(7)) == 6
+        assert degeneracy(star_graph(9)) == 1
+        assert degeneracy(empty_graph(5)) == 0
+
+    def test_ordering_covers_all_vertices(self):
+        g = erdos_renyi_graph(40, 0.15, seed=1)
+        ordering, value = degeneracy_ordering(g)
+        assert sorted(ordering, key=repr) == sorted(g.vertices(), key=repr)
+        assert value >= 0
+
+    def test_bounds_bracket_reality(self):
+        # For K_n arboricity = ceil(n/2); check the bounds bracket it.
+        g = complete_graph(8)
+        assert arboricity_lower_bound(g) <= 4 <= arboricity_upper_bound(g)
+
+    def test_bounds_on_random_graph(self):
+        g = barabasi_albert_graph(80, 3, seed=3)
+        assert arboricity_lower_bound(g) <= arboricity_upper_bound(g)
+
+    def test_empty_graph_bounds(self):
+        g = empty_graph(4)
+        assert arboricity_upper_bound(g) == 0
+        assert arboricity_lower_bound(g) == 0
+
+
+class TestEdgeListIO:
+    def test_parse_skips_comments_and_blank_lines(self):
+        lines = ["# header", "", "1 2", "2\t3", "# trailing", "3 1"]
+        edges = list(parse_edge_lines(lines))
+        assert edges == [(1, 2), (2, 3), (3, 1)]
+
+    def test_parse_error_reports_line_number(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            list(parse_edge_lines(["1 2", "oops"]))
+        assert excinfo.value.line_number == 2
+
+    def test_parse_rejects_non_integer_by_default(self):
+        with pytest.raises(GraphFormatError):
+            list(parse_edge_lines(["a b"]))
+
+    def test_round_trip_through_file(self, tmp_path):
+        g = erdos_renyi_graph(30, 0.2, seed=5)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="round trip")
+        loaded = read_edge_list(path)
+        assert loaded == g
+
+    def test_read_from_stream_and_skip_self_loops(self):
+        stream = io.StringIO("1 1\n1 2\n2 3\n")
+        g = read_edge_list(stream)
+        assert g.num_edges == 2
+        assert not g.has_edge(1, 1)
+
+    def test_relabel_to_integers(self):
+        g = Graph(edges=[("x", "y"), ("y", "z")])
+        relabelled, mapping = relabel_to_integers(g)
+        assert set(relabelled.vertices()) == {0, 1, 2}
+        assert relabelled.num_edges == 2
+        assert set(mapping) == {"x", "y", "z"}
+
+    def test_string_vertex_type(self):
+        stream = io.StringIO("alice bob\nbob carol\n")
+        g = read_edge_list(stream, vertex_type=str)
+        assert g.has_edge("alice", "bob")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: erdos_renyi_graph(50, 0.1, seed=1),
+            lambda: barabasi_albert_graph(60, 3, seed=1),
+            lambda: powerlaw_cluster_graph(60, 3, 0.3, seed=1),
+            lambda: watts_strogatz_graph(40, 4, 0.2, seed=1),
+            lambda: planted_partition_graph([10, 10, 10], 0.4, 0.02, seed=1),
+            lambda: overlapping_cliques_graph(20, (3, 6), overlap=2, seed=1),
+            lambda: random_bipartite_expansion_graph(8, 100, 2, seed=1),
+        ],
+        ids=["er", "ba", "powerlaw", "ws", "sbm", "cliques", "hubspoke"],
+    )
+    def test_generators_produce_valid_simple_graphs(self, factory):
+        g = factory()
+        validate_simple_graph(g)
+        assert g.num_vertices > 0
+
+    def test_generators_are_deterministic(self):
+        a = barabasi_albert_graph(50, 2, seed=11)
+        b = barabasi_albert_graph(50, 2, seed=11)
+        c = barabasi_albert_graph(50, 2, seed=12)
+        assert a == b
+        assert a != c
+
+    def test_ba_edge_count(self):
+        g = barabasi_albert_graph(50, 3, seed=0)
+        # star on 4 vertices (3 edges) + 3 edges per remaining vertex
+        assert g.num_edges == 3 + 3 * (50 - 4)
+
+    def test_er_extreme_probabilities(self):
+        assert erdos_renyi_graph(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi_graph(6, 1.0, seed=0).num_edges == 15
+
+    def test_watts_strogatz_keeps_edge_count(self):
+        g = watts_strogatz_graph(30, 4, 0.3, seed=2)
+        assert g.num_edges == 30 * 2
+
+    def test_hub_spoke_degree_skew(self):
+        g = random_bipartite_expansion_graph(10, 500, 2, seed=3)
+        degrees = sorted(g.degrees().values(), reverse=True)
+        # the busiest hub collects a large share of the leaves
+        assert degrees[0] > 100
+        assert degrees[-1] >= 1
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_graph(10, 1.5)
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert_graph(5, 5)
+        with pytest.raises(InvalidParameterError):
+            watts_strogatz_graph(10, 3, 0.1)
+        with pytest.raises(InvalidParameterError):
+            cycle_graph(2)
+        with pytest.raises(InvalidParameterError):
+            overlapping_cliques_graph(0)

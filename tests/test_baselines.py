@@ -1,0 +1,129 @@
+"""Tests for the Brandes betweenness baseline and the naive ego baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.brandes import (
+    approximate_betweenness_centrality,
+    betweenness_centrality,
+    top_k_betweenness,
+)
+from repro.baselines.naive import naive_all_ego_betweenness, naive_top_k
+from repro.core.ego_betweenness import all_ego_betweenness
+from repro.core.opt_search import opt_b_search
+from repro.errors import InvalidParameterError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestBrandesExact:
+    def test_path_graph_closed_form(self):
+        # On a path, the betweenness of position i is i * (n - 1 - i).
+        n = 7
+        scores = betweenness_centrality(path_graph(n))
+        for i in range(n):
+            assert scores[i] == pytest.approx(i * (n - 1 - i))
+
+    def test_star_graph_center(self):
+        n_leaves = 8
+        scores = betweenness_centrality(star_graph(n_leaves))
+        assert scores[0] == pytest.approx(n_leaves * (n_leaves - 1) / 2)
+        for leaf in range(1, n_leaves + 1):
+            assert scores[leaf] == 0.0
+
+    def test_complete_and_cycle(self):
+        assert all(v == 0.0 for v in betweenness_centrality(complete_graph(6)).values())
+        cycle_scores = betweenness_centrality(cycle_graph(6))
+        values = set(round(v, 6) for v in cycle_scores.values())
+        assert len(values) == 1  # symmetry: all vertices identical
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g = erdos_renyi_graph(40, 0.15, seed=1)
+        ours = betweenness_centrality(g)
+        reference_graph = networkx.Graph()
+        reference_graph.add_nodes_from(g.vertices())
+        reference_graph.add_edges_from(g.edges())
+        theirs = networkx.betweenness_centrality(reference_graph, normalized=False)
+        for v in g.vertices():
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-6)
+
+    def test_normalized_in_unit_range(self):
+        g = barabasi_albert_graph(50, 2, seed=2)
+        scores = betweenness_centrality(g, normalized=True)
+        assert all(0.0 <= value <= 1.0 + 1e-9 for value in scores.values())
+
+    def test_disconnected_graph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (5, 6)])
+        scores = betweenness_centrality(g)
+        assert scores[1] == pytest.approx(1.0)
+        assert scores[5] == 0.0
+
+
+class TestBrandesApproximate:
+    def test_all_pivots_equals_exact(self):
+        g = erdos_renyi_graph(30, 0.2, seed=3)
+        exact = betweenness_centrality(g)
+        approx = approximate_betweenness_centrality(g, num_pivots=g.num_vertices, seed=0)
+        for v in g.vertices():
+            assert approx[v] == pytest.approx(exact[v])
+
+    def test_sampling_is_reasonably_close(self):
+        g = barabasi_albert_graph(120, 3, seed=4)
+        exact = betweenness_centrality(g)
+        approx = approximate_betweenness_centrality(g, num_pivots=60, seed=5)
+        top_exact = {v for v, _ in sorted(exact.items(), key=lambda x: -x[1])[:5]}
+        top_approx = {v for v, _ in sorted(approx.items(), key=lambda x: -x[1])[:5]}
+        assert len(top_exact & top_approx) >= 3
+
+    def test_invalid_pivots(self):
+        with pytest.raises(InvalidParameterError):
+            approximate_betweenness_centrality(path_graph(5), 0)
+
+
+class TestTopBW:
+    def test_top_k_ranked(self):
+        g = barabasi_albert_graph(80, 2, seed=6)
+        result = top_k_betweenness(g, 5)
+        scores = [s for _, s in result.entries]
+        assert scores == sorted(scores, reverse=True)
+        assert len(result.entries) == 5
+        assert result.stats.algorithm == "TopBW"
+
+    def test_approximate_variant(self):
+        g = barabasi_albert_graph(80, 2, seed=7)
+        result = top_k_betweenness(g, 5, exact=False, num_pivots=30)
+        assert len(result.entries) == 5
+        assert result.stats.algorithm == "TopBW-approx"
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            top_k_betweenness(path_graph(4), 0)
+
+
+class TestNaiveBaseline:
+    def test_matches_optimised_kernel(self):
+        g = erdos_renyi_graph(30, 0.18, seed=8)
+        naive = naive_all_ego_betweenness(g)
+        fast = all_ego_betweenness(g)
+        for v in g.vertices():
+            assert naive[v] == pytest.approx(fast[v], abs=1e-9)
+
+    def test_naive_top_k_matches_search(self):
+        g = barabasi_albert_graph(60, 3, seed=9)
+        naive = naive_top_k(g, 6)
+        opt = opt_b_search(g, 6)
+        assert [s for _, s in naive.entries] == pytest.approx([s for _, s in opt.entries])
+        assert naive.stats.exact_computations == g.num_vertices
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            naive_top_k(path_graph(4), 0)

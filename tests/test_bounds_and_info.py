@@ -1,0 +1,129 @@
+"""Tests for the upper bounds (Lemmas 1–3), S-maps and identified information."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import bound_decomposition, dynamic_upper_bound, static_upper_bound
+from repro.core.ego_betweenness import ego_betweenness
+from repro.core.opt_search import ego_bw_cal
+from repro.core.spath_map import IdentifiedInfo, SPathMap, pair_key
+from repro.graph.generators import erdos_renyi_graph, overlapping_cliques_graph
+from repro.graph.graph import Graph
+
+from tests.conftest import graph_families
+
+
+class TestStaticBound:
+    def test_formula(self):
+        assert static_upper_bound(0) == 0.0
+        assert static_upper_bound(1) == 0.0
+        assert static_upper_bound(4) == 6.0
+        assert static_upper_bound(7) == 21.0
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            static_upper_bound(-1)
+
+    @pytest.mark.parametrize("name", sorted(graph_families()))
+    def test_lemma2_bound_holds_everywhere(self, name):
+        graph = graph_families()[name]
+        for v in graph.vertices():
+            assert ego_betweenness(graph, v) <= static_upper_bound(graph.degree(v)) + 1e-9
+
+
+class TestLemma1Decomposition:
+    @pytest.mark.parametrize("name", sorted(graph_families()))
+    def test_partition_identity(self, name):
+        graph = graph_families()[name]
+        for v in graph.vertices():
+            decomposition = bound_decomposition(graph, v)
+            assert decomposition.is_consistent
+            assert decomposition.total_pairs == graph.degree(v) * (graph.degree(v) - 1) // 2
+
+
+class TestDynamicBound:
+    def test_no_information_equals_static(self):
+        assert dynamic_upper_bound(5, 0, {}) == static_upper_bound(5)
+
+    def test_identified_edges_subtract_one_each(self):
+        assert dynamic_upper_bound(5, 3, {}) == static_upper_bound(5) - 3
+
+    def test_identified_links_subtract_partial_credit(self):
+        links = {pair_key(1, 2): {9}, pair_key(3, 4): {8, 9}}
+        expected = static_upper_bound(4) - (1 - 1 / 2) - (1 - 1 / 3)
+        assert dynamic_upper_bound(4, 0, links) == pytest.approx(expected)
+
+    def test_accepts_counts_as_well_as_sets(self):
+        assert dynamic_upper_bound(4, 0, {pair_key(1, 2): 3}) == pytest.approx(
+            static_upper_bound(4) - (1 - 0.25)
+        )
+
+    def test_identified_info_store_dedup(self):
+        info = IdentifiedInfo()
+        info.record_edge("p", 1, 2)
+        info.record_edge("p", 2, 1)
+        assert info.identified_edge_count("p") == 1
+        info.record_link("p", 3, 4, "w")
+        info.record_link("p", 4, 3, "w")
+        assert len(info.identified_links("p")[pair_key(3, 4)]) == 1
+
+    def test_identified_info_discard(self):
+        info = IdentifiedInfo()
+        info.record_edge("p", 1, 2)
+        info.discard("p")
+        assert info.identified_edge_count("p") == 0
+        assert info.upper_bound("p", 5) == static_upper_bound(5)
+
+    def test_dynamic_bound_never_below_truth_during_search(self):
+        """Lemma 3: the harvested bound always upper-bounds the true score."""
+        for seed in range(3):
+            graph = overlapping_cliques_graph(25, (3, 6), overlap=2, seed=seed)
+            info = IdentifiedInfo()
+            computed = set()
+            degrees = graph.degrees()
+            ordering = sorted(graph.vertices(), key=lambda v: -degrees[v])
+            truth = {v: ego_betweenness(graph, v) for v in graph.vertices()}
+            for u in ordering[:12]:
+                # Before computing u, its harvested bound must still be valid.
+                assert info.upper_bound(u, degrees[u]) >= truth[u] - 1e-9
+                ego_bw_cal(graph, u, info, computed, degrees=degrees)
+                computed.add(u)
+            # And the bounds of every untouched vertex remain valid too.
+            for v in ordering[12:]:
+                assert info.upper_bound(v, degrees[v]) >= truth[v] - 1e-9
+
+    def test_ego_bw_cal_matches_plain_kernel(self):
+        graph = erdos_renyi_graph(40, 0.2, seed=5)
+        info = IdentifiedInfo()
+        degrees = graph.degrees()
+        for v in graph.vertices():
+            assert ego_bw_cal(graph, v, info, set(), degrees=degrees) == pytest.approx(
+                ego_betweenness(graph, v)
+            )
+
+
+class TestSPathMap:
+    def test_value_counts_connectors(self):
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)])
+        spath = SPathMap(g)
+        # In GE(0): pair (2, 3) non-adjacent, connected by 1 (besides 0).
+        assert spath.value(0, 2, 3) == 1
+        assert spath.contribution(0, 2, 3) == pytest.approx(0.5)
+
+    def test_adjacent_pair_is_zero(self):
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2)])
+        spath = SPathMap(g)
+        assert spath.value(0, 1, 2) == 0
+        assert spath.contribution(0, 1, 2) == 0.0
+
+    def test_contributions_sum_to_score(self):
+        g = erdos_renyi_graph(30, 0.2, seed=8)
+        spath = SPathMap(g)
+        for p in list(g.vertices())[:10]:
+            neighbors = list(g.neighbors(p))
+            total = 0.0
+            for i, u in enumerate(neighbors):
+                for v in neighbors[i + 1 :]:
+                    total += spath.contribution(p, u, v)
+            assert total == pytest.approx(ego_betweenness(g, p))

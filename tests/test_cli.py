@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def edge_list_file(tmp_path):
+    graph = barabasi_albert_graph(60, 2, seed=1)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_topk_defaults(self):
+        args = build_parser().parse_args(["topk", "--dataset", "dblp"])
+        assert args.k == 10
+        assert args.method == "opt"
+
+    def test_mutually_exclusive_sources(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["topk", "--dataset", "dblp", "--edge-list", "x.txt"]
+            )
+
+
+class TestCommands:
+    def test_topk_on_edge_list(self, edge_list_file, capsys):
+        assert main(["topk", "--edge-list", edge_list_file, "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Top-3" in out
+        assert "exact computations" in out
+
+    def test_topk_methods(self, edge_list_file, capsys):
+        for method in ("base", "naive"):
+            assert main(["topk", "--edge-list", edge_list_file, "-k", "2", "--method", method]) == 0
+
+    def test_stats_on_dataset(self, capsys):
+        assert main(["stats", "--dataset", "youtube", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "Graph statistics" in out
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "LiveJournal" in out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+    def test_missing_edge_list_raises_os_error(self):
+        with pytest.raises(OSError):
+            main(["topk", "--edge-list", "/nonexistent/file.txt", "-k", "2"])
+
+    def test_topk_invalid_k_reports_error(self, edge_list_file, capsys):
+        exit_code = main(["topk", "--edge-list", edge_list_file, "-k", "0"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err

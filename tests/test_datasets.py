@@ -1,0 +1,127 @@
+"""Tests for the dataset registry, case-study graphs and the paper example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ego_betweenness import ego_betweenness
+from repro.datasets.collaboration import db_case_study_graph, ir_case_study_graph
+from repro.datasets.paper_example import (
+    EXAMPLE1_EGO_EDGES,
+    paper_example_graph,
+    paper_figure1_like_graph,
+)
+from repro.datasets.registry import (
+    DatasetSpec,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+    registry_table,
+)
+from repro.errors import DatasetError, InvalidParameterError
+from repro.graph.validation import validate_simple_graph
+
+
+class TestRegistry:
+    def test_five_paper_datasets_present(self):
+        assert dataset_names() == ["youtube", "wikitalk", "dblp", "pokec", "livejournal"]
+
+    @pytest.mark.parametrize("name", ["youtube", "wikitalk", "dblp", "pokec", "livejournal"])
+    def test_datasets_build_and_validate(self, name):
+        graph = load_dataset(name, scale=0.1)
+        validate_simple_graph(graph)
+        assert graph.num_vertices > 10
+        assert graph.num_edges > 10
+
+    def test_datasets_are_deterministic(self):
+        a = load_dataset("dblp", scale=0.1)
+        b = load_dataset("dblp", scale=0.1)
+        assert a == b
+
+    def test_scale_changes_size(self):
+        small = load_dataset("pokec", scale=0.1)
+        large = load_dataset("pokec", scale=0.3)
+        assert large.num_vertices > small.num_vertices
+
+    def test_relative_size_ordering_matches_paper(self):
+        sizes = {name: load_dataset(name, scale=0.2).num_edges for name in dataset_names()}
+        # LiveJournal is the largest and Youtube the smallest social network,
+        # as in Table I of the paper.
+        assert sizes["livejournal"] == max(sizes.values())
+        assert sizes["pokec"] > sizes["youtube"]
+
+    def test_wikitalk_has_extreme_skew(self):
+        graph = load_dataset("wikitalk", scale=0.2)
+        degrees = sorted(graph.degrees().values(), reverse=True)
+        assert degrees[0] > 20 * degrees[len(degrees) // 2]
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("orkut")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("dblp", scale=0.0)
+
+    def test_spec_metadata(self):
+        spec = dataset_spec("LiveJournal")
+        assert isinstance(spec, DatasetSpec)
+        assert spec.paper_vertices == 3_997_962
+        assert spec.category == "social"
+
+    def test_registry_table_rows(self):
+        rows = registry_table(scale=0.1)
+        assert len(rows) == 5
+        assert all("paper_n" in row and "repro_n" in row for row in rows)
+
+
+class TestCaseStudyGraphs:
+    def test_db_and_ir_sizes(self):
+        db = db_case_study_graph(scale=0.3)
+        ir = ir_case_study_graph(scale=0.3)
+        validate_simple_graph(db.graph)
+        validate_simple_graph(ir.graph)
+        # DB is the larger case study, as in the paper.
+        assert db.num_authors > ir.num_authors
+
+    def test_author_names_are_deterministic_and_unique_enough(self):
+        a = db_case_study_graph(scale=0.2)
+        b = db_case_study_graph(scale=0.2)
+        assert a.author_names == b.author_names
+        assert a.graph == b.graph
+
+    def test_display_name_fallback(self):
+        case = ir_case_study_graph(scale=0.2)
+        assert case.display_name(10 ** 9).startswith("Author")
+
+    def test_prolific_authors_bridge_communities(self):
+        case = db_case_study_graph(scale=0.4)
+        graph = case.graph
+        # The highest-degree author should have neighbours in more than one
+        # community (that is what makes them a bridge).
+        top_author = max(graph.vertices(), key=graph.degree)
+        neighbour_communities = {case.communities[n] for n in graph.neighbors(top_author)}
+        assert len(neighbour_communities) >= 2
+
+
+class TestPaperExample:
+    def test_example1_edges_exact(self):
+        graph = paper_example_graph()
+        assert graph.num_vertices == 7
+        assert graph.num_edges == len(EXAMPLE1_EGO_EDGES)
+        assert set(graph.neighbors("d")) == {"a", "b", "c", "g", "h", "i"}
+
+    def test_example1_value(self):
+        assert ego_betweenness(paper_example_graph(), "d") == pytest.approx(14 / 3)
+
+    def test_figure1_like_graph_contains_example1(self):
+        graph = paper_figure1_like_graph()
+        for u, v in EXAMPLE1_EGO_EDGES:
+            assert graph.has_edge(u, v)
+        assert graph.num_vertices == 16
+        # x is a star centre: its ego-betweenness equals its static bound.
+        from repro.core.bounds import static_upper_bound
+
+        assert ego_betweenness(graph, "x") == pytest.approx(
+            static_upper_bound(graph.degree("x"))
+        )

@@ -1,0 +1,152 @@
+"""Unit tests for exact ego-betweenness (Definition 2 / Lemma 2 closed form)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import bound_decomposition, static_upper_bound
+from repro.core.ego_betweenness import (
+    all_ego_betweenness,
+    ego_betweenness,
+    ego_betweenness_reference,
+    ego_pair_contributions,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+from tests.conftest import graph_families
+
+
+class TestPaperExample:
+    def test_example1_value(self, example_graph):
+        """Example 1 of the paper: CB(d) = 14/3."""
+        assert ego_betweenness(example_graph, "d") == pytest.approx(14 / 3)
+
+    def test_example1_reference_agrees(self, example_graph):
+        assert ego_betweenness_reference(example_graph, "d") == pytest.approx(14 / 3)
+
+    def test_example1_pair_contributions(self, example_graph):
+        contributions = ego_pair_contributions(example_graph, "d")
+        assert contributions[frozenset(("c", "i"))] == pytest.approx(1 / 3)
+        assert contributions[frozenset(("g", "h"))] == pytest.approx(1 / 3)
+        assert contributions[frozenset(("g", "a"))] == pytest.approx(1 / 2)
+        assert contributions[frozenset(("i", "a"))] == pytest.approx(1.0)
+        assert contributions[frozenset(("a", "b"))] == 0.0
+        assert sum(contributions.values()) == pytest.approx(14 / 3)
+
+
+class TestClosedFormOnKnownGraphs:
+    def test_star_center_equals_upper_bound(self):
+        g = star_graph(6)
+        # All leaf pairs are connected only through the centre.
+        assert ego_betweenness(g, 0) == pytest.approx(static_upper_bound(6))
+
+    def test_star_leaves_are_zero(self):
+        g = star_graph(4)
+        for leaf in range(1, 5):
+            assert ego_betweenness(g, leaf) == 0.0
+
+    def test_complete_graph_all_zero(self):
+        g = complete_graph(7)
+        for v in g.vertices():
+            assert ego_betweenness(g, v) == 0.0
+
+    def test_path_interior_vertices(self):
+        g = path_graph(5)
+        # Interior vertex has two non-adjacent neighbours joined only by it.
+        assert ego_betweenness(g, 2) == pytest.approx(1.0)
+        assert ego_betweenness(g, 0) == 0.0
+
+    def test_cycle_vertices(self):
+        g = cycle_graph(6)
+        for v in g.vertices():
+            assert ego_betweenness(g, v) == pytest.approx(1.0)
+
+    def test_triangle_with_pendant(self):
+        # 0-1-2 triangle plus pendant 3 attached to 0.
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (0, 3)])
+        # Pairs of N(0) = {1,2,3}: (1,2) adjacent -> 0; (1,3),(2,3) only via 0.
+        assert ego_betweenness(g, 0) == pytest.approx(2.0)
+        assert ego_betweenness(g, 1) == 0.0
+
+    def test_diamond_shares_credit(self):
+        # 0 and 3 both connect 1 and 2 (a 4-cycle with no chord).
+        g = Graph(edges=[(0, 1), (0, 2), (3, 1), (3, 2)])
+        # 3 is outside N(0), so 0 takes full credit for the pair (1, 2).
+        assert ego_betweenness(g, 0) == pytest.approx(1.0)
+        # Bring the second connector into 0's ego: the pair (1, 2) is now
+        # shared with 3 (credit 1/2), and the new pairs (1,3), (2,3) are
+        # adjacent, contributing nothing.
+        g.add_edge(0, 3)
+        assert ego_betweenness(g, 0) == pytest.approx(0.5)
+
+    def test_isolated_and_degree_one_vertices(self):
+        g = Graph(edges=[(0, 1)], vertices=[9])
+        assert ego_betweenness(g, 9) == 0.0
+        assert ego_betweenness(g, 0) == 0.0
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("name", sorted(graph_families()))
+    def test_matches_reference_on_families(self, name):
+        graph = graph_families()[name]
+        for v in graph.vertices():
+            assert ego_betweenness(graph, v) == pytest.approx(
+                ego_betweenness_reference(graph, v), abs=1e-9
+            ), f"mismatch on {name} vertex {v}"
+
+    def test_matches_reference_on_random_graphs(self):
+        for seed in range(4):
+            g = erdos_renyi_graph(35, 0.18, seed=seed)
+            for v in g.vertices():
+                assert ego_betweenness(g, v) == pytest.approx(
+                    ego_betweenness_reference(g, v), abs=1e-9
+                )
+
+    def test_pair_contributions_sum_to_score(self, small_random_graph):
+        g = small_random_graph
+        for v in list(g.vertices())[:20]:
+            contributions = ego_pair_contributions(g, v)
+            assert sum(contributions.values()) == pytest.approx(ego_betweenness(g, v))
+
+
+class TestAllVertices:
+    def test_all_matches_single(self, collaboration_graph):
+        scores = all_ego_betweenness(collaboration_graph)
+        for v in list(collaboration_graph.vertices())[:30]:
+            assert scores[v] == pytest.approx(ego_betweenness(collaboration_graph, v))
+
+    def test_subset_argument(self, small_random_graph):
+        subset = list(small_random_graph.vertices())[:5]
+        scores = all_ego_betweenness(small_random_graph, subset)
+        assert set(scores) == set(subset)
+
+    def test_upper_bound_never_violated(self, social_graph):
+        scores = all_ego_betweenness(social_graph)
+        for v, score in scores.items():
+            assert score <= static_upper_bound(social_graph.degree(v)) + 1e-9
+
+
+class TestBoundDecomposition:
+    def test_lemma1_partition(self, example_graph):
+        decomposition = bound_decomposition(example_graph, "d")
+        assert decomposition.is_consistent
+        assert decomposition.total_pairs == 15
+        assert decomposition.adjacent_pairs == 7
+
+    def test_lemma2_closed_form(self, small_random_graph):
+        g = small_random_graph
+        for v in list(g.vertices())[:15]:
+            decomposition = bound_decomposition(g, v)
+            contributions = ego_pair_contributions(g, v)
+            linked_sum = sum(
+                value for value in contributions.values() if 0.0 < value < 1.0
+            )
+            expected = decomposition.exclusive_pairs + linked_sum
+            assert ego_betweenness(g, v) == pytest.approx(expected)

@@ -1,0 +1,118 @@
+"""Integration tests for the experiment harness (tiny scales for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.common import ExperimentResult, scaled_k_values
+from repro.experiments import exp_ablation, exp_fig8, exp_fig9, exp_fig10, exp_fig11, exp_fig12
+
+TINY = 0.08
+
+
+class TestCommon:
+    def test_scaled_k_values_monotone_and_bounded(self):
+        values = scaled_k_values(5000)
+        assert values == sorted(values)
+        assert all(1 <= v <= 5000 for v in values)
+
+    def test_scaled_k_values_tiny_graph(self):
+        assert scaled_k_values(5) == [1] or all(v <= 5 for v in scaled_k_values(5))
+
+    def test_render_contains_title_and_rows(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            rows=[{"a": 1}],
+            series={"panel": {"s": {1: 2.0}}},
+            metadata={"scale": 0.1},
+        )
+        text = result.render()
+        assert "demo" in text and "Demo" in text
+        assert "panel" in text
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_have_experiments(self):
+        expected = {
+            "table1", "table2", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "table3+4",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_experiment("fig99")
+
+
+class TestSmallRuns:
+    def test_table1(self):
+        result = run_experiment("table1", scale=TINY)
+        assert len(result.rows) == 5
+        assert all(row["repro_n"] > 0 for row in result.rows)
+
+    def test_table2_pruning_shape(self):
+        result = run_experiment("table2", scale=TINY, datasets=["wikitalk", "dblp"], k_values=[10])
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["OptBS_exact"] <= row["BaseBS_exact"]
+
+    def test_fig6_series(self):
+        result = run_experiment("fig6", scale=TINY, datasets=["youtube"], k_values=[5, 10])
+        assert "Youtube" in result.series
+        assert set(result.series["Youtube"]) == {"BaseBSearch", "OptBSearch"}
+        assert len(result.rows) == 2
+
+    def test_fig7_theta_sweep(self):
+        result = run_experiment("fig7", scale=TINY, datasets=["wikitalk"], thetas=(1.05, 1.3), k=5)
+        assert len(result.rows) == 2
+        assert all(row["exact"] >= 5 for row in result.rows)
+
+    def test_fig8_updates(self):
+        result = exp_fig8.run(scale=TINY, datasets=["youtube"], num_updates=5, k=5)
+        row = result.rows[0]
+        assert row["updates"] == 5
+        assert row["LazyInsert_s"] >= 0.0
+        assert row["lazy_skipped"] >= 0
+
+    def test_fig9_scalability(self):
+        result = exp_fig9.run(scale=TINY, dataset="dblp", fractions=(0.5, 1.0), k=5)
+        assert len(result.rows) == 4  # 2 fractions x 2 modes
+        assert any("vary m" in key or "vary n" in key for key in result.series)
+
+    def test_fig10_parallel(self):
+        result = exp_fig10.run(scale=TINY, dataset="wikitalk", thread_counts=(1, 4))
+        speedups = {row["threads"]: row["EdgePEBW_speedup"] for row in result.rows}
+        assert speedups[1] == pytest.approx(1.0)
+        assert speedups[4] >= speedups[1]
+        # Edge-based partitioning must not lose to vertex-based.
+        for row in result.rows:
+            assert row["EdgePEBW_speedup"] >= row["VertexPEBW_speedup"] - 1e-9
+
+    def test_fig11_overlap(self):
+        result = exp_fig11.run(scale=TINY, datasets=["pokec"], k_values=[5])
+        row = result.rows[0]
+        assert 0.0 <= row["overlap"] <= 1.0
+        assert row["TopEBW_s"] >= 0.0
+
+    def test_fig12_case_study(self):
+        result = exp_fig12.run(scale=TINY, k_values=(5, 10))
+        cases = {row["case"] for row in result.rows}
+        assert cases == {"DB", "IR"}
+
+    def test_table3_and_4_top10(self):
+        result = exp_fig12.top10_tables(scale=TINY)
+        assert len(result.rows) == 20  # 10 per case study
+        assert {"EBW_author", "BW_author", "CB", "BT"} <= set(result.rows[0])
+
+    def test_bounds_ablation(self):
+        result = exp_ablation.run_bounds_ablation(scale=TINY, datasets=["wikitalk"], k=5)
+        row = result.rows[0]
+        assert row["oracle_exact"] <= row["dynamic_bound_exact"] <= row["static_bound_exact"]
+
+    def test_lazy_ablation(self):
+        result = exp_ablation.run_lazy_ablation(scale=TINY, datasets=["youtube"], num_updates=8, k=5)
+        row = result.rows[0]
+        assert row["lazy_recomputations"] <= row["eager_recomputations"]

@@ -1,0 +1,192 @@
+"""Unit tests for the core graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    GraphError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph.graph import Graph, normalize_edge
+from repro.graph.validation import validate_simple_graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_from_edges_collapses_duplicates(self):
+        g = Graph.from_edges([(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+        assert g.num_vertices == 2
+
+    def test_vertices_only_constructor(self):
+        g = Graph(vertices=[1, 2, 3])
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_from_adjacency_round_trip(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        rebuilt = Graph.from_adjacency(g.to_adjacency())
+        assert rebuilt == g
+
+    def test_from_adjacency_rejects_self_loop(self):
+        with pytest.raises(SelfLoopError):
+            Graph.from_adjacency({0: {0}})
+
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(0, 1)])
+        clone = g.copy()
+        clone.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert clone.num_edges == 2
+
+
+class TestVertexOperations:
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex("a")
+        g.add_vertex("a")
+        assert g.num_vertices == 1
+
+    def test_remove_vertex_removes_incident_edges(self):
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2)])
+        g.remove_vertex(0)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert not g.has_vertex(0)
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            Graph().remove_vertex("ghost")
+
+    def test_contains_and_len(self):
+        g = Graph(edges=[(0, 1)])
+        assert 0 in g
+        assert 7 not in g
+        assert len(g) == 2
+
+
+class TestEdgeOperations:
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        g.add_edge("x", "y")
+        assert g.has_vertex("x") and g.has_vertex("y")
+        assert g.has_edge("y", "x")
+
+    def test_duplicate_edge_raises_without_exist_ok(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(EdgeExistsError):
+            g.add_edge(1, 2)
+        g.add_edge(1, 2, exist_ok=True)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SelfLoopError):
+            Graph().add_edge(3, 3)
+
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 3)
+
+    def test_edges_iterates_each_once(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert len({frozenset(e) for e in edges}) == 3
+
+    def test_normalize_edge_symmetric(self):
+        assert normalize_edge(2, 5) == normalize_edge(5, 2)
+        assert normalize_edge("b", "a") == normalize_edge("a", "b")
+
+
+class TestNeighborhoods:
+    def test_neighbors_and_degree(self):
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert set(g.neighbors(0)) == {1, 2, 3}
+
+    def test_neighbors_missing_vertex_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            Graph().neighbors(0)
+
+    def test_common_neighbors(self):
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+        assert g.common_neighbors(0, 3) == {1, 2}
+        assert g.common_neighbors(0, 1) == {2}
+
+    def test_degrees_and_max_degree(self, example_graph):
+        degrees = example_graph.degrees()
+        assert degrees["d"] == 6
+        assert example_graph.max_degree() == 6
+        assert max(degrees.values()) == 6
+
+    def test_degree_sequence_sorted(self, example_graph):
+        seq = example_graph.degree_sequence()
+        assert seq == sorted(seq, reverse=True)
+        assert sum(seq) == 2 * example_graph.num_edges
+
+
+class TestSubgraphs:
+    def test_induced_subgraph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+    def test_subgraph_keeps_isolated_members(self):
+        g = Graph(edges=[(0, 1)], vertices=[5])
+        sub = g.subgraph([0, 5])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 0
+
+    def test_ego_network_definition(self, example_graph):
+        ego = example_graph.ego_network("d")
+        assert set(ego.vertices()) == {"d", "a", "b", "c", "g", "h", "i"}
+        # d is adjacent to everyone plus the 7 in-ego edges
+        assert ego.num_edges == 6 + 7
+
+    def test_ego_network_of_leaf_is_single_edge(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        ego = g.ego_network(0)
+        assert set(ego.vertices()) == {0, 1}
+        assert ego.num_edges == 1
+
+
+class TestWholeGraphHelpers:
+    def test_density_bounds(self):
+        assert Graph().density() == 0.0
+        from repro.graph.generators import complete_graph
+
+        assert complete_graph(5).density() == pytest.approx(1.0)
+
+    def test_connected_components(self):
+        g = Graph(edges=[(0, 1), (1, 2), (4, 5)], vertices=[9])
+        components = g.connected_components()
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2, 3]
+
+    def test_validate_simple_graph_passes(self, figure1_graph):
+        validate_simple_graph(figure1_graph)
+
+    def test_validate_detects_corruption(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        # Corrupt the internal structure on purpose.
+        g._adj[0].add(2)
+        with pytest.raises(GraphError):
+            validate_simple_graph(g)

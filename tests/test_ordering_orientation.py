@@ -1,0 +1,138 @@
+"""Tests for the total order ≺, the oriented DAG G+ and triangle enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._ordering import degree_rank, order_vertices, precedes, top_of_order
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.orientation import DegreeOrder, OrientedGraph, orient
+from repro.graph.triangles import (
+    count_triangles,
+    enumerate_triangles,
+    global_clustering_coefficient,
+    triangle_counts_per_edge,
+    triangle_counts_per_vertex,
+)
+from repro.graph.validation import validate_orientation
+
+
+class TestTotalOrder:
+    def test_order_by_degree_then_id(self):
+        degrees = {1: 3, 2: 3, 3: 5, 4: 1}
+        ordered = order_vertices(degrees)
+        assert ordered[0] == 3  # highest degree first
+        assert ordered[1] == 2  # ties broken by larger identifier
+        assert ordered[2] == 1
+        assert ordered[-1] == 4
+
+    def test_precedes_matches_order(self):
+        degrees = {1: 3, 2: 3, 3: 5}
+        assert precedes(3, 2, degrees)
+        assert precedes(2, 1, degrees)
+        assert not precedes(1, 2, degrees)
+        assert not precedes(1, 1, degrees)
+
+    def test_degree_rank_is_permutation(self):
+        degrees = {v: (v * 7) % 5 for v in range(20)}
+        ranks = degree_rank(degrees)
+        assert sorted(ranks.values()) == list(range(20))
+
+    def test_order_with_string_vertices(self):
+        degrees = {"a": 2, "b": 2, "c": 1}
+        ordered = order_vertices(degrees)
+        assert set(ordered[:2]) == {"a", "b"}
+        assert ordered[2] == "c"
+
+    def test_top_of_order(self):
+        degrees = {"a": 2, "b": 4, "c": 4}
+        assert top_of_order(["a", "b", "c"], degrees) == "c"
+        with pytest.raises(ValueError):
+            top_of_order([], degrees)
+
+
+class TestOrientation:
+    def test_every_edge_oriented_once(self):
+        g = erdos_renyi_graph(50, 0.1, seed=1)
+        plus = orient(g)
+        validate_orientation(g, plus)
+        assert sum(plus.out_degree(v) for v in plus.vertices()) == g.num_edges
+
+    def test_orientation_is_acyclic(self):
+        g = barabasi_albert_graph(60, 3, seed=2)
+        assert orient(g).is_acyclic()
+
+    def test_star_orientation_out_degrees(self):
+        # In a star the leaves all precede... the centre has max degree, so
+        # every edge is oriented leaf -> centre or centre -> leaf depending on
+        # rank; out-degree of every vertex must stay <= its degree and the
+        # total must equal m.
+        g = star_graph(10)
+        plus = orient(g)
+        assert sum(plus.out_degree(v) for v in plus.vertices()) == 10
+        assert plus.max_out_degree() <= 10
+
+    def test_degree_order_rank_queries(self, example_graph):
+        order = DegreeOrder(example_graph)
+        assert order.rank("d") == 0  # unique maximum degree vertex
+        assert order.precedes("d", "a")
+        assert len(order) == example_graph.num_vertices
+        assert "d" in order
+
+    def test_complete_graph_out_degrees_form_staircase(self):
+        g = complete_graph(6)
+        plus = OrientedGraph(g)
+        out_degrees = sorted(plus.out_degree(v) for v in plus.vertices())
+        assert out_degrees == [0, 1, 2, 3, 4, 5]
+
+
+class TestTriangles:
+    def test_triangle_count_complete_graph(self):
+        # K_n has C(n, 3) triangles.
+        assert count_triangles(complete_graph(6)) == 20
+        assert count_triangles(complete_graph(4)) == 4
+
+    def test_triangle_free_graphs(self):
+        assert count_triangles(cycle_graph(8)) == 0
+        assert count_triangles(star_graph(6)) == 0
+
+    def test_each_triangle_enumerated_once(self):
+        g = erdos_renyi_graph(40, 0.2, seed=3)
+        triangles = list(enumerate_triangles(g))
+        assert len({frozenset(t) for t in triangles}) == len(triangles)
+
+    def test_matches_brute_force(self):
+        g = erdos_renyi_graph(25, 0.25, seed=4)
+        vertices = g.vertices()
+        brute = 0
+        for i, a in enumerate(vertices):
+            for j in range(i + 1, len(vertices)):
+                for l in range(j + 1, len(vertices)):
+                    b, c = vertices[j], vertices[l]
+                    if g.has_edge(a, b) and g.has_edge(b, c) and g.has_edge(a, c):
+                        brute += 1
+        assert count_triangles(g) == brute
+
+    def test_per_vertex_counts_sum(self):
+        g = barabasi_albert_graph(50, 3, seed=5)
+        per_vertex = triangle_counts_per_vertex(g)
+        assert sum(per_vertex.values()) == 3 * count_triangles(g)
+
+    def test_per_edge_counts_sum(self):
+        g = erdos_renyi_graph(30, 0.2, seed=6)
+        per_edge = triangle_counts_per_edge(g)
+        assert sum(per_edge.values()) == 3 * count_triangles(g)
+        assert len(per_edge) == g.num_edges
+
+    def test_clustering_coefficient_bounds(self):
+        assert global_clustering_coefficient(complete_graph(5)) == pytest.approx(1.0)
+        assert global_clustering_coefficient(star_graph(5)) == 0.0
+        g = erdos_renyi_graph(40, 0.2, seed=7)
+        assert 0.0 <= global_clustering_coefficient(g) <= 1.0

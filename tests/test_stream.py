@@ -1,0 +1,73 @@
+"""Tests for the update-stream workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic.stream import UpdateEvent, generate_update_stream, split_insert_delete_workload
+from repro.errors import InvalidParameterError
+from repro.graph.generators import erdos_renyi_graph, path_graph
+from repro.graph.graph import Graph
+
+
+class TestSplitWorkload:
+    def test_matching_lengths_and_edges(self):
+        g = erdos_renyi_graph(30, 0.2, seed=1)
+        deletions, insertions = split_insert_delete_workload(g, 10, seed=2)
+        assert len(deletions) == len(insertions) == 10
+        assert {d.edge for d in deletions} == {i.edge for i in insertions}
+        assert all(d.operation == "delete" for d in deletions)
+        assert all(i.operation == "insert" for i in insertions)
+
+    def test_sampled_edges_exist(self):
+        g = erdos_renyi_graph(30, 0.2, seed=3)
+        deletions, _ = split_insert_delete_workload(g, 15, seed=4)
+        for event in deletions:
+            assert g.has_edge(event.u, event.v)
+
+    def test_too_many_requested(self):
+        g = path_graph(5)
+        with pytest.raises(InvalidParameterError):
+            split_insert_delete_workload(g, 100)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            split_insert_delete_workload(path_graph(5), -1)
+
+    def test_deterministic(self):
+        g = erdos_renyi_graph(30, 0.2, seed=5)
+        first = split_insert_delete_workload(g, 8, seed=6)
+        second = split_insert_delete_workload(g, 8, seed=6)
+        assert first == second
+
+
+class TestMixedStream:
+    def test_stream_is_replayable(self):
+        g = erdos_renyi_graph(40, 0.12, seed=7)
+        stream = generate_update_stream(g, 60, seed=8)
+        working = g.copy()
+        for event in stream:
+            if event.operation == "insert":
+                assert not working.has_edge(event.u, event.v)
+                working.add_edge(event.u, event.v)
+            else:
+                assert working.has_edge(event.u, event.v)
+                working.remove_edge(event.u, event.v)
+
+    def test_insert_fraction_respected_roughly(self):
+        g = erdos_renyi_graph(60, 0.1, seed=9)
+        stream = generate_update_stream(g, 200, seed=10, insert_fraction=0.8)
+        inserts = sum(1 for e in stream if e.operation == "insert")
+        assert inserts > 120
+
+    def test_requires_two_vertices(self):
+        with pytest.raises(InvalidParameterError):
+            generate_update_stream(Graph(vertices=[1]), 5)
+
+    def test_event_edge_property(self):
+        event = UpdateEvent("insert", 3, 7)
+        assert event.edge == (3, 7)
+
+    def test_zero_count(self):
+        g = path_graph(4)
+        assert generate_update_stream(g, 0) == []
