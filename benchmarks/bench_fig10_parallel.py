@@ -8,31 +8,45 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_scale, save_report
+from benchmarks.conftest import save_report
+from repro.core.csr_kernels import all_ego_betweenness_csr
 from repro.core.ego_betweenness import all_ego_betweenness
-from repro.datasets.registry import load_dataset
 from repro.experiments import exp_fig10
 from repro.parallel.engines import edge_parallel_ego_betweenness, vertex_parallel_ego_betweenness
 
-_GRAPH = load_dataset("livejournal", scale=bench_scale())
-
 
 @pytest.mark.benchmark(group="fig10-all-vertices")
-def test_fig10_sequential_all_vertices(benchmark):
+def test_fig10_sequential_all_vertices(benchmark, livejournal_graph):
     """The sequential baseline the speedups are measured against."""
-    scores = benchmark(all_ego_betweenness, _GRAPH)
-    assert len(scores) == _GRAPH.num_vertices
+    scores = benchmark(all_ego_betweenness, livejournal_graph)
+    assert len(scores) == livejournal_graph.num_vertices
 
 
 @pytest.mark.benchmark(group="fig10-all-vertices")
-def test_fig10_vertex_pebw_16_workers(benchmark):
-    run = benchmark(vertex_parallel_ego_betweenness, _GRAPH, 16)
+def test_fig10_sequential_all_vertices_csr(benchmark, livejournal_compact):
+    """The same all-vertex computation on the compact CSR backend."""
+    scores = benchmark(all_ego_betweenness_csr, livejournal_compact)
+    assert len(scores) == livejournal_compact.num_vertices
+
+
+@pytest.mark.benchmark(group="fig10-all-vertices")
+def test_fig10_vertex_pebw_16_workers(benchmark, livejournal_graph):
+    run = benchmark(vertex_parallel_ego_betweenness, livejournal_graph, 16)
     assert run.load_report.speedup >= 1.0
 
 
 @pytest.mark.benchmark(group="fig10-all-vertices")
-def test_fig10_edge_pebw_16_workers(benchmark):
-    run = benchmark(edge_parallel_ego_betweenness, _GRAPH, 16)
+def test_fig10_edge_pebw_16_workers(benchmark, livejournal_graph):
+    run = benchmark(edge_parallel_ego_betweenness, livejournal_graph, 16)
+    assert run.load_report.speedup >= 1.0
+
+
+@pytest.mark.benchmark(group="fig10-all-vertices")
+def test_fig10_edge_pebw_16_workers_hash(benchmark, livejournal_graph):
+    """EdgePEBW forced onto the hash backend (the pre-CSR code path)."""
+    run = benchmark(
+        edge_parallel_ego_betweenness, livejournal_graph, 16, graph_backend="hash"
+    )
     assert run.load_report.speedup >= 1.0
 
 

@@ -4,29 +4,26 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_scale, save_report
+from benchmarks.conftest import default_k, save_report
 from repro.baselines.brandes import top_k_betweenness
 from repro.core.opt_search import opt_b_search
-from repro.datasets.registry import load_dataset
 from repro.experiments import exp_fig11
-from repro.experiments.common import scaled_k_values
-
-_GRAPH = load_dataset("pokec", scale=bench_scale())
-_K = scaled_k_values(_GRAPH.num_vertices, (500,))[0]
 
 
 @pytest.mark.benchmark(group="fig11-pokec")
-def test_fig11_top_bw(benchmark):
+def test_fig11_top_bw(benchmark, pokec_graph):
     """Brandes-based top-k betweenness (the expensive baseline)."""
-    result = benchmark.pedantic(top_k_betweenness, args=(_GRAPH, _K), rounds=1, iterations=1)
-    assert len(result.entries) == _K
+    k = default_k(pokec_graph)
+    result = benchmark.pedantic(top_k_betweenness, args=(pokec_graph, k), rounds=1, iterations=1)
+    assert len(result.entries) == k
 
 
 @pytest.mark.benchmark(group="fig11-pokec")
-def test_fig11_top_ebw(benchmark):
+def test_fig11_top_ebw(benchmark, pokec_graph):
     """OptBSearch-based top-k ego-betweenness (orders of magnitude cheaper)."""
-    result = benchmark(opt_b_search, _GRAPH, _K)
-    assert len(result.entries) == _K
+    k = default_k(pokec_graph)
+    result = benchmark(opt_b_search, pokec_graph, k)
+    assert len(result.entries) == k
 
 
 def test_fig11_runtime_and_overlap(benchmark, scale, results_dir):

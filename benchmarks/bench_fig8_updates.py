@@ -8,22 +8,18 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_scale, save_report
-from repro.datasets.registry import load_dataset
+from benchmarks.conftest import save_report
 from repro.dynamic.lazy_topk import LazyTopKMaintainer
 from repro.dynamic.local_update import EgoBetweennessIndex
-from repro.dynamic.stream import split_insert_delete_workload
 from repro.experiments import exp_fig8
-
-_GRAPH = load_dataset("dblp", scale=bench_scale())
-_DELETIONS, _INSERTIONS = split_insert_delete_workload(_GRAPH, min(50, _GRAPH.num_edges // 4), seed=7)
 
 
 @pytest.mark.benchmark(group="fig8-single-update")
-def test_fig8_local_insert_single(benchmark):
+def test_fig8_local_insert_single(benchmark, dblp_graph, fig8_workload):
     """Per-update cost of LocalInsert on the DBLP stand-in."""
-    index = EgoBetweennessIndex(_GRAPH)
-    edge = _DELETIONS[0].edge
+    deletions, _insertions = fig8_workload
+    index = EgoBetweennessIndex(dblp_graph)
+    edge = deletions[0].edge
     index.delete_edge(*edge)
 
     def insert_then_delete():
@@ -34,10 +30,11 @@ def test_fig8_local_insert_single(benchmark):
 
 
 @pytest.mark.benchmark(group="fig8-single-update")
-def test_fig8_lazy_insert_single(benchmark):
+def test_fig8_lazy_insert_single(benchmark, dblp_graph, fig8_workload):
     """Per-update cost of LazyInsert on the DBLP stand-in."""
-    maintainer = LazyTopKMaintainer(_GRAPH, 20)
-    edge = _DELETIONS[0].edge
+    deletions, _insertions = fig8_workload
+    maintainer = LazyTopKMaintainer(dblp_graph, 20)
+    edge = deletions[0].edge
     maintainer.delete_edge(*edge)
 
     def insert_then_delete():

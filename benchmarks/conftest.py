@@ -35,6 +35,61 @@ def scale() -> float:
     return bench_scale()
 
 
+# ----------------------------------------------------------------------
+# Session-scoped graph fixtures.
+#
+# The benchmarks used to build their graphs at module import time
+# (``_GRAPH = load_dataset(...)``), which made *collecting* the suite pay
+# for every dataset even when a single benchmark was selected.  Graph
+# construction now happens lazily, once per session, in these fixtures.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def livejournal_graph():
+    """The largest stand-in (Fig. 6 / Fig. 10 workloads)."""
+    from repro.datasets.registry import load_dataset
+
+    return load_dataset("livejournal", scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def livejournal_compact(livejournal_graph):
+    """CSR snapshot of the LiveJournal stand-in (conversion amortised)."""
+    return livejournal_graph.to_compact()
+
+
+@pytest.fixture(scope="session")
+def pokec_graph():
+    """The denser social stand-in (Fig. 11 workload)."""
+    from repro.datasets.registry import load_dataset
+
+    return load_dataset("pokec", scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def dblp_graph():
+    """The collaboration stand-in (Fig. 8 update workload)."""
+    from repro.datasets.registry import load_dataset
+
+    return load_dataset("dblp", scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def fig8_workload(dblp_graph):
+    """The deletion/insertion stream used by the Fig. 8 benchmarks."""
+    from repro.dynamic.stream import split_insert_delete_workload
+
+    return split_insert_delete_workload(
+        dblp_graph, min(50, dblp_graph.num_edges // 4), seed=7
+    )
+
+
+def default_k(graph) -> int:
+    """The paper's default ``k = 500`` scaled to the stand-in size."""
+    from repro.experiments.common import scaled_k_values
+
+    return scaled_k_values(graph.num_vertices, (500,))[0]
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     """Directory the rendered experiment reports are written to."""

@@ -49,6 +49,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="search algorithm (default: opt = OptBSearch)",
     )
     topk.add_argument("--theta", type=float, default=1.05, help="OptBSearch gradient ratio")
+    topk.add_argument(
+        "--backend",
+        choices=("auto", "compact", "hash"),
+        default="auto",
+        help=(
+            "graph backend: 'auto'/'compact' run on the fast CSR CompactGraph "
+            "(converted once up front), 'hash' forces the hash-set oracle; "
+            "both return identical results (default: auto)"
+        ),
+    )
 
     stats = subparsers.add_parser("stats", help="print graph statistics")
     _add_graph_source_arguments(stats)
@@ -87,7 +97,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "topk":
             graph = _load_graph(args)
-            result = top_k_ego_betweenness(graph, args.k, method=args.method, theta=args.theta)
+            result = top_k_ego_betweenness(
+                graph, args.k, method=args.method, theta=args.theta, backend=args.backend
+            )
             rows = [
                 {"rank": rank + 1, "vertex": vertex, "ego_betweenness": round(score, 4)}
                 for rank, (vertex, score) in enumerate(result.entries)

@@ -24,6 +24,13 @@ from repro.core.ego_betweenness import (
 from repro.core.base_search import base_b_search
 from repro.core.opt_search import opt_b_search
 from repro.core.topk import SearchStats, TopKResult, top_k_ego_betweenness
+from repro.core.csr_kernels import (
+    all_ego_betweenness_csr,
+    base_b_search_csr,
+    bound_decomposition_csr,
+    ego_betweenness_csr,
+    opt_b_search_csr,
+)
 
 __all__ = [
     "ego_betweenness",
@@ -37,4 +44,9 @@ __all__ = [
     "top_k_ego_betweenness",
     "TopKResult",
     "SearchStats",
+    "ego_betweenness_csr",
+    "all_ego_betweenness_csr",
+    "base_b_search_csr",
+    "opt_b_search_csr",
+    "bound_decomposition_csr",
 ]

@@ -39,7 +39,12 @@ from repro.graph.graph import Graph
 __all__ = ["base_b_search"]
 
 
-def base_b_search(graph: Graph, k: int, maintain_shared_maps: bool = True) -> TopKResult:
+def base_b_search(
+    graph: Graph,
+    k: int,
+    maintain_shared_maps: bool = True,
+    backend: str = "hash",
+) -> TopKResult:
     """Run BaseBSearch and return the top-k ego-betweenness vertices.
 
     Parameters
@@ -54,6 +59,11 @@ def base_b_search(graph: Graph, k: int, maintain_shared_maps: bool = True) -> To
         touched while processing, regardless of whether it can still enter
         the top-k.  ``False`` skips that maintenance and only evaluates the
         processed vertex itself.
+    backend:
+        ``"hash"`` (the default) runs on the hash-set :class:`Graph` as-is;
+        ``"compact"`` / ``"auto"`` convert once to the CSR backend and run
+        :func:`repro.core.csr_kernels.base_b_search_csr`, which returns the
+        identical result faster.
 
     Returns
     -------
@@ -62,6 +72,11 @@ def base_b_search(graph: Graph, k: int, maintain_shared_maps: bool = True) -> To
         ego-betweenness was evaluated exactly, which is the pruning metric
         reported in Table II of the paper.
     """
+    from repro.core.csr_kernels import as_hash_graph, base_b_search_csr, normalize_backend
+
+    if normalize_backend(backend) == "compact":
+        return base_b_search_csr(graph, k, maintain_shared_maps=maintain_shared_maps)
+    graph = as_hash_graph(graph)
     if k < 1:
         raise InvalidParameterError("k must be a positive integer")
 

@@ -61,11 +61,18 @@ def dynamic_upper_bound(
     drops below the true ``CB(p)`` — this is exactly Lemma 3's argument and
     is re-verified by the property-based tests.
     """
-    bound = static_upper_bound(degree) - identified_edges
+    # The per-count terms are grouped into a histogram and applied in
+    # ascending count order so the result does not depend on dict iteration
+    # order — the CSR identified-information store performs the identical
+    # accumulation, keeping the two backends' bounds bit-identical.
+    histogram: Dict[int, int] = {}
     for value in identified_link_counts.values():
         count = len(value) if isinstance(value, (set, frozenset)) else int(value)
         if count > 0:
-            bound -= 1.0 - 1.0 / (count + 1)
+            histogram[count] = histogram.get(count, 0) + 1
+    bound = static_upper_bound(degree) - identified_edges
+    for count in sorted(histogram):
+        bound -= histogram[count] * (1.0 - 1.0 / (count + 1))
     return bound
 
 

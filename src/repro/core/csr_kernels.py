@@ -1,0 +1,580 @@
+"""Vectorized wedge kernels and top-k searches for the CSR backend.
+
+These are the compact-backend twins of the hash-set hot paths:
+
+* :func:`ego_betweenness_csr` / :func:`all_ego_betweenness_csr` — the exact
+  per-vertex kernel (Lemma 2's wedge enumeration) over CSR arrays,
+* :func:`ego_bw_cal_csr` — EgoBWCal (Algorithm 3) with CSR-native
+  identified-information harvesting,
+* :func:`base_b_search_csr` / :func:`opt_b_search_csr` — BaseBSearch and
+  OptBSearch running entirely on dense integer ids,
+* :func:`bound_decomposition_csr` — the Lemma 1 decomposition.
+
+Why this is fast in pure Python
+-------------------------------
+The hash kernels hash arbitrary vertex objects and allocate a ``frozenset``
+per touched pair.  Here every vertex is a dense int, so
+
+* each neighbour's adjacency is restricted to the ego by one C-level
+  ``set.intersection`` against the graph's cached neighbour sets — no
+  per-element Python work;
+* the adjacency probe inside the wedge loops is either a set membership
+  test or, on graphs small enough for the dense bitmap
+  (:data:`repro.graph.csr.DENSE_ADJACENCY_VERTEX_LIMIT`), a single byte
+  load at the packed pair key ``x·n + y`` itself;
+* wedges are collected as packed int keys into a flat list and aggregated
+  by ``collections.Counter`` (C speed) instead of two Python dict
+  operations per wedge, and ``frozenset`` pair keys disappear entirely;
+* identified-information recording appends *deferred references* into the
+  vertex's ego structures (one append per neighbour or wedge centre) and
+  the rarely-evaluated Lemma 3 bound materialises them lazily
+  (:class:`repro.core.spath_map.IdentifiedInfoCSR`);
+* the per-vertex ego summary (rows, wedge groups, exact score) is
+  graph-static and memoised on the immutable :class:`CompactGraph`
+  (:func:`_ego_summary`), so repeated top-k queries over one snapshot —
+  the steady state of a production service — skip the enumeration
+  entirely.
+
+Every float accumulation goes through the same canonical sorted-histogram
+summation as the hash implementations, so both backends return
+**bit-identical** scores and bounds — the hash backend stays the oracle, and
+the parity suite (``tests/test_csr_backend.py``) checks exact equality.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.bounds import BoundDecomposition
+from repro.core.ego_betweenness import _sum_from_histogram
+from repro.core.spath_map import IdentifiedInfoCSR
+from repro.core.topk import SearchStats, TopKAccumulator, TopKResult
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CompactGraph
+from repro.graph.graph import Graph, Vertex
+
+__all__ = [
+    "as_compact",
+    "ego_betweenness_csr",
+    "all_ego_betweenness_csr",
+    "ego_betweenness_from_arrays",
+    "ego_bw_cal_csr",
+    "bound_decomposition_csr",
+    "base_b_search_csr",
+    "opt_b_search_csr",
+]
+
+GraphLike = Union[Graph, CompactGraph]
+
+def as_compact(source: GraphLike) -> CompactGraph:
+    """Return ``source`` as a :class:`CompactGraph`, converting once if needed."""
+    if isinstance(source, CompactGraph):
+        return source
+    if isinstance(source, Graph):
+        return source.to_compact()
+    raise TypeError(f"expected Graph or CompactGraph, got {type(source).__name__}")
+
+
+def as_hash_graph(source: GraphLike) -> Graph:
+    """Return ``source`` as a hash-set :class:`Graph`, converting if needed."""
+    if isinstance(source, CompactGraph):
+        return source.to_graph()
+    return source
+
+
+def normalize_backend(backend: str) -> str:
+    """Validate a backend name and resolve ``"auto"`` to ``"compact"``.
+
+    The single copy of the backend-selection contract shared by
+    ``top_k_ego_betweenness``, ``base_b_search`` and ``opt_b_search``.
+    """
+    backend = backend.lower()
+    if backend not in ("auto", "compact", "hash"):
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; use 'auto', 'compact' or 'hash'"
+        )
+    return "compact" if backend == "auto" else backend
+
+
+# ----------------------------------------------------------------------
+# Ego-network construction (shared by every kernel)
+# ----------------------------------------------------------------------
+def _build_neighbor_sets(indptr: Sequence[int], indices: Sequence[int]) -> List[set]:
+    """Build the per-vertex neighbour-id sets from raw CSR arrays."""
+    return [set(indices[indptr[i] : indptr[i + 1]]) for i in range(len(indptr) - 1)]
+
+
+def _build_ego(
+    indices: Sequence[int],
+    nbr_sets: List[set],
+    start: int,
+    end: int,
+) -> Tuple[List[int], List[List[int]]]:
+    """Return ``(nbrs, rows)`` for the ego network of the vertex owning the slice.
+
+    ``nbrs`` lists the neighbour ids in ascending order and ``rows[i]`` is
+    the adjacency of neighbour ``i`` restricted to the ego (the centre is
+    excluded automatically because it is not its own neighbour), as an
+    unordered list of *global* ids.  Each restriction is one C-level
+    ``set.intersection`` (which iterates the smaller operand) — no
+    per-element Python work; the wedge loops canonicalise pair keys
+    themselves, so row order does not matter.
+    """
+    nbrs = indices[start:end]
+    ego_set = set(nbrs)
+    intersection = ego_set.intersection
+    return nbrs, [list(intersection(nbr_sets[x])) for x in nbrs]
+
+
+def _enumerate_wedges(
+    rows: List[List[int]],
+    n: int,
+    nbr_sets: List[set],
+    dense: Optional[bytearray],
+) -> Tuple[List[int], List[Tuple[int, int, int]]]:
+    """Enumerate every wedge of an ego as ``(wedges, segments)``.
+
+    ``wedges`` holds one packed canonical pair key ``min·n + max`` per
+    non-adjacent neighbour pair per wedge centre, grouped by centre;
+    ``segments`` holds ``(li, start, end)`` triples locating each centre's
+    group inside ``wedges``.  Keys are collected into a flat list so the
+    caller can aggregate with ``Counter`` (C speed) instead of paying two
+    Python-level dict operations per wedge.  When the ``dense`` adjacency
+    bitmap is available, the packed key doubles as its probe index, making
+    the adjacency test a single byte load.
+
+    This is the single copy of the hot pair loops — both the uncached
+    kernel and the memoised :func:`_ego_summary` go through it, which is
+    what keeps the two paths bit-identical.
+    """
+    wedges: List[int] = []
+    append = wedges.append
+    segments: List[Tuple[int, int, int]] = []
+    for li, row in enumerate(rows):
+        length = len(row)
+        if length < 2:
+            continue
+        mark = len(wedges)
+        if dense is None:
+            for i in range(length - 1):
+                x = row[i]
+                adjacent = nbr_sets[x]
+                base = x * n
+                for y in row[i + 1 :]:
+                    if y not in adjacent:
+                        append(base + y if x < y else y * n + x)
+        else:
+            for i in range(length - 1):
+                x = row[i]
+                base = x * n
+                for y in row[i + 1 :]:
+                    key = base + y if x < y else y * n + x
+                    if not dense[key]:
+                        append(key)
+        end_mark = len(wedges)
+        if end_mark > mark:
+            segments.append((li, mark, end_mark))
+    return wedges, segments
+
+
+def _ego_wedge_stats(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    pid: int,
+    nbr_sets: List[set],
+    dense: Optional[bytearray] = None,
+) -> Tuple[int, int, Dict[int, int]]:
+    """Return ``(degree, edges_in_ego, linker_counts)`` for vertex ``pid``.
+
+    ``linker_counts`` maps the packed global pair key ``x·n + y``
+    (``x < y``) of every non-adjacent neighbour pair joined by at least one
+    2-path to its number of connectors inside ``N(pid)``.
+    """
+    start = indptr[pid]
+    end = indptr[pid + 1]
+    d = end - start
+    if d < 2:
+        return d, 0, {}
+    n = len(indptr) - 1
+    nbrs, rows = _build_ego(indices, nbr_sets, start, end)
+    wedges, _ = _enumerate_wedges(rows, n, nbr_sets, dense)
+    return d, sum(map(len, rows)) // 2, Counter(wedges)
+
+
+def _ego_score_id(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    pid: int,
+    nbr_sets: List[set],
+    dense: Optional[bytearray] = None,
+) -> float:
+    """Exact ``CB(pid)`` from CSR arrays (no identified-info harvesting)."""
+    d, edges_in_ego, linker_counts = _ego_wedge_stats(
+        indptr, indices, pid, nbr_sets, dense
+    )
+    if d < 2:
+        return 0.0
+    total_pairs = d * (d - 1) // 2
+    lonely_pairs = total_pairs - edges_in_ego - len(linker_counts)
+    return _sum_from_histogram(lonely_pairs, Counter(linker_counts.values()))
+
+
+# ----------------------------------------------------------------------
+# Public kernels
+# ----------------------------------------------------------------------
+def ego_betweenness_csr(source: GraphLike, vertex: Vertex) -> float:
+    """Return the exact ego-betweenness of ``vertex`` on the CSR backend.
+
+    ``vertex`` is an *original* label; agrees bit-for-bit with
+    :func:`repro.core.ego_betweenness.ego_betweenness`.
+
+    Examples
+    --------
+    >>> g = Graph(edges=[("d", x) for x in "abcghi"]
+    ...                 + [("a", "b"), ("a", "c"), ("b", "c"),
+    ...                    ("c", "g"), ("c", "h"), ("g", "i"), ("h", "i")])
+    >>> round(ego_betweenness_csr(g, "d"), 6) == round(14 / 3, 6)
+    True
+    """
+    compact = as_compact(source)
+    pid = compact.id_of(vertex)
+    return _ego_score_id(
+        compact.indptr, compact.indices, pid, compact.neighbor_sets(), compact.dense_adjacency()
+    )
+
+
+def all_ego_betweenness_csr(
+    source: GraphLike, vertices: Optional[Iterable[Vertex]] = None
+) -> Dict[Vertex, float]:
+    """Return the exact ego-betweenness of every vertex (or a subset).
+
+    The CSR twin of :func:`repro.core.ego_betweenness.all_ego_betweenness`;
+    the neighbour-set cache is shared across all per-vertex kernel calls.
+    """
+    compact = as_compact(source)
+    indptr, indices = compact.indptr, compact.indices
+    labels = compact.labels
+    nbr_sets = compact.neighbor_sets()
+    dense = compact.dense_adjacency()
+    if vertices is None:
+        ids: Iterable[int] = range(compact.num_vertices)
+    else:
+        ids = [compact.id_of(v) for v in vertices]
+    return {
+        labels[pid]: _ego_score_id(indptr, indices, pid, nbr_sets, dense) for pid in ids
+    }
+
+
+def ego_betweenness_from_arrays(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    ids: Sequence[int],
+    nbr_sets: Optional[List[set]] = None,
+    dense: Optional[bytearray] = None,
+) -> Dict[int, float]:
+    """Return ``{id: CB(id)}`` straight from raw CSR arrays.
+
+    This is the parallel-worker entry point: workers receive the two flat
+    arrays (cheap to pickle) instead of a rebuilt adjacency dictionary and
+    never need labels at all.  The neighbour-set cache is built once per
+    call when not supplied.
+    """
+    if nbr_sets is None:
+        nbr_sets = _build_neighbor_sets(indptr, indices)
+    return {pid: _ego_score_id(indptr, indices, pid, nbr_sets, dense) for pid in ids}
+
+
+def bound_decomposition_csr(source: GraphLike, vertex: Vertex) -> BoundDecomposition:
+    """Return the exact Lemma 1 decomposition for ``vertex`` (CSR-native).
+
+    Agrees with :func:`repro.core.bounds.bound_decomposition` on every
+    vertex; runs on the wedge statistics instead of pairwise set
+    intersections, so it is valid only for the same simple-graph model.
+    """
+    compact = as_compact(source)
+    pid = compact.id_of(vertex)
+    d, edges_in_ego, linker_counts = _ego_wedge_stats(
+        compact.indptr, compact.indices, pid, compact.neighbor_sets(), compact.dense_adjacency()
+    )
+    total_pairs = d * (d - 1) // 2 if d >= 2 else 0
+    linked = len(linker_counts)
+    return BoundDecomposition(
+        adjacent_pairs=edges_in_ego,
+        linked_pairs=linked,
+        exclusive_pairs=total_pairs - edges_in_ego - linked,
+        total_pairs=total_pairs,
+    )
+
+
+#: Soft cap on the number of per-vertex ego summaries memoised per
+#: CompactGraph; beyond it new summaries are simply not cached.
+EGO_CACHE_MAX_VERTICES = 65536
+
+#: Soft cap on the total number of ints held by the memoised summaries of
+#: one CompactGraph (a hub of degree d stores up to ~d^2/2 wedge keys, so
+#: an entry-count cap alone would not bound memory).  2e7 ints is on the
+#: order of a few hundred MB worst case — the working set of the hubs a
+#: top-k service keeps re-evaluating.
+EGO_CACHE_MAX_INTS = 20_000_000
+
+
+def _ego_summary(compact: CompactGraph, pid: int, nbr_sets: List[set]):
+    """Return the memoised ``(score, nbrs, rows, wedges, segments)`` of ``pid``.
+
+    All five components are *graph-static*, so they are computed once per
+    vertex and cached on the (immutable) snapshot — repeated searches over
+    the same ``CompactGraph`` (the steady state of a top-k query service)
+    skip the wedge enumeration entirely and only redo the search-dependent
+    relevance filtering and fact recording:
+
+    * ``score`` — the exact ``CB(pid)``;
+    * ``nbrs`` / ``rows`` — the ego members and their ego-restricted
+      adjacency lists (global ids);
+    * ``wedges`` — one packed canonical pair key ``min·n + max`` per wedge,
+      grouped by wedge centre;
+    * ``segments`` — ``(li, start, end)`` triples locating each centre's
+      group inside ``wedges``.
+    """
+    cache = compact._ego_cache
+    entry = cache.get(pid)
+    if entry is not None:
+        return entry
+    indptr, indices = compact.indptr, compact.indices
+    n = compact.num_vertices
+    dense = compact.dense_adjacency()
+    start = indptr[pid]
+    end = indptr[pid + 1]
+    d = end - start
+    nbrs, rows = _build_ego(indices, nbr_sets, start, end)
+    wedges, segments = _enumerate_wedges(rows, n, nbr_sets, dense)
+    edge_endpoints = sum(map(len, rows))
+    linker_counts = Counter(wedges)
+    total_pairs = d * (d - 1) // 2
+    lonely_pairs = total_pairs - edge_endpoints // 2 - len(linker_counts)
+    score = _sum_from_histogram(lonely_pairs, Counter(linker_counts.values()))
+    entry = (score, nbrs, rows, wedges, segments)
+    cost = len(wedges) + sum(map(len, rows)) + len(nbrs)
+    if (
+        len(cache) < EGO_CACHE_MAX_VERTICES
+        and compact._ego_cache_cost + cost <= EGO_CACHE_MAX_INTS
+    ):
+        cache[pid] = entry
+        compact._ego_cache_cost += cost
+    return entry
+
+
+def ego_bw_cal_csr(
+    compact: CompactGraph,
+    pid: int,
+    info: IdentifiedInfoCSR,
+    computed: bytearray,
+    threshold: float = float("-inf"),
+    nbr_sets: Optional[List[set]] = None,
+) -> float:
+    """EgoBWCal (Algorithm 3) on the CSR backend.
+
+    Computes the exact ``CB(pid)`` and, for every *relevant* vertex touched
+    by the enumeration (not yet computed, static bound above ``threshold``),
+    records the identified facts exactly as the hash implementation does:
+    triangle edges and diamond connectors, as deferred references into the
+    vertex's memoised ego structures (see :class:`IdentifiedInfoCSR` and
+    :func:`_ego_summary`).  The recorded fact set is identical to the hash
+    backend's, so the resulting dynamic bounds are too.
+    """
+    degrees = compact.degrees
+    if degrees[pid] < 2:
+        return 0.0
+    if nbr_sets is None:
+        nbr_sets = compact.neighbor_sets()
+    score, nbrs, rows, wedges, segments = _ego_summary(compact, pid, nbr_sets)
+
+    if threshold == float("-inf"):
+        # Before the top-k heap fills, every not-yet-computed vertex is
+        # relevant — skip the per-neighbour bound arithmetic.
+        relevant = [not computed[x] for x in nbrs]
+    else:
+        relevant = [
+            not computed[x] and degrees[x] * (degrees[x] - 1) * 0.5 > threshold
+            for x in nbrs
+        ]
+
+    # Identified edges: for the triangle (pid, x, w) the pair (pid, w) is an
+    # edge of GE(x).  Logged as one deferred (pid, row) reference per
+    # relevant neighbour — packed pair keys are materialised only if x's
+    # bound is ever queried.
+    edges_store = info._edges
+    links_store = info._links
+    for li in range(len(nbrs)):
+        if not relevant[li]:
+            continue
+        row = rows[li]
+        if row:
+            x = nbrs[li]
+            log = edges_store.get(x)
+            if log is None:
+                log = edges_store[x] = []
+            log.append((pid, row))
+
+    # pid connects every non-adjacent pair in a centre's segment inside
+    # GE(w): certain Lemma 3 facts for w's bound, recorded as one slice
+    # reference per centre.  Each pair occurs at most once per call, so
+    # log multiplicity equals the number of distinct connectors.
+    for li, mark, end_mark in segments:
+        if relevant[li]:
+            w_id = nbrs[li]
+            log = links_store.get(w_id)
+            if log is None:
+                log = links_store[w_id] = []
+            log.append((wedges, mark, end_mark))
+
+    return score
+
+
+# ----------------------------------------------------------------------
+# Top-k searches
+# ----------------------------------------------------------------------
+def base_b_search_csr(
+    source: GraphLike, k: int, maintain_shared_maps: bool = True
+) -> TopKResult:
+    """BaseBSearch (Algorithm 1) on the CSR backend.
+
+    Produces the exact same entries and work counters as
+    :func:`repro.core.base_search.base_b_search`; results are reported under
+    the original vertex labels.
+    """
+    if k < 1:
+        raise InvalidParameterError("k must be a positive integer")
+    compact = as_compact(source)
+    start = time.perf_counter()
+    n = compact.num_vertices
+    effective_k = min(k, n) if n else k
+    stats = SearchStats(algorithm="BaseBSearch")
+    if n == 0:
+        stats.elapsed_seconds = time.perf_counter() - start
+        return TopKResult(entries=[], k=k, stats=stats)
+
+    indptr, indices = compact.indptr, compact.indices
+    degrees = compact.degrees
+    labels = compact.labels
+    nbr_sets = compact.neighbor_sets()
+    dense = compact.dense_adjacency()
+    info = IdentifiedInfoCSR(n) if maintain_shared_maps else None
+    computed = bytearray(n)
+    accumulator = TopKAccumulator(effective_k)
+    visited = 0
+    for pid in compact.degree_order():
+        dp = degrees[pid]
+        upper = dp * (dp - 1) / 2.0
+        if accumulator.is_full and accumulator.threshold >= upper:
+            break
+        if info is not None:
+            score = ego_bw_cal_csr(compact, pid, info, computed, float("-inf"), nbr_sets)
+            computed[pid] = 1
+            info.discard(pid)
+        else:
+            score = _ego_score_id(indptr, indices, pid, nbr_sets, dense)
+        stats.exact_computations += 1
+        visited += 1
+        accumulator.offer(labels[pid], score)
+
+    stats.pruned_vertices = n - visited
+    stats.elapsed_seconds = time.perf_counter() - start
+    return TopKResult(entries=accumulator.ranked_entries(), k=k, stats=stats)
+
+
+def opt_b_search_csr(source: GraphLike, k: int, theta: float = 1.05) -> TopKResult:
+    """OptBSearch (Algorithms 2–3) on the CSR backend.
+
+    Produces the exact same entries and work counters
+    (``exact_computations``, ``bound_updates``, ``repushes``) as
+    :func:`repro.core.opt_search.opt_b_search`: the heap uses the identical
+    ``(bound, vertex sort key)`` ordering and the dynamic bounds are
+    bit-identical, so every pop, re-push and pruning decision coincides.
+    """
+    if k < 1:
+        raise InvalidParameterError("k must be a positive integer")
+    if theta < 1.0:
+        raise InvalidParameterError("theta must be >= 1")
+    compact = as_compact(source)
+    start = time.perf_counter()
+    n = compact.num_vertices
+    stats = SearchStats(algorithm="OptBSearch")
+    if n == 0:
+        stats.elapsed_seconds = time.perf_counter() - start
+        return TopKResult(entries=[], k=k, stats=stats)
+
+    degrees = compact.degrees
+    labels = compact.labels
+    effective_k = min(k, n)
+    accumulator = TopKAccumulator(effective_k)
+    info = IdentifiedInfoCSR(n)
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+
+    ties = compact.tie_keys()
+    # The initial max-heap over static bounds is replaced by the cached
+    # static pop order plus a small heap holding only re-pushed vertices:
+    # the pop sequence is identical to the eager heap's, but a search that
+    # terminates after visiting a short prefix never materialises n heap
+    # entries.  ``repush_bound`` tracks the freshest bound of re-pushed
+    # vertices so stale (superseded) entries from either source are
+    # skipped; every other vertex's current bound is its static bound.
+    order = compact.bound_order()
+    pos = 0
+    heap: List[Tuple[float, tuple, int]] = []
+    repush_bound: Dict[int, float] = {}
+
+    computed = bytearray(n)
+    pruned = bytearray(n)
+    nbr_sets = compact.neighbor_sets()
+
+    while pos < n or heap:
+        if pos < n:
+            v = order[pos]
+            dv = degrees[v]
+            static_entry = (-(dv * (dv - 1) / 2.0), ties[v], v)
+            if not heap or static_entry <= heap[0]:
+                entry = static_entry
+                pos += 1
+            else:
+                entry = heappop(heap)
+        else:
+            entry = heappop(heap)
+        neg_bound, _, pid = entry
+        stored_bound = -neg_bound
+        if computed[pid] or pruned[pid]:
+            continue
+        dp = degrees[pid]
+        current = repush_bound.get(pid)
+        if current is None:
+            current = dp * (dp - 1) / 2.0
+        if stored_bound != current:
+            continue  # stale entry superseded by a later, tighter push
+
+        tight_bound = info.upper_bound(pid, degrees[pid])
+        stats.bound_updates += 1
+
+        if theta * tight_bound < stored_bound:
+            if not accumulator.is_full or tight_bound > accumulator.threshold:
+                repush_bound[pid] = tight_bound
+                heappush(heap, (-tight_bound, ties[pid], pid))
+                stats.repushes += 1
+            else:
+                pruned[pid] = 1
+            continue
+
+        if accumulator.is_full and stored_bound <= accumulator.threshold:
+            break
+
+        score = ego_bw_cal_csr(compact, pid, info, computed, accumulator.threshold, nbr_sets)
+        stats.exact_computations += 1
+        computed[pid] = 1
+        info.discard(pid)
+        accumulator.offer(labels[pid], score)
+
+    stats.pruned_vertices = n - stats.exact_computations
+    stats.elapsed_seconds = time.perf_counter() - start
+    return TopKResult(entries=accumulator.ranked_entries(), k=k, stats=stats)

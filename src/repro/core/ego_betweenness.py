@@ -96,10 +96,29 @@ def ego_betweenness(graph: Graph, p: Vertex) -> float:
     # Pairs that are neither adjacent nor joined by another neighbour: p is
     # the unique connector and the contribution is exactly 1.
     lonely_pairs = total_pairs - edges_in_ego - pairs_with_links
+    return _sum_pair_contributions(lonely_pairs, linker_counts.values())
 
+
+def _sum_pair_contributions(lonely_pairs: int, counts: Iterable[int]) -> float:
+    """Sum ``lonely_pairs + Σ 1/(c+1)`` in a canonical, order-free way.
+
+    Contributions are grouped into a count histogram and accumulated in
+    ascending count order, so the result is bit-identical no matter which
+    order the wedge enumeration discovered the pairs in.  The CSR kernels
+    perform the exact same accumulation, which is what makes the two
+    backends agree exactly rather than merely to within float noise.
+    """
+    histogram: Dict[int, int] = {}
+    for count in counts:
+        histogram[count] = histogram.get(count, 0) + 1
+    return _sum_from_histogram(lonely_pairs, histogram)
+
+
+def _sum_from_histogram(lonely_pairs: int, histogram: Dict[int, int]) -> float:
+    """Accumulate the canonical score sum from a connector-count histogram."""
     score = float(lonely_pairs)
-    for count in linker_counts.values():
-        score += 1.0 / (count + 1)
+    for count in sorted(histogram):
+        score += histogram[count] * (1.0 / (count + 1))
     return score
 
 
@@ -110,7 +129,8 @@ def ego_pair_contributions(graph: Graph, p: Vertex) -> Dict[frozenset, float]:
     of the returned values equals ``ego_betweenness(graph, p)``.
     Pairs contributing 0 (adjacent neighbours) are included with value 0.0.
     """
-    neighbors = list(graph.neighbors(p))
+    neighbor_set = graph.neighbors(p)
+    neighbors = list(neighbor_set)
     contributions: Dict[frozenset, float] = {}
     for i, u in enumerate(neighbors):
         nu = graph.neighbors(u)
@@ -123,7 +143,7 @@ def ego_pair_contributions(graph: Graph, p: Vertex) -> Dict[frozenset, float]:
             nv = graph.neighbors(v)
             small, large = (nu, nv) if len(nu) <= len(nv) else (nv, nu)
             for w in small:
-                if w != p and w in large and w in graph.neighbors(p):
+                if w != p and w in large and w in neighbor_set:
                     common += 1
             contributions[key] = 1.0 / (common + 1)
     return contributions

@@ -34,6 +34,7 @@ from typing import Dict, List, Set, Tuple
 
 from repro._ordering import sort_key
 from repro.core.bounds import static_upper_bound
+from repro.core.ego_betweenness import _sum_pair_contributions
 from repro.core.spath_map import IdentifiedInfo
 from repro.core.topk import SearchStats, TopKAccumulator, TopKResult
 from repro.errors import InvalidParameterError
@@ -42,7 +43,9 @@ from repro.graph.graph import Graph, Vertex
 __all__ = ["opt_b_search", "ego_bw_cal"]
 
 
-def opt_b_search(graph: Graph, k: int, theta: float = 1.05) -> TopKResult:
+def opt_b_search(
+    graph: Graph, k: int, theta: float = 1.05, backend: str = "hash"
+) -> TopKResult:
     """Run OptBSearch and return the top-k ego-betweenness vertices.
 
     Parameters
@@ -56,6 +59,11 @@ def opt_b_search(graph: Graph, k: int, theta: float = 1.05) -> TopKResult:
         popped vertex satisfies ``θ·˜ub < old bound`` the vertex is pushed
         back instead of being computed, postponing (or avoiding) its exact
         computation.  The paper's default is 1.05.
+    backend:
+        ``"hash"`` (the default) runs on the hash-set :class:`Graph` as-is;
+        ``"compact"`` / ``"auto"`` convert once to the CSR backend and run
+        :func:`repro.core.csr_kernels.opt_b_search_csr`, which returns the
+        identical result (entries and counters) faster.
 
     Returns
     -------
@@ -63,6 +71,11 @@ def opt_b_search(graph: Graph, k: int, theta: float = 1.05) -> TopKResult:
         Ranked result with statistics: ``exact_computations`` (Table II),
         ``bound_updates`` and ``repushes``.
     """
+    from repro.core.csr_kernels import as_hash_graph, normalize_backend, opt_b_search_csr
+
+    if normalize_backend(backend) == "compact":
+        return opt_b_search_csr(graph, k, theta=theta)
+    graph = as_hash_graph(graph)
     if k < 1:
         raise InvalidParameterError("k must be a positive integer")
     if theta < 1.0:
@@ -212,7 +225,4 @@ def ego_bw_cal(
 
     total_pairs = degree * (degree - 1) // 2
     lonely_pairs = total_pairs - edges_in_ego - len(linker_counts)
-    score = float(lonely_pairs)
-    for count in linker_counts.values():
-        score += 1.0 / (count + 1)
-    return score
+    return _sum_pair_contributions(lonely_pairs, linker_counts.values())

@@ -23,12 +23,13 @@ Two closely related structures live here:
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, FrozenSet, Set
 
 from repro.core.bounds import dynamic_upper_bound, static_upper_bound
 from repro.graph.graph import Graph, Vertex
 
-__all__ = ["SPathMap", "IdentifiedInfo", "pair_key"]
+__all__ = ["SPathMap", "IdentifiedInfo", "IdentifiedInfoCSR", "pair_key"]
 
 
 def pair_key(u: Vertex, v: Vertex) -> FrozenSet[Vertex]:
@@ -129,3 +130,155 @@ class IdentifiedInfo:
     def static_bound(self, degree: int) -> float:
         """Convenience passthrough of the static bound (Lemma 2)."""
         return static_upper_bound(degree)
+
+
+class IdentifiedInfoCSR:
+    """CSR-native identified-information store (packed-int fact logs).
+
+    Mirrors :class:`IdentifiedInfo` for the compact backend, tuned for the
+    observation that the searches *record* facts for thousands of touched
+    vertices but *query* the bound for only a handful of popped ones.  Facts
+    are appended to flat per-vertex logs of packed ints — one list append
+    (or a C-level slice extend) per fact in the hot wedge loop, no set or
+    nested-dict work — and aggregated lazily when :meth:`upper_bound` is
+    evaluated.  Both logs key the neighbour pair ``(x, y)`` (``x < y``) as
+    ``x * n + y``:
+
+    * the *edge log* may contain duplicates (the same triangle is seen from
+      both endpoints across different exact computations); they are removed
+      with a ``set()`` at query time;
+    * the *link log* counts by multiplicity: every exact computation of a
+      vertex ``c`` appends each non-adjacent pair it connects **at most
+      once** (a wedge ``x–w–y`` occurs once per ego enumeration, and each
+      vertex is computed exactly once per search), so the number of log
+      entries for a pair equals the number of *distinct* identified
+      connectors — the quantity Lemma 3 needs.  Callers recording facts
+      outside a search must uphold the same at-most-once-per-connector
+      contract via :meth:`record_link`.
+
+    Beyond plain packed ints, the kernels log *deferred references* —
+    tuples pointing into the recording call's shared ego structures — so
+    that the hot loop pays a single append per neighbour (edges) or per
+    wedge centre (links) instead of one operation per fact:
+
+    * edge entry ``(c, row)``: one identified edge ``(c, w)`` for every
+      vertex id ``w`` in ``row``;
+    * link entry ``(wedges, start, end)``: the packed pairs
+      ``wedges[start:end]``, each with one (implicit) connector.
+    """
+
+    __slots__ = ("_n", "_edges", "_links", "_link_connectors")
+
+    def __init__(self, num_vertices: int) -> None:
+        self._n = num_vertices
+        self._edges: Dict[int, list] = {}
+        self._links: Dict[int, list] = {}
+        # Guard set used only by the record_link() convenience API so that
+        # out-of-search callers cannot inflate a count by re-recording the
+        # same (pair, connector) fact; the kernels bypass it by contract.
+        self._link_connectors: Set[tuple] = set()
+
+    def record_edge(self, p: int, x: int, y: int) -> None:
+        """Record that the pair ``(x, y)`` of ``p``'s neighbours is adjacent."""
+        if x > y:
+            x, y = y, x
+        log = self._edges.get(p)
+        if log is None:
+            log = self._edges[p] = []
+        log.append(x * self._n + y)
+
+    def record_link(self, p: int, x: int, y: int, connector: int) -> None:
+        """Record ``connector`` as joining the non-adjacent pair ``(x, y)`` in ``GE(p)``.
+
+        Re-recording the same ``(p, pair, connector)`` fact is ignored, so
+        the derived counts never overstate the distinct connectors.
+        """
+        if x > y:
+            x, y = y, x
+        pair = x * self._n + y
+        guard = (p, pair, connector)
+        if guard in self._link_connectors:
+            return
+        self._link_connectors.add(guard)
+        log = self._links.get(p)
+        if log is None:
+            log = self._links[p] = []
+        log.append(pair)
+
+    def identified_edge_pairs(self, p: int) -> Set[int]:
+        """Return the distinct identified-edge pair keys for ``p``."""
+        log = self._edges.get(p)
+        if not log:
+            return set()
+        n = self._n
+        pairs: Set[int] = set()
+        add = pairs.add
+        for entry in log:
+            if type(entry) is tuple:
+                c, row = entry
+                cn = c * n
+                for w in row:
+                    add(cn + w if c < w else w * n + c)
+            else:
+                add(entry)
+        return pairs
+
+    def identified_edge_count(self, p: int) -> int:
+        """Return ``∗C̄p`` (distinct identified edges).
+
+        Fast path for pure reference logs: within one entry ``(c, row)``
+        every pair is distinct, and across entries the connectors ``c``
+        differ, so the only possible duplicate of a pair ``{c_i, c_j}`` is
+        its mirror recorded from the other endpoint's computation — both
+        endpoints then own an entry and each lists the other, so the
+        distinct count is ``Σ len(row) - |mutual listings| / 2``.
+        """
+        log = self._edges.get(p)
+        if not log:
+            return 0
+        if any(type(entry) is not tuple for entry in log):
+            return len(self.identified_edge_pairs(p))
+        owners = {entry[0] for entry in log}
+        total = 0
+        mutual = 0
+        intersection = owners.intersection
+        for c, row in log:
+            total += len(row)
+            mutual += len(intersection(row))
+        return total - mutual // 2
+
+    def identified_link_counts(self, p: int) -> Dict[int, int]:
+        """Return ``packed pair -> |∗Ŝp(pair)|`` (distinct connectors per pair)."""
+        log = self._links.get(p)
+        if not log:
+            return {}
+        flat: list = []
+        extend = flat.extend
+        for entry in log:
+            if type(entry) is tuple:
+                wedges, start, end = entry
+                extend(wedges[start:end])
+            else:
+                flat.append(entry)
+        return dict(Counter(flat))
+
+    def upper_bound(self, p: int, degree: int) -> float:
+        """Return Lemma 3's dynamic bound ``˜ub(p)`` from the recorded facts.
+
+        Accumulates the per-count terms through the same sorted histogram as
+        :func:`repro.core.bounds.dynamic_upper_bound`, so the two backends
+        produce bit-identical bounds for identical identified facts.
+        """
+        bound = degree * (degree - 1) / 2.0
+        if self._edges.get(p):
+            bound -= self.identified_edge_count(p)
+        if self._links.get(p):
+            histogram = Counter(self.identified_link_counts(p).values())
+            for count in sorted(histogram):
+                bound -= histogram[count] * (1.0 - 1.0 / (count + 1))
+        return bound
+
+    def discard(self, p: int) -> None:
+        """Drop the stored facts for ``p`` (called after its exact computation)."""
+        self._edges.pop(p, None)
+        self._links.pop(p, None)

@@ -151,13 +151,15 @@ def top_k_ego_betweenness(
     k: int,
     method: str = "opt",
     theta: float = 1.05,
+    backend: str = "auto",
 ) -> TopKResult:
     """Find the ``k`` vertices with the highest ego-betweenness.
 
     Parameters
     ----------
     graph:
-        The input graph.
+        The input graph — a hash-set :class:`Graph` or a pre-converted
+        :class:`~repro.graph.csr.CompactGraph`.
     k:
         Number of results to return (values larger than ``n`` are clamped).
     method:
@@ -166,6 +168,13 @@ def top_k_ego_betweenness(
         algorithm the paper uses as a strawman).
     theta:
         Gradient ratio for OptBSearch (ignored by the other methods).
+    backend:
+        ``"auto"`` (the default) runs the search on the compact CSR backend,
+        converting a hash ``Graph`` once up front and mapping results back
+        to the original vertex labels; ``"compact"`` forces that explicitly
+        and ``"hash"`` forces the hash-set oracle implementation.  Both
+        backends return identical entries and work counters, so the default
+        output is unchanged for existing callers — only faster.
 
     Returns
     -------
@@ -176,18 +185,28 @@ def top_k_ego_betweenness(
     # the accumulator defined above).
     from repro.core.base_search import base_b_search
     from repro.core.opt_search import opt_b_search
+    from repro.core.csr_kernels import as_hash_graph, normalize_backend
     from repro.core.ego_betweenness import all_ego_betweenness
 
     if k < 1:
         raise InvalidParameterError("k must be a positive integer")
     method = method.lower()
+    backend = normalize_backend(backend)
+    if backend == "hash":
+        graph = as_hash_graph(graph)
+
     if method == "base":
-        return base_b_search(graph, k)
+        return base_b_search(graph, k, backend=backend)
     if method == "opt":
-        return opt_b_search(graph, k, theta=theta)
+        return opt_b_search(graph, k, theta=theta, backend=backend)
     if method == "naive":
         start = time.perf_counter()
-        scores = all_ego_betweenness(graph)
+        if backend == "compact":
+            from repro.core.csr_kernels import all_ego_betweenness_csr
+
+            scores = all_ego_betweenness_csr(graph)
+        else:
+            scores = all_ego_betweenness(graph)
         accumulator = TopKAccumulator(min(k, max(len(scores), 1)))
         for vertex, score in scores.items():
             accumulator.offer(vertex, score)

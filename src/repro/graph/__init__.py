@@ -5,6 +5,9 @@ It provides
 
 * :class:`~repro.graph.graph.Graph` — a mutable, undirected, simple graph
   backed by adjacency sets,
+* :class:`~repro.graph.csr.CompactGraph` — an immutable CSR snapshot with
+  dense int ids and sorted adjacency arrays, the fast backend for the
+  top-k hot paths,
 * :class:`~repro.graph.orientation.OrientedGraph` — the degree-ordered DAG
   ``G+`` used for once-per-triangle enumeration,
 * triangle and wedge enumeration (:mod:`repro.graph.triangles`),
@@ -14,6 +17,7 @@ It provides
 """
 
 from repro.graph.graph import Graph
+from repro.graph.csr import CompactGraph
 from repro.graph.orientation import DegreeOrder, OrientedGraph, orient
 from repro.graph.triangles import (
     count_triangles,
@@ -24,6 +28,7 @@ from repro.graph.arboricity import arboricity_upper_bound, degeneracy, degenerac
 
 __all__ = [
     "Graph",
+    "CompactGraph",
     "DegreeOrder",
     "OrientedGraph",
     "orient",

@@ -115,6 +115,18 @@ class Graph:
         clone._num_edges = self._num_edges
         return clone
 
+    def to_compact(self) -> "CompactGraph":
+        """Return an immutable :class:`~repro.graph.csr.CompactGraph` snapshot.
+
+        Vertices are relabelled to dense ``0..n-1`` integers (in insertion
+        order) and the adjacency is stored as sorted CSR arrays — the fast
+        backend for the top-k hot paths.  The original labels are preserved
+        and every result-producing API maps ids back to them.
+        """
+        from repro.graph.csr import CompactGraph
+
+        return CompactGraph.from_graph(self)
+
     # ------------------------------------------------------------------
     # Size queries
     # ------------------------------------------------------------------
@@ -290,10 +302,21 @@ class Graph:
         """
         selected = {v for v in vertices if v in self._adj}
         sub = Graph(vertices=selected)
-        for v in selected:
-            for w in self._adj[v]:
-                if w in selected and not sub.has_edge(v, w):
-                    sub.add_edge(v, w)
+        if all(type(v) is int for v in selected):
+            # Dense-int fast path: every undirected edge is visited from both
+            # endpoints, so emitting it only from the smaller one inserts each
+            # edge exactly once without re-probing `sub`.  The membership
+            # check must come first — a selected int vertex may have
+            # non-int neighbours that do not support `<`.
+            for v in selected:
+                for w in self._adj[v]:
+                    if w in selected and v < w:
+                        sub.add_edge(v, w)
+        else:
+            for v in selected:
+                for w in self._adj[v]:
+                    if w in selected:
+                        sub.add_edge(v, w, exist_ok=True)
         return sub
 
     def ego_network(self, vertex: Vertex) -> "Graph":

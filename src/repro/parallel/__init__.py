@@ -26,12 +26,13 @@ from repro.parallel.engines import (
     edge_parallel_ego_betweenness,
     vertex_parallel_ego_betweenness,
 )
-from repro.parallel.executor import ParallelBackend, run_chunks
+from repro.parallel.executor import ParallelBackend, run_chunks, run_chunks_csr
 from repro.parallel.load_balance import LoadBalanceReport, simulate_schedule
 from repro.parallel.partition import (
     balanced_partition,
     block_partition,
     vertex_work_estimates,
+    vertex_work_estimates_csr,
 )
 
 __all__ = [
@@ -39,9 +40,11 @@ __all__ = [
     "edge_parallel_ego_betweenness",
     "ParallelBackend",
     "run_chunks",
+    "run_chunks_csr",
     "block_partition",
     "balanced_partition",
     "vertex_work_estimates",
+    "vertex_work_estimates_csr",
     "simulate_schedule",
     "LoadBalanceReport",
 ]

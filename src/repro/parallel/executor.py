@@ -21,9 +21,16 @@ from enum import Enum
 from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.errors import InvalidParameterError
+from repro.graph.csr import CompactGraph
 from repro.graph.graph import Graph, Vertex
 
-__all__ = ["ParallelBackend", "run_chunks", "compute_chunk_scores"]
+__all__ = [
+    "ParallelBackend",
+    "run_chunks",
+    "compute_chunk_scores",
+    "run_chunks_csr",
+    "compute_chunk_scores_csr",
+]
 
 
 class ParallelBackend(str, Enum):
@@ -46,6 +53,106 @@ def compute_chunk_scores(
 
     graph = Graph.from_adjacency(adjacency)
     return {p: ego_betweenness(graph, p) for p in chunk}
+
+
+def compute_chunk_scores_csr(
+    payload: Tuple[Sequence[int], Sequence[int]], chunk: Sequence[int]
+) -> Dict[int, float]:
+    """Compute the exact ego-betweenness of every vertex id in ``chunk``.
+
+    Module-level (hence picklable) CSR worker function.  ``payload`` is the
+    ``(indptr, indices)`` pair from :meth:`CompactGraph.arrays` — two flat
+    typed arrays, far cheaper to pickle and ship than the per-vertex
+    adjacency sets the hash worker receives.
+    """
+    from repro.core.csr_kernels import ego_betweenness_from_arrays
+
+    indptr, indices = payload
+    return ego_betweenness_from_arrays(indptr, indices, chunk)
+
+
+def run_chunks_csr(
+    compact: CompactGraph,
+    chunks: Sequence[Sequence[int]],
+    backend: ParallelBackend | str = ParallelBackend.SERIAL,
+) -> Tuple[Dict[int, float], List[float]]:
+    """Execute per-chunk computations on the CSR backend and merge results.
+
+    The CSR twin of :func:`run_chunks`: chunks contain dense vertex ids and
+    the returned scores are keyed by id (callers map them back to labels).
+    """
+    backend = ParallelBackend(backend)
+    if backend is ParallelBackend.SERIAL:
+        return _run_serial_csr(compact, chunks)
+    if backend is ParallelBackend.PROCESS:
+        return _run_process_csr(compact, chunks)
+    raise InvalidParameterError(f"unknown backend {backend!r}")
+
+
+def _run_serial_csr(
+    compact: CompactGraph, chunks: Sequence[Sequence[int]]
+) -> Tuple[Dict[int, float], List[float]]:
+    import time
+
+    from repro.core.csr_kernels import ego_betweenness_from_arrays
+
+    indptr, indices = compact.indptr, compact.indices
+    # The neighbour-set cache is shared across every chunk of the serial run.
+    nbr_sets = compact.neighbor_sets()
+    dense = compact.dense_adjacency()
+    merged: Dict[int, float] = {}
+    timings: List[float] = []
+    for chunk in chunks:
+        start = time.perf_counter()
+        merged.update(
+            ego_betweenness_from_arrays(indptr, indices, chunk, nbr_sets, dense)
+        )
+        timings.append(time.perf_counter() - start)
+    return merged, timings
+
+
+def _run_process_csr(
+    compact: CompactGraph, chunks: Sequence[Sequence[int]]
+) -> Tuple[Dict[int, float], List[float]]:
+    return _run_process_pool(compute_chunk_scores_csr, compact.arrays(), chunks)
+
+
+def _run_process_pool(
+    worker: Callable, payload, chunks: Sequence[Sequence]
+) -> Tuple[Dict, List[float]]:
+    """Run ``worker(payload, chunk)`` over a process pool and merge results.
+
+    Shared by the hash and CSR process backends so the fork-context
+    fallback, per-result timing semantics and empty-chunk padding exist in
+    exactly one copy.
+    """
+    import multiprocessing
+    import time
+
+    non_empty = [list(chunk) for chunk in chunks if chunk]
+    if not non_empty:
+        return {}, [0.0] * len(chunks)
+
+    merged: Dict = {}
+    timings: List[float] = []
+    # ``fork`` keeps the payload cheap on Linux; fall back to the default
+    # start method elsewhere.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    with context.Pool(processes=len(non_empty)) as pool:
+        start = time.perf_counter()
+        async_results = [
+            pool.apply_async(worker, (payload, chunk)) for chunk in non_empty
+        ]
+        for result in async_results:
+            merged.update(result.get())
+            timings.append(time.perf_counter() - start)
+    # Pad timings for empty chunks so the caller can zip them with the input.
+    while len(timings) < len(chunks):
+        timings.append(0.0)
+    return merged, timings
 
 
 def run_chunks(
@@ -88,31 +195,4 @@ def _run_serial(
 def _run_process(
     graph: Graph, chunks: Sequence[Sequence[Vertex]]
 ) -> Tuple[Dict[Vertex, float], List[float]]:
-    import multiprocessing
-    import time
-
-    adjacency = graph.to_adjacency()
-    non_empty = [list(chunk) for chunk in chunks if chunk]
-    if not non_empty:
-        return {}, [0.0] * len(chunks)
-
-    merged: Dict[Vertex, float] = {}
-    timings: List[float] = []
-    # ``fork`` keeps the payload cheap on Linux; fall back to the default
-    # start method elsewhere.
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    with context.Pool(processes=len(non_empty)) as pool:
-        start = time.perf_counter()
-        async_results = [
-            pool.apply_async(compute_chunk_scores, (adjacency, chunk)) for chunk in non_empty
-        ]
-        for result in async_results:
-            merged.update(result.get())
-            timings.append(time.perf_counter() - start)
-    # Pad timings for empty chunks so the caller can zip them with the input.
-    while len(timings) < len(chunks):
-        timings.append(0.0)
-    return merged, timings
+    return _run_process_pool(compute_chunk_scores, graph.to_adjacency(), chunks)

@@ -24,9 +24,15 @@ import heapq
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
+from repro.graph.csr import CompactGraph
 from repro.graph.graph import Graph, Vertex
 
-__all__ = ["vertex_work_estimates", "block_partition", "balanced_partition"]
+__all__ = [
+    "vertex_work_estimates",
+    "vertex_work_estimates_csr",
+    "block_partition",
+    "balanced_partition",
+]
 
 
 def vertex_work_estimates(graph: Graph) -> Dict[Vertex, float]:
@@ -48,6 +54,28 @@ def vertex_work_estimates(graph: Graph) -> Dict[Vertex, float]:
         # The constant offset models per-vertex fixed costs so that very
         # low-degree vertices do not register as free.
         estimates[p] = work + 1.0
+    return estimates
+
+
+def vertex_work_estimates_csr(compact: CompactGraph) -> List[float]:
+    """Return the per-vertex edge-work estimates, indexed by dense vertex id.
+
+    The CSR twin of :func:`vertex_work_estimates`: the same
+    ``Σ_{w ∈ N(p)} min(d(w), d(p)) + 1`` quantity, computed from the flat
+    degree and adjacency arrays.  The values are identical to the hash
+    estimates (the sums are integer-exact in floats), so schedules and the
+    load-balance report agree between backends.
+    """
+    indptr, indices = compact.indptr, compact.indices
+    degrees = compact.degrees
+    estimates: List[float] = []
+    for p in range(len(degrees)):
+        dp = degrees[p]
+        work = 1.0
+        for w in indices[indptr[p] : indptr[p + 1]]:
+            dw = degrees[w]
+            work += dw if dw < dp else dp
+        estimates.append(work)
     return estimates
 
 

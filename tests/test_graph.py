@@ -155,6 +155,15 @@ class TestSubgraphs:
         assert sub.num_vertices == 2
         assert sub.num_edges == 0
 
+    def test_subgraph_int_selection_with_mixed_type_neighbors(self):
+        # All selected vertices are ints (dense-int fast path), but a
+        # selected vertex has a non-int neighbour outside the selection —
+        # the membership check must happen before any `<` comparison.
+        g = Graph(edges=[(1, "a"), (1, 2), (2, "a")])
+        sub = g.subgraph([1, 2])
+        assert sub.num_vertices == 2
+        assert sub.edge_list() == [(1, 2)]
+
     def test_ego_network_definition(self, example_graph):
         ego = example_graph.ego_network("d")
         assert set(ego.vertices()) == {"d", "a", "b", "c", "g", "h", "i"}
