@@ -1,0 +1,148 @@
+"""Benchmark smoke runs: tiny-scale perf numbers written as JSON artifacts.
+
+Runs the two headline hot paths at a small, CI-friendly scale and writes
+``BENCH_fig8.json`` (dynamic maintenance: mean/median per-update latency of
+the local index and the lazy maintainer, per backend) and
+``BENCH_fig6.json`` (top-k search: mean/median per-query latency of
+OptBSearch per backend) so every CI run records the perf trajectory of the
+repository.  Pure standard library — runnable as::
+
+    PYTHONPATH=src python benchmarks/smoke.py --scale 0.1 --out bench-artifacts
+
+The numbers are smoke-level (single process, few repetitions): they catch
+order-of-magnitude regressions and backend inversions, not percent-level
+drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+
+def _time_repeats(fn, repeats: int) -> dict:
+    """Run ``fn`` ``repeats`` times; return mean/median seconds per run."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "mean_s": statistics.fmean(samples),
+        "median_s": statistics.median(samples),
+        "rounds": repeats,
+    }
+
+
+def bench_fig8(scale: float, updates: int, seed: int) -> dict:
+    """Per-update latency of the dynamic maintainers on the DBLP stand-in."""
+    from repro.datasets.registry import load_dataset
+    from repro.dynamic.lazy_topk import LazyTopKMaintainer
+    from repro.dynamic.local_update import EgoBetweennessIndex
+    from repro.dynamic.stream import apply_stream, generate_update_stream
+    from repro.experiments.common import scaled_k_values
+
+    graph = load_dataset("dblp", scale=scale)
+    stream = generate_update_stream(graph, updates, seed=seed)
+    k = scaled_k_values(graph.num_vertices, (500,))[0]
+    backends = {}
+    for backend in ("compact", "hash"):
+        per_update = {}
+        samples = []
+        for algorithm, factory in (
+            ("local", lambda: EgoBetweennessIndex(graph, backend=backend)),
+            ("lazy", lambda: LazyTopKMaintainer(graph, k, backend=backend)),
+        ):
+            target = factory()
+            start = time.perf_counter()
+            applied = apply_stream(target, stream)
+            elapsed = time.perf_counter() - start
+            per_update[f"{algorithm}_mean_s"] = elapsed / max(applied, 1)
+            samples.append(elapsed / max(applied, 1))
+        per_update["mean_s"] = statistics.fmean(samples)
+        per_update["median_s"] = statistics.median(samples)
+        backends[backend] = per_update
+    return {
+        "bench": "fig8",
+        "unit": "seconds per update",
+        "dataset": "dblp",
+        "scale": scale,
+        "updates": updates,
+        "k": k,
+        "backends": backends,
+        "speedup_compact_vs_hash": backends["hash"]["mean_s"] / backends["compact"]["mean_s"],
+    }
+
+
+def bench_fig6(scale: float, k: int, repeats: int) -> dict:
+    """Per-query latency of OptBSearch on the LiveJournal stand-in."""
+    from repro.core.csr_kernels import opt_b_search_csr
+    from repro.core.opt_search import opt_b_search
+    from repro.datasets.registry import load_dataset
+
+    graph = load_dataset("livejournal", scale=scale)
+    compact = graph.to_compact()
+    backends = {
+        "hash": _time_repeats(lambda: opt_b_search(graph, k), repeats),
+        # Warm CSR: snapshot conversion and memoised ego summaries amortised
+        # across queries — the steady state of a top-k service.
+        "compact": _time_repeats(lambda: opt_b_search_csr(compact, k), repeats),
+        "compact_cold": _time_repeats(
+            lambda: opt_b_search_csr(graph.to_compact(), k), repeats
+        ),
+    }
+    return {
+        "bench": "fig6",
+        "unit": "seconds per query",
+        "dataset": "livejournal",
+        "scale": scale,
+        "k": k,
+        "backends": {
+            name: {"mean_s": r["mean_s"], "median_s": r["median_s"], "rounds": r["rounds"]}
+            for name, r in backends.items()
+        },
+        "speedup_compact_vs_hash": backends["hash"]["mean_s"] / backends["compact"]["mean_s"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="benchmark smoke runs -> JSON artifacts")
+    parser.add_argument("--scale", type=float, default=0.1, help="dataset scale (default 0.1)")
+    parser.add_argument("--updates", type=int, default=100, help="fig8 stream length")
+    parser.add_argument("--repeats", type=int, default=5, help="fig6 query repetitions")
+    parser.add_argument("-k", type=int, default=10, help="fig6 top-k size")
+    parser.add_argument("--seed", type=int, default=7, help="fig8 stream seed")
+    parser.add_argument(
+        "--out", default="benchmarks/results", help="output directory for the JSON artifacts"
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    env = {"python": platform.python_version(), "machine": platform.machine()}
+
+    for name, payload in (
+        ("BENCH_fig8.json", bench_fig8(args.scale, args.updates, args.seed)),
+        ("BENCH_fig6.json", bench_fig6(args.scale, args.k, args.repeats)),
+    ):
+        payload["environment"] = env
+        path = out_dir / name
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        summary = {
+            backend: round(values["mean_s"] * 1e6, 1)
+            for backend, values in payload["backends"].items()
+        }
+        print(
+            f"{name}: mean us/op {summary} "
+            f"(compact vs hash: {payload['speedup_compact_vs_hash']:.2f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,10 @@ Subcommands
     dataset.
 ``stats``
     Print the summary statistics of a graph.
+``maintain``
+    Replay a mixed edge-update stream against the dynamic maintainers
+    (LocalInsert/Delete and LazyInsert/Delete) and report per-update
+    latency and laziness counters — the streaming-workload scenario.
 ``experiment``
     Run one of the paper-reproduction experiments and print its report.
 ``datasets``
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.analysis.reporting import format_table
@@ -29,6 +34,11 @@ from repro.graph.graph import Graph
 from repro.graph.io import read_edge_list
 
 __all__ = ["main", "build_parser"]
+
+_BACKEND_HELP = (
+    "graph backend: 'auto'/'compact' run on the fast CSR structures, "
+    "'hash' forces the hash-set oracle; results are identical (default: auto)"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,9 +73,44 @@ def build_parser() -> argparse.ArgumentParser:
     stats = subparsers.add_parser("stats", help="print graph statistics")
     _add_graph_source_arguments(stats)
 
+    maintain = subparsers.add_parser(
+        "maintain",
+        help="replay an update stream against the dynamic maintainers",
+    )
+    _add_graph_source_arguments(maintain)
+    maintain.add_argument(
+        "--updates", type=int, default=200, help="number of update events (default 200)"
+    )
+    maintain.add_argument("-k", type=int, default=10, help="maintained top-k size (default 10)")
+    maintain.add_argument("--seed", type=int, default=7, help="stream RNG seed")
+    maintain.add_argument(
+        "--insert-fraction",
+        type=float,
+        default=0.5,
+        help="approximate fraction of insertions in the stream (default 0.5)",
+    )
+    maintain.add_argument(
+        "--mode",
+        choices=("local", "lazy", "both"),
+        default="both",
+        help="which maintainer(s) to replay (default: both)",
+    )
+    maintain.add_argument(
+        "--backend",
+        choices=("auto", "compact", "hash"),
+        default="auto",
+        help=_BACKEND_HELP,
+    )
+
     experiment = subparsers.add_parser("experiment", help="run a reproduction experiment")
     experiment.add_argument("experiment_id", choices=sorted(EXPERIMENTS), help="experiment id")
     experiment.add_argument("--scale", type=float, default=0.5, help="dataset scale factor")
+    experiment.add_argument(
+        "--backend",
+        choices=("auto", "compact", "hash"),
+        default="auto",
+        help=_BACKEND_HELP + "; forwarded to experiments that support it",
+    )
 
     subparsers.add_parser("datasets", help="list the registry datasets")
     return parser
@@ -90,6 +135,62 @@ def _load_graph(args: argparse.Namespace) -> Graph:
     return load_dataset(args.dataset, scale=args.scale)
 
 
+def _run_maintain(args: argparse.Namespace) -> None:
+    """Replay a generated update stream against the dynamic maintainers."""
+    from repro.dynamic.lazy_topk import LazyTopKMaintainer
+    from repro.dynamic.local_update import EgoBetweennessIndex
+    from repro.dynamic.stream import apply_stream, generate_update_stream
+
+    graph = _load_graph(args)
+    stream = generate_update_stream(
+        graph, args.updates, seed=args.seed, insert_fraction=args.insert_fraction
+    )
+    inserts = sum(1 for event in stream if event.operation == "insert")
+    rows = []
+    if args.mode in ("local", "both"):
+        index = EgoBetweennessIndex(graph, backend=args.backend)
+        start = time.perf_counter()
+        applied = apply_stream(index, stream)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "algorithm": "LocalInsert/Delete",
+                "backend": index.backend,
+                "events": applied,
+                "mean_us_per_update": round(elapsed / max(applied, 1) * 1e6, 1),
+                "exact_recomputations": "-",
+                "skipped": "-",
+            }
+        )
+    if args.mode in ("lazy", "both"):
+        maintainer = LazyTopKMaintainer(graph, args.k, backend=args.backend)
+        start = time.perf_counter()
+        applied = apply_stream(maintainer, stream)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "algorithm": f"LazyTopK (k={args.k})",
+                "backend": maintainer.backend,
+                "events": applied,
+                "mean_us_per_update": round(elapsed / max(applied, 1) * 1e6, 1),
+                "exact_recomputations": maintainer.exact_recomputations,
+                "skipped": maintainer.skipped_recomputations,
+            }
+        )
+    title = (
+        f"Dynamic maintenance over {len(stream)} updates "
+        f"({inserts} insertions, {len(stream) - inserts} deletions)"
+    )
+    print(format_table(rows, title=title))
+    if args.mode in ("lazy", "both"):
+        top = maintainer.top_k()
+        ranked = [
+            {"rank": rank + 1, "vertex": vertex, "ego_betweenness": round(score, 4)}
+            for rank, (vertex, score) in enumerate(top.entries)
+        ]
+        print(format_table(ranked, title=f"Maintained top-{args.k} after the stream"))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -112,8 +213,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "stats":
             graph = _load_graph(args)
             print(format_table([graph_statistics(graph).as_dict()], title="Graph statistics"))
+        elif args.command == "maintain":
+            _run_maintain(args)
         elif args.command == "experiment":
-            result = run_experiment(args.experiment_id, scale=args.scale)
+            result = run_experiment(args.experiment_id, scale=args.scale, backend=args.backend)
             print(result.render())
         elif args.command == "datasets":
             print(format_table(registry_table(scale=0.25), title="Registry datasets (scale=0.25)"))

@@ -7,18 +7,32 @@
 * :class:`~repro.dynamic.lazy_topk.LazyTopKMaintainer` — maintains only the
   top-k result set, skipping exact recomputations whose outcome cannot change
   the answer (LazyInsert / LazyDelete, Algorithm 6).
-* :mod:`repro.dynamic.stream` — update-workload generators used by the
-  Fig. 8 experiment.
+* :mod:`repro.dynamic.stream` — update-workload generators and the
+  batch-application helpers used by the Fig. 8 experiment, the benchmarks
+  and the CLI.
+
+Both maintainers take ``backend={"auto", "compact", "hash"}``: the default
+compact backend runs on the mutable CSR overlay
+(:class:`~repro.graph.dynamic_csr.DynamicCompactGraph`) with the
+incremental delta kernels of :mod:`repro.core.csr_kernels`; the hash
+backend is the bit-identical parity oracle.
 """
 
 from repro.dynamic.local_update import EgoBetweennessIndex, affected_vertices
 from repro.dynamic.lazy_topk import LazyTopKMaintainer
-from repro.dynamic.stream import UpdateEvent, generate_update_stream
+from repro.dynamic.stream import (
+    UpdateEvent,
+    apply_stream,
+    generate_update_stream,
+    invert_stream,
+)
 
 __all__ = [
     "EgoBetweennessIndex",
     "affected_vertices",
     "LazyTopKMaintainer",
     "UpdateEvent",
+    "apply_stream",
     "generate_update_stream",
+    "invert_stream",
 ]

@@ -21,6 +21,19 @@ matter for the answer — the core idea of the paper's Algorithm 6:
 Deletions mirror the rules (common neighbours can only gain and therefore
 get the static bound; endpoints shrink their bound).
 
+Like :class:`~repro.dynamic.local_update.EgoBetweennessIndex`, the
+maintainer runs on one of two backends (``backend={"auto", "compact",
+"hash"}``, auto = compact).  The compact backend keeps the graph in a
+:class:`~repro.graph.dynamic_csr.DynamicCompactGraph` overlay whose
+memoised ego scores are invalidated only for the Observation-1 affected
+set, so the exact recomputations the laziness cannot avoid are served from
+int-set kernels — and repeated probes of untouched outsiders cost a dict
+lookup.  The decision sequence (which vertices are recomputed, skipped,
+swapped) is deterministic and identical across backends, so the
+``exact_recomputations`` / ``skipped_recomputations`` counters and the
+maintained values agree exactly; the hash backend remains the parity
+oracle.
+
 Implementation note.  The paper's Algorithm 6 keeps the *outdated
 ego-betweenness* as the stale priority of a skipped endpoint.  Because an
 insertion can increase an endpoint's value, that stored number is not always
@@ -39,7 +52,14 @@ import itertools
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro._ordering import sort_key
 from repro.core.bounds import static_upper_bound
+from repro.core.csr_kernels import (
+    all_dynamic_ego_scores,
+    as_dynamic,
+    dynamic_ego_score,
+    normalize_backend,
+)
 from repro.core.ego_betweenness import all_ego_betweenness, ego_betweenness
 from repro.core.topk import SearchStats, TopKResult
 from repro.errors import EdgeExistsError, EdgeNotFoundError, InvalidParameterError, SelfLoopError
@@ -57,6 +77,14 @@ class LazyTopKMaintainer:
         The initial graph (copied; later updates go through this object).
     k:
         Size of the maintained result set.
+    backend:
+        ``"auto"`` (default, resolves to ``"compact"``) runs on the mutable
+        CSR overlay with memoised, selectively-invalidated ego scores;
+        ``"hash"`` forces the label-level oracle.  Values, result sets and
+        counters are identical either way.
+    values:
+        Optional precomputed exact ego-betweenness map for ``graph``; skips
+        the initial all-vertex computation.
 
     Attributes
     ----------
@@ -70,12 +98,38 @@ class LazyTopKMaintainer:
         test allowed the maintainer to skip.
     """
 
-    def __init__(self, graph: Graph, k: int) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        backend: str = "auto",
+        values: Optional[Dict[Vertex, float]] = None,
+        **overlay_options,
+    ) -> None:
         if k < 1:
             raise InvalidParameterError("k must be a positive integer")
-        self._graph = graph.copy()
+        self.backend = normalize_backend(backend)
+        if self.backend == "compact":
+            # The maintainer's exact recomputations are served from patched
+            # ego summaries, so summary maintenance pays for itself here.
+            overlay_options.setdefault("maintain_summaries", True)
+            self._dyn = as_dynamic(graph, **overlay_options)
+            self._graph: Optional[Graph] = None
+            self._graph_version = -1
+            if values is None:
+                self._values: Dict[Vertex, float] = all_dynamic_ego_scores(self._dyn)
+            else:
+                self._values = dict(values)
+                self._dyn.seed_scores(
+                    {self._dyn.id_of(label): value for label, value in values.items()}
+                )
+        else:
+            if overlay_options:
+                raise TypeError("overlay options are only valid with backend='compact'")
+            self._dyn = None
+            self._graph = graph.copy()
+            self._values = dict(values) if values is not None else all_ego_betweenness(self._graph)
         self._k = k
-        self._values: Dict[Vertex, float] = all_ego_betweenness(self._graph)
         self._exact: Set[Vertex] = set(self._values)
         self._result: Set[Vertex] = set()
         self._counter = itertools.count()
@@ -90,7 +144,16 @@ class LazyTopKMaintainer:
     # ------------------------------------------------------------------
     @property
     def graph(self) -> Graph:
-        """The graph the maintainer currently reflects (treat as read-only)."""
+        """The graph the maintainer currently reflects (treat as read-only).
+
+        On the compact backend a hash-set view is materialised lazily and
+        cached until the next update.
+        """
+        if self._dyn is None:
+            return self._graph
+        if self._graph is None or self._graph_version != self._dyn.version:
+            self._graph = self._dyn.to_graph()
+            self._graph_version = self._dyn.version
         return self._graph
 
     @property
@@ -120,6 +183,48 @@ class LazyTopKMaintainer:
         return self._values[vertex]
 
     # ------------------------------------------------------------------
+    # Backend adapters
+    # ------------------------------------------------------------------
+    def _has_vertex(self, vertex: Vertex) -> bool:
+        if self._dyn is not None:
+            return self._dyn.has_vertex(vertex)
+        return self._graph.has_vertex(vertex)
+
+    def _has_edge(self, u: Vertex, v: Vertex) -> bool:
+        if self._dyn is not None:
+            return self._dyn.has_edge(u, v)
+        return self._graph.has_edge(u, v)
+
+    def _degree(self, vertex: Vertex) -> int:
+        if self._dyn is not None:
+            return self._dyn.degree(self._dyn.id_of(vertex))
+        return self._graph.degree(vertex)
+
+    def _add_vertex(self, vertex: Vertex) -> None:
+        if self._dyn is not None:
+            self._dyn.add_vertex(vertex)
+        else:
+            self._graph.add_vertex(vertex)
+
+    def _mutate(self, u: Vertex, v: Vertex, inserting: bool) -> Set[Vertex]:
+        """Apply the edge update; return the common neighbours (labels)."""
+        if self._dyn is not None:
+            dyn = self._dyn
+            uid, vid = dyn.id_of(u), dyn.id_of(v)
+            common_ids = (
+                dyn.insert_edge_ids(uid, vid) if inserting else dyn.delete_edge_ids(uid, vid)
+            )
+            label_of = dyn.label_of
+            return {label_of(w) for w in common_ids}
+        graph = self._graph
+        common = graph.common_neighbors(u, v)
+        if inserting:
+            graph.add_edge(u, v)
+        else:
+            graph.remove_edge(u, v)
+        return common
+
+    # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
     def insert_edge(self, u: Vertex, v: Vertex) -> None:
@@ -127,28 +232,24 @@ class LazyTopKMaintainer:
         start = time.perf_counter()
         if u == v:
             raise SelfLoopError(u)
-        graph = self._graph
-        if graph.has_vertex(u) and graph.has_vertex(v) and graph.has_edge(u, v):
+        if self._has_vertex(u) and self._has_vertex(v) and self._has_edge(u, v):
             raise EdgeExistsError(u, v)
         for endpoint in (u, v):
-            if not graph.has_vertex(endpoint):
-                graph.add_vertex(endpoint)
+            if not self._has_vertex(endpoint):
+                self._add_vertex(endpoint)
                 self._values[endpoint] = 0.0
                 self._exact.add(endpoint)
                 self._push(endpoint, 0.0)
-        common = graph.common_neighbors(u, v)
-        graph.add_edge(u, v)
+        common = self._mutate(u, v, inserting=True)
         self._apply_update(uncertain=(u, v), monotone=common, decreasing=True)
         self.last_update_seconds = time.perf_counter() - start
 
     def delete_edge(self, u: Vertex, v: Vertex) -> None:
         """LazyDelete: apply the edge deletion and restore the top-k invariant."""
         start = time.perf_counter()
-        graph = self._graph
-        if not (graph.has_vertex(u) and graph.has_vertex(v) and graph.has_edge(u, v)):
+        if not (self._has_vertex(u) and self._has_vertex(v) and self._has_edge(u, v)):
             raise EdgeNotFoundError(u, v)
-        common = graph.common_neighbors(u, v)
-        graph.remove_edge(u, v)
+        common = self._mutate(u, v, inserting=False)
         self._apply_update(uncertain=(u, v), monotone=common, decreasing=False)
         self.last_update_seconds = time.perf_counter() - start
 
@@ -168,7 +269,9 @@ class LazyTopKMaintainer:
         monotone:
             The common neighbours, whose value moves monotonically:
             downwards for an insertion (``decreasing=True``), upwards for a
-            deletion.
+            deletion.  Iterated in canonical label order so the heap
+            tie-breaking — and with it every lazy decision — is identical
+            across backends.
         """
         affected_in_result: List[Vertex] = []
 
@@ -177,15 +280,15 @@ class LazyTopKMaintainer:
             if vertex in self._result:
                 affected_in_result.append(vertex)
             else:
-                self._stale(vertex, static_upper_bound(self._graph.degree(vertex)))
-        for vertex in monotone:
+                self._stale(vertex, static_upper_bound(self._degree(vertex)))
+        for vertex in sorted(monotone, key=sort_key):
             if vertex in self._result:
                 affected_in_result.append(vertex)
             elif decreasing:
                 # Old stored value (or bound) still upper-bounds the new one.
                 self._exact.discard(vertex)
             else:
-                self._stale(vertex, static_upper_bound(self._graph.degree(vertex)))
+                self._stale(vertex, static_upper_bound(self._degree(vertex)))
 
         # Phase B — result members must stay exact.
         for vertex in affected_in_result:
@@ -253,7 +356,10 @@ class LazyTopKMaintainer:
         )
 
     def _recompute(self, vertex: Vertex) -> float:
-        score = ego_betweenness(self._graph, vertex)
+        if self._dyn is not None:
+            score = dynamic_ego_score(self._dyn, self._dyn.id_of(vertex))
+        else:
+            score = ego_betweenness(self._graph, vertex)
         self._values[vertex] = score
         self._exact.add(vertex)
         self.exact_recomputations += 1
@@ -279,7 +385,7 @@ class LazyTopKMaintainer:
         while self._heap:
             neg_priority, _, vertex = heapq.heappop(self._heap)
             priority = -neg_priority
-            if vertex in self._result or not self._graph.has_vertex(vertex):
+            if vertex in self._result or not self._has_vertex(vertex):
                 continue
             if priority != self._values.get(vertex):
                 continue

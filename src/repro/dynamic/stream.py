@@ -1,22 +1,36 @@
-"""Update-workload generation for the dynamic-maintenance experiments.
+"""Update-workload generation and batch application for dynamic maintenance.
 
 Exp-3 of the paper evaluates the maintenance algorithms by randomly selecting
 1,000 edges per dataset for insertion and deletion.  This module produces the
 equivalent reproducible workloads: a deletion stream removes edges that exist
 in the graph, an insertion stream re-inserts previously removed edges or adds
 brand-new non-edges, and a mixed stream interleaves both.
+
+It also provides the batch-application plumbing shared by the experiments,
+benchmarks and the CLI: :func:`apply_stream` replays a stream against any
+update target — an :class:`~repro.dynamic.local_update.EgoBetweennessIndex`
+or :class:`~repro.dynamic.lazy_topk.LazyTopKMaintainer` on either backend, a
+mutable :class:`~repro.graph.dynamic_csr.DynamicCompactGraph` overlay, or a
+plain :class:`Graph` — and :func:`invert_stream` produces the exact undo
+stream (used by the round-trip parity tests).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Literal, Sequence, Tuple
+from typing import Iterable, Iterator, List, Literal, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph, Vertex
 
-__all__ = ["UpdateEvent", "generate_update_stream", "split_insert_delete_workload"]
+__all__ = [
+    "UpdateEvent",
+    "generate_update_stream",
+    "split_insert_delete_workload",
+    "apply_stream",
+    "invert_stream",
+]
 
 Operation = Literal["insert", "delete"]
 
@@ -33,6 +47,55 @@ class UpdateEvent:
     def edge(self) -> Tuple[Vertex, Vertex]:
         """The affected edge as a tuple."""
         return (self.u, self.v)
+
+
+def apply_stream(target, events: Iterable[UpdateEvent]) -> int:
+    """Replay ``events`` in order against ``target``; return the event count.
+
+    ``target`` may be anything exposing ``insert_edge`` / ``delete_edge``
+    (the dynamic maintainers and :class:`DynamicCompactGraph`) or, failing
+    that, ``add_edge`` / ``remove_edge`` (a plain :class:`Graph`).
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(0, 1), (1, 2)])
+    >>> apply_stream(g, [UpdateEvent("insert", 0, 2), UpdateEvent("delete", 0, 1)])
+    2
+    >>> sorted(g.edge_list())
+    [(0, 2), (1, 2)]
+    """
+    insert = getattr(target, "insert_edge", None)
+    if insert is None:
+        insert = target.add_edge
+    delete = getattr(target, "delete_edge", None)
+    if delete is None:
+        delete = target.remove_edge
+    count = 0
+    for event in events:
+        if event.operation == "insert":
+            insert(event.u, event.v)
+        else:
+            delete(event.u, event.v)
+        count += 1
+    return count
+
+
+def invert_stream(events: Sequence[UpdateEvent]) -> List[UpdateEvent]:
+    """Return the undo stream: reversed order, each operation flipped.
+
+    Applying a stream and then its inversion restores the starting graph
+    exactly (the round-trip invariant of the dynamic parity tests).
+
+    Examples
+    --------
+    >>> invert_stream([UpdateEvent("insert", 0, 2), UpdateEvent("delete", 0, 1)])
+    [UpdateEvent(operation='insert', u=0, v=1), UpdateEvent(operation='delete', u=0, v=2)]
+    """
+    flipped: List[UpdateEvent] = []
+    for event in reversed(events):
+        operation: Operation = "delete" if event.operation == "insert" else "insert"
+        flipped.append(UpdateEvent(operation, event.u, event.v))
+    return flipped
 
 
 def split_insert_delete_workload(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict
 
 from repro.errors import InvalidParameterError
@@ -39,13 +40,31 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+#: Cross-cutting options the CLI forwards to every experiment; dropped for
+#: experiments whose ``run()`` does not take them.  Every other unknown
+#: keyword still raises TypeError, so caller typos stay loud.
+CROSS_CUTTING_OPTIONS = ("backend",)
+
+
 def run_experiment(
     experiment_id: str, scale: float = DEFAULT_EXPERIMENT_SCALE, **kwargs
 ) -> ExperimentResult:
-    """Run one experiment by id and return its :class:`ExperimentResult`."""
+    """Run one experiment by id and return its :class:`ExperimentResult`.
+
+    The cross-cutting keywords in :data:`CROSS_CUTTING_OPTIONS` (e.g. the
+    CLI's ``--backend``) are forwarded only to experiments that accept
+    them; any other keyword the experiment does not take raises TypeError
+    as usual.
+    """
     key = experiment_id.lower()
     if key not in EXPERIMENTS:
         raise InvalidParameterError(
             f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[key](scale=scale, **kwargs)
+    func = EXPERIMENTS[key]
+    parameters = inspect.signature(func).parameters
+    if not any(p.kind is p.VAR_KEYWORD for p in parameters.values()):
+        for name in CROSS_CUTTING_OPTIONS:
+            if name not in parameters:
+                kwargs.pop(name, None)
+    return func(scale=scale, **kwargs)

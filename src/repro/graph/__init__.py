@@ -8,6 +8,9 @@ It provides
 * :class:`~repro.graph.csr.CompactGraph` — an immutable CSR snapshot with
   dense int ids and sorted adjacency arrays, the fast backend for the
   top-k hot paths,
+* :class:`~repro.graph.dynamic_csr.DynamicCompactGraph` — the mutable CSR
+  overlay (base snapshot + per-vertex edge delta sets with a gated
+  rebuild), the fast backend for the dynamic-maintenance hot path,
 * :class:`~repro.graph.orientation.OrientedGraph` — the degree-ordered DAG
   ``G+`` used for once-per-triangle enumeration,
 * triangle and wedge enumeration (:mod:`repro.graph.triangles`),
@@ -18,6 +21,7 @@ It provides
 
 from repro.graph.graph import Graph
 from repro.graph.csr import CompactGraph
+from repro.graph.dynamic_csr import DynamicCompactGraph
 from repro.graph.orientation import DegreeOrder, OrientedGraph, orient
 from repro.graph.triangles import (
     count_triangles,
@@ -29,6 +33,7 @@ from repro.graph.arboricity import arboricity_upper_bound, degeneracy, degenerac
 __all__ = [
     "Graph",
     "CompactGraph",
+    "DynamicCompactGraph",
     "DegreeOrder",
     "OrientedGraph",
     "orient",

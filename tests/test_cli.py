@@ -50,6 +50,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Graph statistics" in out
 
+    def test_maintain_on_dataset(self, capsys):
+        assert main(
+            ["maintain", "--dataset", "youtube", "--scale", "0.08",
+             "--updates", "20", "-k", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Dynamic maintenance over 20 updates" in out
+        assert "LazyTopK" in out
+        assert "Maintained top-3" in out
+
+    def test_maintain_backends_agree(self, edge_list_file, capsys):
+        outputs = []
+        for backend in ("compact", "hash"):
+            assert main(
+                ["maintain", "--edge-list", edge_list_file, "--updates", "15",
+                 "-k", "2", "--mode", "lazy", "--backend", backend]
+            ) == 0
+            out = capsys.readouterr().out
+            outputs.append(out[out.index("Maintained top-2"):])
+        assert outputs[0] == outputs[1]
+
+    def test_experiment_backend_forwarded(self, capsys):
+        assert main(
+            ["experiment", "fig8", "--scale", "0.08", "--backend", "hash"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=hash" in out
+
     def test_datasets_listing(self, capsys):
         assert main(["datasets"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,387 @@
+"""Parity suite for the dynamic-maintenance backends.
+
+The compact backend (CSR overlay + incremental delta kernels) is only
+allowed to be *faster* than the hash oracle: across arbitrary mixed
+insert/delete streams the maintained values must be bit-identical, the lazy
+maintainer's result sets and top-k entries must coincide exactly, and the
+``exact_recomputations`` / ``skipped_recomputations`` counters must agree
+event for event.  The suite drives both backends in lock-step over
+
+* mixed streams on several graph families (including delete-then-reinsert
+  of the same edge, updates touching isolated and brand-new vertices, and
+  string/tuple vertex labels),
+* a ≥1,000-event stream (the Exp-3 protocol scale),
+* overlay configurations that force frequent ``rebuild()``\\ s mid-stream,
+
+plus hypothesis round-trips (apply a stream, apply its inversion, recover
+the original graph and values) and a cross-check of the fast Lemma 4–7
+correction kernel against the packed-key reference evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.csr_kernels import (
+    as_dynamic,
+    correction_deltas,
+    dynamic_affected_pairs,
+    dynamic_ego_score,
+    dynamic_pair_counts,
+    dynamic_update_corrections,
+)
+from repro.core.ego_betweenness import all_ego_betweenness
+from repro.dynamic.lazy_topk import LazyTopKMaintainer
+from repro.dynamic.local_update import EgoBetweennessIndex
+from repro.dynamic.stream import (
+    UpdateEvent,
+    apply_stream,
+    generate_update_stream,
+    invert_stream,
+)
+from repro.errors import EdgeExistsError, EdgeNotFoundError, SelfLoopError
+from repro.graph.dynamic_csr import DynamicCompactGraph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    overlapping_cliques_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+def _labelled_graph():
+    return Graph(
+        edges=[("alpha", "beta"), ("beta", "gamma"), ("alpha", "gamma"),
+               ("gamma", "delta"), ("delta", "epsilon"), ("beta", "delta"),
+               ((0, "a"), (1, "b")), ((1, "b"), "alpha")],
+        vertices=["isolated-1", (9, "iso")],
+    )
+
+
+def _index_pair(graph, **kwargs):
+    return (
+        EgoBetweennessIndex(graph, backend="hash", **kwargs),
+        EgoBetweennessIndex(graph, backend="compact", **kwargs),
+    )
+
+
+def _lazy_pair(graph, k, **kwargs):
+    return (
+        LazyTopKMaintainer(graph, k, backend="hash", **kwargs),
+        LazyTopKMaintainer(graph, k, backend="compact", **kwargs),
+    )
+
+
+def assert_index_parity(hash_index, compact_index):
+    """Maintained values must agree bit for bit (== on floats)."""
+    assert hash_index.scores() == compact_index.scores()
+
+
+def assert_lazy_parity(hash_lazy, compact_lazy):
+    assert hash_lazy.result_vertices() == compact_lazy.result_vertices()
+    assert hash_lazy.top_k().entries == compact_lazy.top_k().entries
+    assert hash_lazy.exact_recomputations == compact_lazy.exact_recomputations
+    assert hash_lazy.skipped_recomputations == compact_lazy.skipped_recomputations
+
+
+def drive(event, *targets):
+    for target in targets:
+        if event.operation == "insert":
+            target.insert_edge(event.u, event.v)
+        else:
+            target.delete_edge(event.u, event.v)
+
+
+# ----------------------------------------------------------------------
+# Mixed streams across graph families
+# ----------------------------------------------------------------------
+class TestMixedStreamParity:
+    @pytest.mark.parametrize(
+        "name,graph",
+        [
+            ("er", erdos_renyi_graph(40, 0.12, seed=0)),
+            ("ba", barabasi_albert_graph(60, 3, seed=1)),
+            ("cliques", overlapping_cliques_graph(20, (3, 6), overlap=2, seed=2)),
+            ("labelled", _labelled_graph()),
+        ],
+    )
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_lockstep_parity(self, name, graph, seed):
+        stream = generate_update_stream(graph, 60, seed=seed + 13)
+        hash_index, compact_index = _index_pair(graph)
+        hash_lazy, compact_lazy = _lazy_pair(graph, 5)
+        assert_index_parity(hash_index, compact_index)
+        for event in stream:
+            drive(event, hash_index, compact_index, hash_lazy, compact_lazy)
+            assert_index_parity(hash_index, compact_index)
+            assert_lazy_parity(hash_lazy, compact_lazy)
+        # End state also matches a from-scratch recomputation.
+        fresh = all_ego_betweenness(hash_index.graph)
+        for vertex, value in fresh.items():
+            assert compact_index.score(vertex) == pytest.approx(value, abs=1e-9)
+
+    def test_thousand_event_stream(self):
+        """The Exp-3 scale: ≥1,000 mixed events, exact parity throughout."""
+        graph = erdos_renyi_graph(60, 0.1, seed=5)
+        stream = generate_update_stream(graph, 1000, seed=17)
+        assert len(stream) == 1000
+        hash_index, compact_index = _index_pair(graph)
+        hash_lazy, compact_lazy = _lazy_pair(graph, 8)
+        for position, event in enumerate(stream):
+            drive(event, hash_index, compact_index, hash_lazy, compact_lazy)
+            if position % 100 == 99:
+                assert_index_parity(hash_index, compact_index)
+                assert_lazy_parity(hash_lazy, compact_lazy)
+        assert_index_parity(hash_index, compact_index)
+        assert_lazy_parity(hash_lazy, compact_lazy)
+        assert compact_lazy.exact_recomputations > 0
+        assert compact_lazy.skipped_recomputations > 0
+
+
+class TestEdgeCases:
+    def test_delete_then_reinsert_same_edge(self):
+        graph = overlapping_cliques_graph(15, (3, 5), overlap=1, seed=3)
+        hash_index, compact_index = _index_pair(graph)
+        hash_lazy, compact_lazy = _lazy_pair(graph, 4)
+        u, v = next(iter(graph.edges()))
+        for _ in range(4):
+            drive(UpdateEvent("delete", u, v), hash_index, compact_index, hash_lazy, compact_lazy)
+            assert_index_parity(hash_index, compact_index)
+            assert_lazy_parity(hash_lazy, compact_lazy)
+            drive(UpdateEvent("insert", u, v), hash_index, compact_index, hash_lazy, compact_lazy)
+            assert_index_parity(hash_index, compact_index)
+            assert_lazy_parity(hash_lazy, compact_lazy)
+
+    def test_updates_touching_isolated_and_new_vertices(self):
+        graph = Graph(edges=[(0, 1), (1, 2), (0, 2)], vertices=["iso-a", "iso-b"])
+        hash_index, compact_index = _index_pair(graph)
+        hash_lazy, compact_lazy = _lazy_pair(graph, 3)
+        events = [
+            UpdateEvent("insert", "iso-a", 0),
+            UpdateEvent("insert", "iso-a", 1),
+            UpdateEvent("insert", "brand-new", "iso-b"),
+            UpdateEvent("delete", "iso-a", 0),
+            UpdateEvent("insert", ("tuple", 1), "brand-new"),
+            UpdateEvent("delete", "brand-new", "iso-b"),
+            UpdateEvent("insert", "iso-a", 0),
+        ]
+        for event in events:
+            drive(event, hash_index, compact_index, hash_lazy, compact_lazy)
+            assert_index_parity(hash_index, compact_index)
+            assert_lazy_parity(hash_lazy, compact_lazy)
+
+    def test_error_parity(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        for backend in ("hash", "compact"):
+            index = EgoBetweennessIndex(graph, backend=backend)
+            with pytest.raises(SelfLoopError):
+                index.insert_edge(1, 1)
+            with pytest.raises(EdgeExistsError):
+                index.insert_edge(0, 1)
+            with pytest.raises(EdgeNotFoundError):
+                index.delete_edge(0, 2)
+            lazy = LazyTopKMaintainer(graph, 2, backend=backend)
+            with pytest.raises(SelfLoopError):
+                lazy.insert_edge(2, 2)
+            with pytest.raises(EdgeExistsError):
+                lazy.insert_edge(1, 0)
+            with pytest.raises(EdgeNotFoundError):
+                lazy.delete_edge(1, "missing")
+
+    def test_caller_graph_never_mutated(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        index = EgoBetweennessIndex(graph, backend="compact")
+        lazy = LazyTopKMaintainer(graph, 2, backend="compact")
+        index.insert_edge(0, 2)
+        lazy.insert_edge(0, 2)
+        assert not graph.has_edge(0, 2)
+
+    def test_precomputed_values_match_fresh_construction(self):
+        graph = barabasi_albert_graph(50, 3, seed=9)
+        values = all_ego_betweenness(graph)
+        stream = generate_update_stream(graph, 40, seed=21)
+        seeded_h = EgoBetweennessIndex(graph, backend="hash", values=values)
+        seeded_c = EgoBetweennessIndex(graph, backend="compact", values=values)
+        fresh_c = EgoBetweennessIndex(graph, backend="compact")
+        lazy_seeded_h = LazyTopKMaintainer(graph, 5, backend="hash", values=values)
+        lazy_seeded_c = LazyTopKMaintainer(graph, 5, backend="compact", values=values)
+        lazy_fresh_c = LazyTopKMaintainer(graph, 5, backend="compact")
+        for event in stream:
+            drive(event, seeded_h, seeded_c, fresh_c, lazy_seeded_h, lazy_seeded_c, lazy_fresh_c)
+        assert seeded_h.scores() == seeded_c.scores() == fresh_c.scores()
+        assert lazy_seeded_h.top_k().entries == lazy_seeded_c.top_k().entries
+        assert lazy_seeded_c.top_k().entries == lazy_fresh_c.top_k().entries
+        assert lazy_seeded_h.exact_recomputations == lazy_seeded_c.exact_recomputations
+
+
+# ----------------------------------------------------------------------
+# Rebuild gating
+# ----------------------------------------------------------------------
+class TestRebuildGating:
+    def test_forced_rebuilds_keep_parity(self):
+        graph = erdos_renyi_graph(40, 0.12, seed=4)
+        stream = generate_update_stream(graph, 120, seed=11)
+        hash_index = EgoBetweennessIndex(graph, backend="hash")
+        compact_index = EgoBetweennessIndex(
+            graph, backend="compact", min_rebuild_deltas=4, rebuild_ratio=0.01
+        )
+        compact_lazy = LazyTopKMaintainer(
+            graph, 5, backend="compact", min_rebuild_deltas=4, rebuild_ratio=0.01
+        )
+        hash_lazy = LazyTopKMaintainer(graph, 5, backend="hash")
+        for event in stream:
+            drive(event, hash_index, compact_index, hash_lazy, compact_lazy)
+            assert_index_parity(hash_index, compact_index)
+            assert_lazy_parity(hash_lazy, compact_lazy)
+        assert compact_index._dyn.rebuilds > 0
+        assert compact_lazy._dyn.rebuilds > 0
+        # After a rebuild the overlay has re-compacted: deltas reset.
+        compact_index._dyn.rebuild()
+        assert compact_index._dyn.delta_records == 0
+
+    def test_rebuild_preserves_graph_and_ids(self):
+        graph = barabasi_albert_graph(30, 2, seed=6)
+        dyn = as_dynamic(graph, auto_rebuild=False)
+        stream = generate_update_stream(graph, 50, seed=8)
+        apply_stream(dyn, stream)
+        ids_before = {label: dyn.id_of(label) for label in dyn.labels}
+        before = dyn.to_graph()
+        dyn.rebuild()
+        assert dyn.to_graph() == before
+        assert dyn.delta_records == 0
+        assert {label: dyn.id_of(label) for label in dyn.labels} == ids_before
+        # Clean overlay: the snapshot is the base itself (free).
+        assert dyn.snapshot() is dyn.base
+
+    def test_disabled_auto_rebuild_never_rebuilds(self):
+        graph = erdos_renyi_graph(25, 0.2, seed=2)
+        dyn = as_dynamic(graph, auto_rebuild=False, min_rebuild_deltas=1)
+        apply_stream(dyn, generate_update_stream(graph, 40, seed=3))
+        assert dyn.rebuilds == 0
+        assert dyn.delta_records > 0
+
+
+# ----------------------------------------------------------------------
+# Kernel cross-checks
+# ----------------------------------------------------------------------
+class TestCorrectionKernels:
+    def test_fast_corrections_match_reference_evaluation(self):
+        """The Lemma 4–7 closed-form kernel equals the packed-key
+        before/after evaluation bit for bit on every update of a stream."""
+        graph = erdos_renyi_graph(35, 0.15, seed=3)
+        dyn = as_dynamic(graph)
+        for event in generate_update_stream(graph, 120, seed=9):
+            for label in (event.u, event.v):
+                if not dyn.has_vertex(label):
+                    dyn.add_vertex(label)
+            uid, vid = dyn.id_of(event.u), dyn.id_of(event.v)
+            inserting = event.operation == "insert"
+            common_fast, fast = dynamic_update_corrections(dyn, uid, vid, inserting)
+            common_ref, pair_map = dynamic_affected_pairs(dyn, uid, vid)
+            old = dynamic_pair_counts(dyn, pair_map)
+            if inserting:
+                dyn.insert_edge_ids(uid, vid)
+            else:
+                dyn.delete_edge_ids(uid, vid)
+            new = dynamic_pair_counts(dyn, pair_map)
+            reference = correction_deltas(old, new)
+            assert common_fast == common_ref
+            assert fast == reference
+
+    def test_summary_cost_accounting_stays_exact(self):
+        """The overlay's summary entry count tracks patches exactly."""
+        graph = erdos_renyi_graph(30, 0.15, seed=11)
+        dyn = as_dynamic(graph, maintain_summaries=True)
+        for pid in range(dyn.num_vertices):
+            dynamic_ego_score(dyn, pid)
+        for event in generate_update_stream(graph, 120, seed=23):
+            apply_stream(dyn, [event])
+            actual = sum(len(linker) for _, linker in dyn._summaries.values())
+            assert dyn._summary_cost == actual
+
+    def test_patched_summaries_equal_fresh_enumeration(self):
+        """A summary patched across many updates matches a from-scratch one."""
+        graph = overlapping_cliques_graph(18, (3, 6), overlap=2, seed=7)
+        dyn = as_dynamic(graph, maintain_summaries=True)
+        for pid in range(dyn.num_vertices):
+            dynamic_ego_score(dyn, pid)  # populate every summary
+        apply_stream(dyn, generate_update_stream(graph, 80, seed=19))
+        reference = as_dynamic(dyn.to_graph(), maintain_summaries=True)
+        for pid in range(dyn.num_vertices):
+            label = dyn.label_of(pid)
+            assert dynamic_ego_score(dyn, pid) == dynamic_ego_score(
+                reference, reference.id_of(label)
+            )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random streams and round trips
+# ----------------------------------------------------------------------
+class TestHypothesisRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        graph_seed=st.integers(min_value=0, max_value=10_000),
+        stream_seed=st.integers(min_value=0, max_value=10_000),
+        insert_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_apply_then_undo_recovers_values(self, graph_seed, stream_seed, insert_fraction):
+        graph = erdos_renyi_graph(25, 0.15, seed=graph_seed)
+        stream = generate_update_stream(
+            graph, 30, seed=stream_seed, insert_fraction=insert_fraction
+        )
+        hash_index, compact_index = _index_pair(graph)
+        original = compact_index.scores()
+        apply_stream(hash_index, stream)
+        apply_stream(compact_index, stream)
+        assert_index_parity(hash_index, compact_index)
+        undo = invert_stream(stream)
+        apply_stream(hash_index, undo)
+        apply_stream(compact_index, undo)
+        assert_index_parity(hash_index, compact_index)
+        assert compact_index.graph == graph
+        for vertex, value in original.items():
+            assert compact_index.score(vertex) == pytest.approx(value, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        graph_seed=st.integers(min_value=0, max_value=10_000),
+        stream_seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_lazy_parity_on_random_streams(self, graph_seed, stream_seed, k):
+        graph = erdos_renyi_graph(25, 0.15, seed=graph_seed)
+        stream = generate_update_stream(graph, 25, seed=stream_seed)
+        hash_lazy, compact_lazy = _lazy_pair(graph, k)
+        for event in stream:
+            drive(event, hash_lazy, compact_lazy)
+            assert_lazy_parity(hash_lazy, compact_lazy)
+        # The maintained set equals the true top-k of the final graph.
+        truth = sorted(all_ego_betweenness(compact_lazy.graph).values(), reverse=True)
+        got = [score for _, score in compact_lazy.top_k().entries]
+        assert got == pytest.approx(truth[: len(got)], abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Stream helpers
+# ----------------------------------------------------------------------
+class TestStreamHelpers:
+    def test_apply_stream_on_plain_graph(self):
+        graph = Graph(edges=[(0, 1), (1, 2)])
+        count = apply_stream(
+            graph, [UpdateEvent("insert", 0, 2), UpdateEvent("delete", 0, 1)]
+        )
+        assert count == 2
+        assert graph.has_edge(0, 2) and not graph.has_edge(0, 1)
+
+    def test_apply_stream_on_overlay(self):
+        graph = star_graph(5)
+        dyn = DynamicCompactGraph.from_graph(graph)
+        apply_stream(dyn, [UpdateEvent("delete", 0, 1), UpdateEvent("insert", 1, 2)])
+        assert not dyn.has_edge(0, 1) and dyn.has_edge(1, 2)
+
+    def test_invert_stream_is_involutive(self):
+        events = [UpdateEvent("insert", 0, 2), UpdateEvent("delete", 0, 1)]
+        assert invert_stream(invert_stream(events)) == events

@@ -74,8 +74,27 @@ class TestSmallRuns:
         result = exp_fig8.run(scale=TINY, datasets=["youtube"], num_updates=5, k=5)
         row = result.rows[0]
         assert row["updates"] == 5
+        assert row["backend"] == "compact"
         assert row["LazyInsert_s"] >= 0.0
         assert row["lazy_skipped"] >= 0
+
+    def test_fig8_backend_counters_agree(self):
+        compact = exp_fig8.run(scale=TINY, datasets=["dblp"], num_updates=5, k=5).rows[0]
+        hash_ = exp_fig8.run(
+            scale=TINY, datasets=["dblp"], num_updates=5, k=5, backend="hash"
+        ).rows[0]
+        assert compact["lazy_exact_recomputations"] == hash_["lazy_exact_recomputations"]
+        assert compact["lazy_skipped"] == hash_["lazy_skipped"]
+
+    def test_run_experiment_drops_cross_cutting_backend(self):
+        result = run_experiment(
+            "table1", scale=TINY, backend="hash"  # table1 takes no backend
+        )
+        assert result.experiment_id == "table1"
+
+    def test_run_experiment_still_raises_on_typos(self):
+        with pytest.raises(TypeError):
+            run_experiment("fig8", scale=TINY, num_update=5)  # typo: num_updates
 
     def test_fig9_scalability(self):
         result = exp_fig9.run(scale=TINY, dataset="dblp", fractions=(0.5, 1.0), k=5)
