@@ -84,6 +84,7 @@ def bench_fig6(scale: float, k: int, repeats: int) -> dict:
     from repro.core.csr_kernels import opt_b_search_csr
     from repro.core.opt_search import opt_b_search
     from repro.datasets.registry import load_dataset
+    from repro.graph.csr import CompactGraph
 
     graph = load_dataset("livejournal", scale=scale)
     compact = graph.to_compact()
@@ -92,8 +93,10 @@ def bench_fig6(scale: float, k: int, repeats: int) -> dict:
         # Warm CSR: snapshot conversion and memoised ego summaries amortised
         # across queries — the steady state of a top-k service.
         "compact": _time_repeats(lambda: opt_b_search_csr(compact, k), repeats),
+        # Graph.to_compact() is memoised, so a genuinely cold run must build
+        # the snapshot explicitly.
         "compact_cold": _time_repeats(
-            lambda: opt_b_search_csr(graph.to_compact(), k), repeats
+            lambda: opt_b_search_csr(CompactGraph.from_graph(graph), k), repeats
         ),
     }
     return {
@@ -107,6 +110,30 @@ def bench_fig6(scale: float, k: int, repeats: int) -> dict:
             for name, r in backends.items()
         },
         "speedup_compact_vs_hash": backends["hash"]["mean_s"] / backends["compact"]["mean_s"],
+    }
+
+
+def bench_session(scale: float, k: int, repeats: int) -> dict:
+    """Cold vs warm top-k latency through one EgoSession (repeated queries)."""
+    from repro.datasets.registry import load_dataset
+    from repro.graph.csr import CompactGraph
+    from repro.session import EgoSession
+
+    graph = load_dataset("livejournal", scale=scale)
+    cold = _time_repeats(
+        lambda: EgoSession(CompactGraph.from_graph(graph)).top_k(k), repeats
+    )
+    session = EgoSession(CompactGraph.from_graph(graph))
+    session.top_k(k)  # first call builds the caches
+    warm = _time_repeats(lambda: session.top_k(k), repeats)
+    return {
+        "bench": "session",
+        "unit": "seconds per query",
+        "dataset": "livejournal",
+        "scale": scale,
+        "k": k,
+        "backends": {"cold": cold, "warm": warm},
+        "speedup_warm_vs_cold": cold["mean_s"] / warm["mean_s"],
     }
 
 
@@ -129,6 +156,7 @@ def main(argv=None) -> int:
     for name, payload in (
         ("BENCH_fig8.json", bench_fig8(args.scale, args.updates, args.seed)),
         ("BENCH_fig6.json", bench_fig6(args.scale, args.k, args.repeats)),
+        ("BENCH_session.json", bench_session(args.scale, args.k, args.repeats)),
     ):
         payload["environment"] = env
         path = out_dir / name
@@ -137,10 +165,8 @@ def main(argv=None) -> int:
             backend: round(values["mean_s"] * 1e6, 1)
             for backend, values in payload["backends"].items()
         }
-        print(
-            f"{name}: mean us/op {summary} "
-            f"(compact vs hash: {payload['speedup_compact_vs_hash']:.2f}x)"
-        )
+        speedup_key = next(key for key in payload if key.startswith("speedup_"))
+        print(f"{name}: mean us/op {summary} ({payload[speedup_key]:.2f}x)")
     return 0
 
 

@@ -2,14 +2,17 @@
 
 The paper's Section IV motivates maintenance algorithms with frequently
 updated real-world networks.  This example simulates a growing social
-network: friendships are added and removed over time, and two consumers track
-the ego-betweenness ranking —
+network on a single :class:`repro.EgoSession`: the session starts static
+(a frozen CSR snapshot serving fast top-k queries), **promotes itself to
+the dynamic state on the first friendship update** — reusing the values it
+already computed instead of starting over — and then serves two consumers
+from one maintained state:
 
 * an analytics job that needs *every* user's score after each change
-  (``EgoBetweennessIndex``, LocalInsert / LocalDelete), and
+  (``session.scores()``, backed by LocalInsert / LocalDelete), and
 * a dashboard that only shows the current top-10 "bridge" users
-  (``LazyTopKMaintainer``, LazyInsert / LazyDelete), which skips most of the
-  recomputation work.
+  (``session.maintained_top_k(10, mode="lazy")``, backed by LazyInsert /
+  LazyDelete, which skips most of the recomputation work).
 
 Run with::
 
@@ -18,51 +21,59 @@ Run with::
 
 from __future__ import annotations
 
-from repro import EgoBetweennessIndex, LazyTopKMaintainer
+from repro import EgoSession
 from repro.analysis.reporting import format_table
-from repro.datasets.registry import load_dataset
 from repro.dynamic.stream import generate_update_stream
 
 
 def main() -> None:
-    graph = load_dataset("youtube", scale=0.25)
-    print(f"Initial network: n={graph.num_vertices}, m={graph.num_edges}")
+    session = EgoSession.from_dataset("youtube", scale=0.25)
+    print(f"Initial network: n={session.num_vertices}, m={session.num_edges}")
 
-    index = EgoBetweennessIndex(graph)
-    dashboard = LazyTopKMaintainer(graph, k=10)
+    # Static phase: warm the all-vertex values (the analytics baseline).
+    session.scores()
+    print(f"session state after warm-up: {session.stats().state}")
 
-    stream = generate_update_stream(graph, count=120, seed=2024, insert_fraction=0.6)
+    stream = generate_update_stream(
+        session.to_graph(), count=120, seed=2024, insert_fraction=0.6
+    )
     inserts = sum(1 for event in stream if event.operation == "insert")
-    print(f"Replaying {len(stream)} updates ({inserts} insertions, {len(stream) - inserts} deletions)\n")
+    print(f"Replaying {len(stream)} updates ({inserts} insertions, {len(stream) - inserts} deletions)")
 
-    for event in stream:
-        if event.operation == "insert":
-            index.insert_edge(event.u, event.v)
-            dashboard.insert_edge(event.u, event.v)
-        else:
-            index.delete_edge(event.u, event.v)
-            dashboard.delete_edge(event.u, event.v)
+    # The first update promotes the session static -> dynamic, reusing the
+    # values it already computed instead of starting over.
+    session.apply(stream[0])
+    stats = session.stats()
+    print(f"after the first update: state={stats.state} "
+          f"(values reused on promotion: {stats.values_reused_on_promotion})\n")
+
+    # Attach the lazy top-10 dashboard, then stream the remaining updates.
+    session.maintained_top_k(10, mode="lazy")
+    session.apply(stream[1:])
 
     # The dashboard's lazily maintained answer matches the exhaustive index.
+    exact = session.scores()
     rows = []
-    for rank, (vertex, score) in enumerate(dashboard.top_k().entries, start=1):
+    for rank, (vertex, score) in enumerate(session.maintained_top_k(10, mode="lazy").entries, start=1):
         rows.append(
             {
                 "rank": rank,
                 "user": vertex,
                 "ego_betweenness": round(score, 3),
-                "degree": dashboard.graph.degree(vertex),
-                "index_agrees": abs(index.score(vertex) - score) < 1e-9,
+                "index_agrees": abs(exact[vertex] - score) < 1e-9,
             }
         )
     print(format_table(rows, title="Top-10 bridge users after all updates"))
 
+    counters = session.lazy_counters(10)
+    stats = session.stats()
     print(
         "\nWork comparison over the update stream:\n"
-        f"  lazy dashboard recomputed {dashboard.exact_recomputations} vertices exactly "
-        f"and skipped {dashboard.skipped_recomputations};\n"
-        f"  the full index patched every affected vertex on every update "
-        f"(last update took {index.last_update_seconds * 1000:.2f} ms)."
+        f"  lazy dashboard recomputed {counters['exact_recomputations']} vertices exactly "
+        f"and skipped {counters['skipped_recomputations']};\n"
+        f"  the full index patched every affected vertex on every update.\n"
+        f"session stats: {stats.update_events} updates, state={stats.state}, "
+        f"overlay rebuilds={stats.overlay_rebuilds}"
     )
 
 

@@ -3,9 +3,10 @@
 Reproduces the Section V story on a skewed communication graph: the
 vertex-partitioned engine (VertexPEBW) is limited by the few enormous hubs
 that land on one worker, while the edge-work-balanced engine (EdgePEBW)
-spreads that work and scales almost linearly.  The schedule speedups are
-deterministic; pass ``--process`` to also run the real multiprocessing
-backend.
+spreads that work and scales almost linearly.  Both engines run through one
+:class:`repro.EgoSession` (``session.parallel_scores``), so they share the
+session's CSR snapshot.  The schedule speedups are deterministic; pass
+``--process`` to also run the real multiprocessing backend.
 
 Run with::
 
@@ -16,23 +17,23 @@ from __future__ import annotations
 
 import sys
 
-from repro import edge_parallel_ego_betweenness, vertex_parallel_ego_betweenness
+from repro import EgoSession
 from repro.analysis.reporting import format_table
-from repro.datasets.registry import load_dataset
 
 
 def main() -> None:
-    backend = "process" if "--process" in sys.argv[1:] else "serial"
-    graph = load_dataset("wikitalk", scale=0.5)
+    executor = "process" if "--process" in sys.argv[1:] else "serial"
+    session = EgoSession.from_dataset("wikitalk", scale=0.5)
+    snapshot = session.snapshot()
     print(
-        f"WikiTalk-style communication graph: n={graph.num_vertices}, m={graph.num_edges}, "
-        f"dmax={graph.max_degree()}  (backend: {backend})\n"
+        f"WikiTalk-style communication graph: n={session.num_vertices}, "
+        f"m={session.num_edges}, dmax={snapshot.max_degree()}  (executor: {executor})\n"
     )
 
     rows = []
     for workers in (1, 4, 8, 16):
-        vertex_run = vertex_parallel_ego_betweenness(graph, workers, backend=backend)
-        edge_run = edge_parallel_ego_betweenness(graph, workers, backend=backend)
+        vertex_run = session.parallel_scores(workers, engine="vertex", executor=executor)
+        edge_run = session.parallel_scores(workers, engine="edge", executor=executor)
         rows.append(
             {
                 "workers": workers,

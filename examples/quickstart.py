@@ -1,8 +1,9 @@
 """Quickstart: find the most central "bridge" vertices of a graph.
 
 Builds a small social graph, computes a few ego-betweenness values by hand,
-then runs the paper's OptBSearch to retrieve the top-k vertices and compares
-the three available search strategies.
+then opens an :class:`repro.EgoSession` — the library's one stateful entry
+point — and runs the paper's OptBSearch through it, comparing the three
+available search strategies on warm session caches.
 
 Run with::
 
@@ -11,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Graph, ego_betweenness, top_k_ego_betweenness
+from repro import EgoSession
 from repro.analysis.reporting import format_table
 from repro.datasets.paper_example import paper_example_graph, paper_figure1_like_graph
 
@@ -20,17 +21,16 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 1. The paper's Example 1: the ego network of vertex "d".
     # ------------------------------------------------------------------
-    example = paper_example_graph()
+    example = EgoSession(paper_example_graph())
     print("Example 1 of the paper:")
-    print(f"  N(d) = {sorted(example.neighbors('d'))}")
-    print(f"  CB(d) = {ego_betweenness(example, 'd'):.4f}  (paper: 14/3 ≈ 4.6667)\n")
+    print(f"  CB(d) = {example.score('d'):.4f}  (paper: 14/3 ≈ 4.6667)\n")
 
     # ------------------------------------------------------------------
     # 2. Top-k search on the Fig. 1(a)-style demonstration graph.
     # ------------------------------------------------------------------
-    graph = paper_figure1_like_graph()
-    print(f"Demonstration graph: n={graph.num_vertices}, m={graph.num_edges}")
-    result = top_k_ego_betweenness(graph, k=5, method="opt")
+    session = EgoSession(paper_figure1_like_graph())
+    print(f"Demonstration graph: n={session.num_vertices}, m={session.num_edges}")
+    result = session.top_k(5, algorithm="opt")
     rows = [
         {"rank": rank + 1, "vertex": vertex, "ego_betweenness": round(score, 4)}
         for rank, (vertex, score) in enumerate(result.entries)
@@ -38,15 +38,17 @@ def main() -> None:
     print(format_table(rows, title="Top-5 ego-betweenness vertices (OptBSearch)"))
     print(
         f"exact computations: {result.stats.exact_computations} "
-        f"of {graph.num_vertices} vertices\n"
+        f"of {session.num_vertices} vertices\n"
     )
 
     # ------------------------------------------------------------------
     # 3. The three strategies return the same answer with different work.
+    #    All three run against the same session, so the CSR snapshot and
+    #    memoised ego summaries are shared (warm) across the calls.
     # ------------------------------------------------------------------
     comparison = []
-    for method in ("naive", "base", "opt"):
-        run = top_k_ego_betweenness(graph, k=5, method=method)
+    for algorithm in ("naive", "base", "opt"):
+        run = session.top_k(5, algorithm=algorithm)
         comparison.append(
             {
                 "method": run.stats.algorithm,
@@ -56,6 +58,7 @@ def main() -> None:
             }
         )
     print(format_table(comparison, title="Strategy comparison (identical results)"))
+    print(f"\nsession counters: {session.stats().queries}")
 
 
 if __name__ == "__main__":

@@ -14,13 +14,25 @@ A from-scratch reproduction of the paper's full system:
   table and figure of the evaluation — :mod:`repro.datasets`,
   :mod:`repro.experiments`.
 
+The canonical API is the stateful :class:`repro.session.EgoSession` facade:
+one object owns the graph, negotiates the storage backend once
+(``auto | compact | hash | dynamic``), keeps every memoised structure warm
+across queries, and promotes itself from static search to dynamic
+maintenance the moment the first edge update arrives.  The classic free
+functions (:func:`top_k_ego_betweenness`, :func:`base_b_search`,
+:func:`opt_b_search`) remain as documented compatibility wrappers — each
+call runs through a throwaway session and returns bit-identical results.
+
 Quickstart
 ----------
->>> from repro import Graph, top_k_ego_betweenness
->>> g = Graph(edges=[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
->>> result = top_k_ego_betweenness(g, k=2)
->>> len(result.entries)
+>>> from repro import EgoSession
+>>> session = EgoSession([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
+>>> len(session.top_k(2).entries)
 2
+>>> session.apply(("insert", 4, 0))  # static -> dynamic promotion
+1
+>>> session.stats().state
+'dynamic'
 """
 
 from repro.baselines import top_k_betweenness
@@ -35,16 +47,21 @@ from repro.core import (
     top_k_ego_betweenness,
 )
 from repro.dynamic import EgoBetweennessIndex, LazyTopKMaintainer
-from repro.errors import ReproError
+from repro.errors import BackendCapabilityError, ReproError
 from repro.graph import Graph
 from repro.parallel import edge_parallel_ego_betweenness, vertex_parallel_ego_betweenness
+from repro.session import EgoSession, Query, SessionStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "EgoSession",
+    "Query",
+    "SessionStats",
     "Graph",
     "ReproError",
+    "BackendCapabilityError",
     "ego_betweenness",
     "all_ego_betweenness",
     "static_upper_bound",

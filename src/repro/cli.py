@@ -1,5 +1,11 @@
 """Command-line interface: ``egobw`` / ``python -m repro``.
 
+Every graph-backed subcommand is a thin adapter over one
+:class:`repro.session.EgoSession` — the CLI opens a session on the requested
+source, runs its queries through it, and (with ``--json``) emits a
+machine-readable payload built from the session results and
+:class:`~repro.session.SessionStats`.
+
 Subcommands
 -----------
 ``topk``
@@ -20,18 +26,18 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import graph_statistics
-from repro.core.topk import top_k_ego_betweenness
 from repro.datasets.registry import dataset_names, load_dataset, registry_table
 from repro.errors import ReproError
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.graph.graph import Graph
 from repro.graph.io import read_edge_list
+from repro.session import EgoSession
 
 __all__ = ["main", "build_parser"]
 
@@ -69,9 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
             "both return identical results (default: auto)"
         ),
     )
+    _add_json_argument(topk)
 
     stats = subparsers.add_parser("stats", help="print graph statistics")
     _add_graph_source_arguments(stats)
+    _add_json_argument(stats)
 
     maintain = subparsers.add_parser(
         "maintain",
@@ -101,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help=_BACKEND_HELP,
     )
+    _add_json_argument(maintain)
 
     experiment = subparsers.add_parser("experiment", help="run a reproduction experiment")
     experiment.add_argument("experiment_id", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -108,8 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--backend",
         choices=("auto", "compact", "hash"),
-        default="auto",
-        help=_BACKEND_HELP + "; forwarded to experiments that support it",
+        default=None,
+        help=_BACKEND_HELP + "; forwarded to experiments that support it "
+        "(a warning names it when the experiment does not)",
     )
 
     subparsers.add_parser("datasets", help="list the registry datasets")
@@ -129,16 +139,66 @@ def _add_graph_source_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON payload instead of tables",
+    )
+
+
 def _load_graph(args: argparse.Namespace) -> Graph:
     if args.edge_list:
         return read_edge_list(args.edge_list)
     return load_dataset(args.dataset, scale=args.scale)
 
 
+def _emit_json(payload: Dict[str, Any]) -> None:
+    print(json.dumps(payload, default=repr))
+
+
+def _run_topk(args: argparse.Namespace) -> None:
+    session = EgoSession(_load_graph(args), backend=args.backend)
+    result = session.top_k(args.k, algorithm=args.method, theta=args.theta)
+    entries = [
+        {"rank": rank + 1, "vertex": vertex, "ego_betweenness": score}
+        for rank, (vertex, score) in enumerate(result.entries)
+    ]
+    if args.json:
+        _emit_json(
+            {
+                "command": "topk",
+                "k": args.k,
+                "algorithm": result.stats.algorithm,
+                "theta": args.theta,
+                "entries": entries,
+                "search_stats": vars(result.stats),
+                "session": session.stats().as_dict(),
+            }
+        )
+        return
+    rows = [
+        {**entry, "ego_betweenness": round(entry["ego_betweenness"], 4)}
+        for entry in entries
+    ]
+    print(format_table(rows, title=f"Top-{args.k} ego-betweenness ({result.stats.algorithm})"))
+    print(
+        f"exact computations: {result.stats.exact_computations}, "
+        f"elapsed: {result.stats.elapsed_seconds:.4f}s"
+    )
+
+
+def _run_stats(args: argparse.Namespace) -> None:
+    graph = _load_graph(args)
+    statistics = graph_statistics(graph).as_dict()
+    if args.json:
+        _emit_json({"command": "stats", "statistics": statistics})
+        return
+    print(format_table([statistics], title="Graph statistics"))
+
+
 def _run_maintain(args: argparse.Namespace) -> None:
-    """Replay a generated update stream against the dynamic maintainers."""
-    from repro.dynamic.lazy_topk import LazyTopKMaintainer
-    from repro.dynamic.local_update import EgoBetweennessIndex
+    """Replay a generated update stream through maintenance sessions."""
     from repro.dynamic.stream import apply_stream, generate_update_stream
 
     graph = _load_graph(args)
@@ -146,49 +206,78 @@ def _run_maintain(args: argparse.Namespace) -> None:
         graph, args.updates, seed=args.seed, insert_fraction=args.insert_fraction
     )
     inserts = sum(1 for event in stream if event.operation == "insert")
+
+    # One session maintains everything the chosen mode asks for: the exact
+    # index exists only when "local" work was requested (the session builds
+    # it on demand), and a "lazy"-only run pays just the lazy maintainer
+    # plus topology bookkeeping.  Per-row timings come from each
+    # component's own update timer (EgoSession.maintenance_seconds), so the
+    # table compares the algorithms, not the combined session wall-clock.
+    session = EgoSession(graph, backend=args.backend)
+    if args.mode in ("local", "both"):
+        session.scores()  # demand full values: the promotion seeds the index
+        session.promote()
+    if args.mode in ("lazy", "both"):
+        session.maintained_top_k(args.k, mode="lazy")  # attach before the stream
+    applied = apply_stream(session, stream)
+    timings = session.maintenance_seconds()
+
     rows = []
     if args.mode in ("local", "both"):
-        index = EgoBetweennessIndex(graph, backend=args.backend)
-        start = time.perf_counter()
-        applied = apply_stream(index, stream)
-        elapsed = time.perf_counter() - start
         rows.append(
             {
                 "algorithm": "LocalInsert/Delete",
-                "backend": index.backend,
+                "backend": session.backend,
                 "events": applied,
-                "mean_us_per_update": round(elapsed / max(applied, 1) * 1e6, 1),
+                "mean_us_per_update": round(timings["index"] / max(applied, 1) * 1e6, 1),
                 "exact_recomputations": "-",
                 "skipped": "-",
             }
         )
     if args.mode in ("lazy", "both"):
-        maintainer = LazyTopKMaintainer(graph, args.k, backend=args.backend)
-        start = time.perf_counter()
-        applied = apply_stream(maintainer, stream)
-        elapsed = time.perf_counter() - start
+        counters = session.lazy_counters(args.k)
         rows.append(
             {
                 "algorithm": f"LazyTopK (k={args.k})",
-                "backend": maintainer.backend,
+                "backend": session.backend,
                 "events": applied,
-                "mean_us_per_update": round(elapsed / max(applied, 1) * 1e6, 1),
-                "exact_recomputations": maintainer.exact_recomputations,
-                "skipped": maintainer.skipped_recomputations,
+                "mean_us_per_update": round(
+                    timings["lazy"][args.k] / max(applied, 1) * 1e6, 1
+                ),
+                "exact_recomputations": counters["exact_recomputations"],
+                "skipped": counters["skipped_recomputations"],
             }
         )
+    ranked = []
+    if args.mode in ("lazy", "both"):
+        top = session.maintained_top_k(args.k, mode="lazy")
+        ranked = [
+            {"rank": rank + 1, "vertex": vertex, "ego_betweenness": score}
+            for rank, (vertex, score) in enumerate(top.entries)
+        ]
+    if args.json:
+        payload: Dict[str, Any] = {
+            "command": "maintain",
+            "updates": len(stream),
+            "insertions": inserts,
+            "deletions": len(stream) - inserts,
+            "maintainers": rows,
+            "top_k": ranked,
+            "session": session.stats().as_dict(),
+        }
+        _emit_json(payload)
+        return
     title = (
         f"Dynamic maintenance over {len(stream)} updates "
         f"({inserts} insertions, {len(stream) - inserts} deletions)"
     )
     print(format_table(rows, title=title))
-    if args.mode in ("lazy", "both"):
-        top = maintainer.top_k()
-        ranked = [
-            {"rank": rank + 1, "vertex": vertex, "ego_betweenness": round(score, 4)}
-            for rank, (vertex, score) in enumerate(top.entries)
+    if ranked:
+        rounded = [
+            {**entry, "ego_betweenness": round(entry["ego_betweenness"], 4)}
+            for entry in ranked
         ]
-        print(format_table(ranked, title=f"Maintained top-{args.k} after the stream"))
+        print(format_table(rounded, title=f"Maintained top-{args.k} after the stream"))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -197,26 +286,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         if args.command == "topk":
-            graph = _load_graph(args)
-            result = top_k_ego_betweenness(
-                graph, args.k, method=args.method, theta=args.theta, backend=args.backend
-            )
-            rows = [
-                {"rank": rank + 1, "vertex": vertex, "ego_betweenness": round(score, 4)}
-                for rank, (vertex, score) in enumerate(result.entries)
-            ]
-            print(format_table(rows, title=f"Top-{args.k} ego-betweenness ({result.stats.algorithm})"))
-            print(
-                f"exact computations: {result.stats.exact_computations}, "
-                f"elapsed: {result.stats.elapsed_seconds:.4f}s"
-            )
+            _run_topk(args)
         elif args.command == "stats":
-            graph = _load_graph(args)
-            print(format_table([graph_statistics(graph).as_dict()], title="Graph statistics"))
+            _run_stats(args)
         elif args.command == "maintain":
             _run_maintain(args)
         elif args.command == "experiment":
-            result = run_experiment(args.experiment_id, scale=args.scale, backend=args.backend)
+            kwargs = {} if args.backend is None else {"backend": args.backend}
+            result = run_experiment(args.experiment_id, scale=args.scale, **kwargs)
             print(result.render())
         elif args.command == "datasets":
             print(format_table(registry_table(scale=0.25), title="Registry datasets (scale=0.25)"))

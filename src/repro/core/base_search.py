@@ -47,6 +47,13 @@ def base_b_search(
 ) -> TopKResult:
     """Run BaseBSearch and return the top-k ego-betweenness vertices.
 
+    Compatibility wrapper: constructs a throwaway
+    :class:`~repro.session.EgoSession` around ``graph`` and runs the query
+    through it, so every call shares the graph-level snapshot and ego-summary
+    caches with every other entry point.  The results — entries, scores and
+    work counters — are bit-identical to the pre-session implementation
+    (enforced by ``tests/test_session.py``).
+
     Parameters
     ----------
     graph:
@@ -72,11 +79,20 @@ def base_b_search(
         ego-betweenness was evaluated exactly, which is the pruning metric
         reported in Table II of the paper.
     """
-    from repro.core.csr_kernels import as_hash_graph, base_b_search_csr, normalize_backend
+    from repro.session import EgoSession
 
-    if normalize_backend(backend) == "compact":
-        return base_b_search_csr(graph, k, maintain_shared_maps=maintain_shared_maps)
-    graph = as_hash_graph(graph)
+    session = EgoSession(graph, backend=backend)
+    return session.top_k(k, algorithm="base", maintain_shared_maps=maintain_shared_maps)
+
+
+def _base_b_search_hash(
+    graph: Graph, k: int, maintain_shared_maps: bool = True
+) -> TopKResult:
+    """The hash-set BaseBSearch implementation (parity oracle).
+
+    Dispatched to by :class:`~repro.session.EgoSession`; ``graph`` must
+    already be a hash-set :class:`Graph`.
+    """
     if k < 1:
         raise InvalidParameterError("k must be a positive integer")
 

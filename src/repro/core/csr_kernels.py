@@ -62,6 +62,7 @@ __all__ = [
     "as_compact",
     "as_dynamic",
     "ego_betweenness_csr",
+    "ego_betweenness_csr_cached",
     "all_ego_betweenness_csr",
     "ego_betweenness_from_arrays",
     "ego_bw_cal_csr",
@@ -112,6 +113,32 @@ def as_dynamic(source, **kwargs) -> DynamicCompactGraph:
     )
 
 
+#: One-line description per backend name, including the graph type each one
+#: requires — the single copy behind every backend-validation error message
+#: (the legacy three-value entry points here and the four-value
+#: :class:`repro.session.EgoSession` negotiation).
+BACKEND_DESCRIPTIONS = {
+    "auto": "resolves to 'compact'",
+    "compact": (
+        "runs on an immutable CompactGraph CSR snapshot; a hash-set Graph "
+        "is converted once up front"
+    ),
+    "hash": (
+        "runs on the mutable hash-set Graph oracle; a CSR graph is "
+        "materialised back to a Graph"
+    ),
+    "dynamic": (
+        "runs on a mutable DynamicCompactGraph overlay, updates always "
+        "accepted (EgoSession only)"
+    ),
+}
+
+
+def describe_backends(names: Iterable[str]) -> str:
+    """Render ``'name' (description)`` pairs for a backend error message."""
+    return ", ".join(f"'{name}' ({BACKEND_DESCRIPTIONS[name]})" for name in names)
+
+
 def normalize_backend(backend: str) -> str:
     """Validate a backend name and resolve ``"auto"`` to ``"compact"``.
 
@@ -121,7 +148,10 @@ def normalize_backend(backend: str) -> str:
     backend = backend.lower()
     if backend not in ("auto", "compact", "hash"):
         raise InvalidParameterError(
-            f"unknown backend {backend!r}; use 'auto', 'compact' or 'hash'"
+            f"unknown backend {backend!r}; accepted values are "
+            f"{describe_backends(('auto', 'compact', 'hash'))}.  "
+            "Stateful sessions (repro.session.EgoSession) additionally "
+            f"accept {describe_backends(('dynamic',))}."
         )
     return "compact" if backend == "auto" else backend
 
@@ -271,6 +301,19 @@ def ego_betweenness_csr(source: GraphLike, vertex: Vertex) -> float:
     return _ego_score_id(
         compact.indptr, compact.indices, pid, compact.neighbor_sets(), compact.dense_adjacency()
     )
+
+
+def ego_betweenness_csr_cached(compact: CompactGraph, vertex: Vertex) -> float:
+    """Exact ``CB(vertex)`` served from the snapshot's memoised ego summary.
+
+    Bit-identical to :func:`ego_betweenness_csr` (both accumulate through
+    the canonical sorted histogram), but repeated probes of the same vertex
+    on the same snapshot cost one dict lookup — the per-vertex twin of the
+    warm-search steady state.  Used by the :class:`~repro.session.EgoSession`
+    ``score()`` fast path.
+    """
+    pid = compact.id_of(vertex)
+    return _ego_summary(compact, pid, compact.neighbor_sets())[0]
 
 
 def all_ego_betweenness_csr(

@@ -70,12 +70,27 @@ def opt_b_search(
     TopKResult
         Ranked result with statistics: ``exact_computations`` (Table II),
         ``bound_updates`` and ``repushes``.
-    """
-    from repro.core.csr_kernels import as_hash_graph, normalize_backend, opt_b_search_csr
 
-    if normalize_backend(backend) == "compact":
-        return opt_b_search_csr(graph, k, theta=theta)
-    graph = as_hash_graph(graph)
+    Notes
+    -----
+    Compatibility wrapper: constructs a throwaway
+    :class:`~repro.session.EgoSession` around ``graph`` and runs the query
+    through it, sharing the graph-level snapshot and ego-summary caches with
+    every other entry point; results and counters are bit-identical to the
+    pre-session implementation (enforced by ``tests/test_session.py``).
+    """
+    from repro.session import EgoSession
+
+    session = EgoSession(graph, backend=backend)
+    return session.top_k(k, algorithm="opt", theta=theta)
+
+
+def _opt_b_search_hash(graph: Graph, k: int, theta: float = 1.05) -> TopKResult:
+    """The hash-set OptBSearch implementation (parity oracle).
+
+    Dispatched to by :class:`~repro.session.EgoSession`; ``graph`` must
+    already be a hash-set :class:`Graph`.
+    """
     if k < 1:
         raise InvalidParameterError("k must be a positive integer")
     if theta < 1.0:

@@ -10,7 +10,6 @@ re-pushes performed by OptBSearch).
 from __future__ import annotations
 
 import heapq
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -180,41 +179,19 @@ def top_k_ego_betweenness(
     -------
     TopKResult
         The ranked result with search statistics.
+
+    Notes
+    -----
+    Compatibility wrapper over :class:`~repro.session.EgoSession`: the call
+    constructs a throwaway session and runs the query through it, so every
+    call shares the graph-level snapshot and ego-summary caches with every
+    other entry point.  Long-lived callers should hold an ``EgoSession``
+    directly — it additionally keeps the all-vertex score memo and the
+    dynamic-maintenance state warm across queries.
     """
-    # Imported lazily to avoid an import cycle (the search modules import
-    # the accumulator defined above).
-    from repro.core.base_search import base_b_search
-    from repro.core.opt_search import opt_b_search
-    from repro.core.csr_kernels import as_hash_graph, normalize_backend
-    from repro.core.ego_betweenness import all_ego_betweenness
+    # Imported lazily: the session module imports the result containers
+    # defined above.
+    from repro.session import EgoSession
 
-    if k < 1:
-        raise InvalidParameterError("k must be a positive integer")
-    method = method.lower()
-    backend = normalize_backend(backend)
-    if backend == "hash":
-        graph = as_hash_graph(graph)
-
-    if method == "base":
-        return base_b_search(graph, k, backend=backend)
-    if method == "opt":
-        return opt_b_search(graph, k, theta=theta, backend=backend)
-    if method == "naive":
-        start = time.perf_counter()
-        if backend == "compact":
-            from repro.core.csr_kernels import all_ego_betweenness_csr
-
-            scores = all_ego_betweenness_csr(graph)
-        else:
-            scores = all_ego_betweenness(graph)
-        accumulator = TopKAccumulator(min(k, max(len(scores), 1)))
-        for vertex, score in scores.items():
-            accumulator.offer(vertex, score)
-        stats = SearchStats(
-            algorithm="naive",
-            exact_computations=len(scores),
-            pruned_vertices=0,
-            elapsed_seconds=time.perf_counter() - start,
-        )
-        return TopKResult(entries=accumulator.ranked_entries(), k=k, stats=stats)
-    raise InvalidParameterError(f"unknown method {method!r}; use 'opt', 'base' or 'naive'")
+    session = EgoSession(graph, backend=backend)
+    return session.top_k(k, algorithm=method, theta=theta)

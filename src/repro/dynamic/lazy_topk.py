@@ -43,6 +43,12 @@ instead, which is always an upper bound, so the maintained result set is
 provably equal to the true top-k after every update (verified against
 from-scratch recomputation by the test-suite) while preserving the lazy
 skip-when-bounded behaviour that Exp-3 measures.
+
+The canonical owner of these maintainers is
+:class:`repro.session.EgoSession`, which attaches one per requested ``k``
+(``maintained_top_k(k, mode="lazy")``, seeded from the session's exact
+values) and forwards every applied update to it; direct construction
+remains supported for standalone use.
 """
 
 from __future__ import annotations
@@ -181,6 +187,22 @@ class LazyTopKMaintainer:
         """Return the stored score of ``vertex`` (exact for result members,
         an upper bound for stale outsiders)."""
         return self._values[vertex]
+
+    def rebuild(self) -> None:
+        """Re-compact the CSR overlay's storage (no-op on the hash backend).
+
+        Maintained values, result set and counters are unchanged — only the
+        overlay's delta sets are folded back into contiguous CSR arrays.
+        """
+        if self._dyn is not None:
+            self._dyn.rebuild()
+
+    @property
+    def overlay_rebuilds(self) -> int:
+        """Number of overlay re-compactions so far (0 on the hash backend)."""
+        if self._dyn is not None:
+            return self._dyn.rebuilds
+        return 0
 
     # ------------------------------------------------------------------
     # Backend adapters

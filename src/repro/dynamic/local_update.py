@@ -33,6 +33,12 @@ Two backends implement the machinery (``backend={"auto", "compact",
   bit-identical parity oracle (both backends accumulate contribution sums
   through the same canonical sorted histogram, so the maintained values
   agree exactly, not merely to float noise).
+
+The canonical owner of this index is :class:`repro.session.EgoSession`,
+which builds one at its static→dynamic promotion (seeded with the values
+the session already computed) and serves ``scores()`` /
+``maintained_top_k(mode="index")`` from it; direct construction remains
+supported for standalone use.
 """
 
 from __future__ import annotations
@@ -88,6 +94,13 @@ class EgoBetweennessIndex:
         returned by :func:`~repro.core.ego_betweenness.all_ego_betweenness`).
         Skips the initial all-vertex computation; the caller guarantees the
         values match the supplied graph.
+    copy:
+        When ``False`` the index *adopts* the supplied graph instead of
+        copying it: a :class:`DynamicCompactGraph` (compact backend) or a
+        :class:`Graph` (hash backend) is used as the index's own mutable
+        state.  The caller hands over ownership — every update must go
+        through this index (the :class:`~repro.session.EgoSession` uses
+        this to share one topology between the session and its index).
 
     Examples
     --------
@@ -104,11 +117,23 @@ class EgoBetweennessIndex:
         graph: Graph,
         backend: str = "auto",
         values: Optional[Dict[Vertex, float]] = None,
+        copy: bool = True,
         **overlay_options,
     ) -> None:
+        from repro.graph.dynamic_csr import DynamicCompactGraph
+
         self.backend = normalize_backend(backend)
+        self._snapshot_cache: Optional[Tuple[int, "CompactGraph"]] = None
         if self.backend == "compact":
-            self._dyn = as_dynamic(graph, **overlay_options)
+            if not copy and isinstance(graph, DynamicCompactGraph):
+                if overlay_options:
+                    raise TypeError(
+                        "overlay options cannot be combined with copy=False "
+                        "(the adopted overlay was already configured)"
+                    )
+                self._dyn = graph
+            else:
+                self._dyn = as_dynamic(graph, **overlay_options)
             self._graph: Optional[Graph] = None
             self._graph_version = -1
             if values is None:
@@ -122,7 +147,7 @@ class EgoBetweennessIndex:
             if overlay_options:
                 raise TypeError("overlay options are only valid with backend='compact'")
             self._dyn = None
-            self._graph = graph.copy()
+            self._graph = graph if not copy else graph.copy()
             self._scores = dict(values) if values is not None else all_ego_betweenness(self._graph)
         self.last_update_seconds: float = 0.0
 
@@ -142,6 +167,64 @@ class EgoBetweennessIndex:
             self._graph = self._dyn.to_graph()
             self._graph_version = self._dyn.version
         return self._graph
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every applied update (cache keying)."""
+        if self._dyn is not None:
+            return self._dyn.version
+        return self._graph.version
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the maintained graph."""
+        if self._dyn is not None:
+            return self._dyn.num_vertices
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges of the maintained graph."""
+        if self._dyn is not None:
+            return self._dyn.num_edges
+        return self._graph.num_edges
+
+    def compact_snapshot(self) -> "CompactGraph":
+        """Return an immutable CSR snapshot of the current graph state.
+
+        Memoised per :attr:`version`: between updates, every caller
+        receives the *same* ``CompactGraph`` object, so its cached search
+        orders and memoised ego summaries stay warm across repeated
+        queries — the cheap way to run a top-k search against a live
+        standalone index (an :class:`~repro.session.EgoSession` keeps its
+        own equivalent memo over the shared topology).
+        """
+        if self._dyn is not None:
+            version = self._dyn.version
+            cached = self._snapshot_cache
+            if cached is not None and cached[0] == version:
+                return cached[1]
+            snapshot = self._dyn.snapshot()
+            self._snapshot_cache = (version, snapshot)
+            return snapshot
+        return self._graph.to_compact()
+
+    def rebuild(self) -> None:
+        """Re-compact the CSR overlay's storage (no-op on the hash backend).
+
+        The graph and the maintained values are unchanged — only the
+        overlay's delta sets are folded back into contiguous CSR arrays
+        (see :meth:`DynamicCompactGraph.rebuild`).
+        """
+        if self._dyn is not None:
+            self._dyn.rebuild()
+
+    @property
+    def overlay_rebuilds(self) -> int:
+        """Number of overlay re-compactions so far (0 on the hash backend)."""
+        if self._dyn is not None:
+            return self._dyn.rebuilds
+        return 0
 
     def score(self, vertex: Vertex) -> float:
         """Return the maintained ego-betweenness of ``vertex``."""

@@ -64,6 +64,17 @@ class SelfLoopError(GraphError, ValueError):
         return f"self-loops are not allowed (vertex {self.vertex!r})"
 
 
+class BackendCapabilityError(ReproError, RuntimeError):
+    """Raised when an operation is not available on the negotiated backend.
+
+    Example: calling :meth:`repro.session.EgoSession.apply` on a session that
+    was constructed with ``auto_promote=False`` — the frozen snapshot cannot
+    absorb updates and the session refuses the static→dynamic promotion the
+    caller opted out of.  The message always names the operation, the
+    backend, and the remediation.
+    """
+
+
 class InvalidParameterError(ReproError, ValueError):
     """Raised when an algorithm receives an out-of-range parameter.
 

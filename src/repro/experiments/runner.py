@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import inspect
+import warnings
 from typing import Callable, Dict
 
 from repro.errors import InvalidParameterError
@@ -53,8 +54,9 @@ def run_experiment(
 
     The cross-cutting keywords in :data:`CROSS_CUTTING_OPTIONS` (e.g. the
     CLI's ``--backend``) are forwarded only to experiments that accept
-    them; any other keyword the experiment does not take raises TypeError
-    as usual.
+    them; dropping one emits a :class:`UserWarning` naming the dropped keys
+    so a forwarded option that silently does nothing stays visible.  Any
+    other keyword the experiment does not take raises TypeError as usual.
     """
     key = experiment_id.lower()
     if key not in EXPERIMENTS:
@@ -64,7 +66,17 @@ def run_experiment(
     func = EXPERIMENTS[key]
     parameters = inspect.signature(func).parameters
     if not any(p.kind is p.VAR_KEYWORD for p in parameters.values()):
-        for name in CROSS_CUTTING_OPTIONS:
-            if name not in parameters:
-                kwargs.pop(name, None)
+        dropped = [
+            name
+            for name in CROSS_CUTTING_OPTIONS
+            if name not in parameters and kwargs.pop(name, None) is not None
+        ]
+        if dropped:
+            warnings.warn(
+                f"experiment {key!r} does not accept the cross-cutting "
+                f"option(s) {', '.join(repr(name) for name in dropped)}; "
+                "they were dropped and have no effect on this run",
+                UserWarning,
+                stacklevel=2,
+            )
     return func(scale=scale, **kwargs)

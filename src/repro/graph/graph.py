@@ -63,7 +63,7 @@ class Graph:
     True
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_version", "_compact_cache")
 
     def __init__(
         self,
@@ -72,6 +72,8 @@ class Graph:
     ) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._num_edges: int = 0
+        self._version: int = 0
+        self._compact_cache: Optional[Tuple[int, "CompactGraph"]] = None
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -115,6 +117,11 @@ class Graph:
         clone._num_edges = self._num_edges
         return clone
 
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every mutation (cache-keying aid)."""
+        return self._version
+
     def to_compact(self) -> "CompactGraph":
         """Return an immutable :class:`~repro.graph.csr.CompactGraph` snapshot.
 
@@ -122,10 +129,29 @@ class Graph:
         order) and the adjacency is stored as sorted CSR arrays — the fast
         backend for the top-k hot paths.  The original labels are preserved
         and every result-producing API maps ids back to them.
+
+        The snapshot is memoised per :attr:`version`: as long as the graph
+        is not mutated, repeated calls return the *same* ``CompactGraph``
+        object, so every caller — the top-k searches, the parallel engines,
+        an :class:`~repro.session.EgoSession` — shares its cached search
+        orders and memoised ego summaries.  Any mutation releases the memo
+        immediately (no stale snapshot is held) and the next call converts
+        afresh; :meth:`clear_caches` drops it on demand when the memory of
+        an idle graph's snapshot matters.
         """
         from repro.graph.csr import CompactGraph
 
-        return CompactGraph.from_graph(self)
+        cached = self._compact_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        compact = CompactGraph.from_graph(self)
+        self._compact_cache = (self._version, compact)
+        return compact
+
+    def clear_caches(self) -> None:
+        """Release the memoised :meth:`to_compact` snapshot (and its ego
+        caches).  Purely a memory knob — the next conversion rebuilds it."""
+        self._compact_cache = None
 
     # ------------------------------------------------------------------
     # Size queries
@@ -164,6 +190,8 @@ class Graph:
         """Add ``vertex`` to the graph (no-op when it already exists)."""
         if vertex not in self._adj:
             self._adj[vertex] = set()
+            self._version += 1
+            self._compact_cache = None
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex`` and every incident edge.
@@ -179,6 +207,8 @@ class Graph:
         for nbr in neighbors:
             self._adj[nbr].discard(vertex)
         self._num_edges -= len(neighbors)
+        self._version += 1
+        self._compact_cache = None
 
     def has_vertex(self, vertex: Vertex) -> bool:
         """Return ``True`` when ``vertex`` is in the graph."""
@@ -220,6 +250,8 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._version += 1
+        self._compact_cache = None
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the undirected edge ``(u, v)``.
@@ -234,6 +266,8 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._version += 1
+        self._compact_cache = None
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
         """Return ``True`` when the undirected edge ``(u, v)`` exists."""

@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence
 
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CompactGraph
+from repro.graph.dynamic_csr import DynamicCompactGraph
 from repro.graph.graph import Graph, Vertex
 from repro.parallel.executor import ParallelBackend, run_chunks, run_chunks_csr
 from repro.parallel.load_balance import LoadBalanceReport, simulate_schedule
@@ -111,6 +112,11 @@ def _run_engine(
     if num_workers < 1:
         raise InvalidParameterError("num_workers must be positive")
     graph_backend = normalize_backend(graph_backend)
+
+    if isinstance(graph, DynamicCompactGraph):
+        # A mutable overlay (e.g. a dynamic EgoSession's state) is frozen to
+        # an immutable CSR snapshot for the duration of the run.
+        graph = graph.snapshot()
 
     start = time.perf_counter()
     if graph_backend == "hash":

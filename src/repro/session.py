@@ -1,0 +1,923 @@
+"""The unified, stateful entry point: :class:`EgoSession`.
+
+The paper's system is one engine — static top-k search (BaseBSearch /
+OptBSearch, Section III), dynamic maintenance (Section IV) and parallel
+all-vertex computation (Section V) all operate over the same graph and the
+same ego-betweenness values.  ``EgoSession`` is the API that matches that
+architecture: **one object owns the graph, negotiates the storage backend
+once, and keeps every memoised structure warm across queries**, instead of
+a scatter of free functions that each take their own ``backend=`` string
+and rebuild CSR caches per call.
+
+Lifecycle
+---------
+A session is constructed from any graph source — a hash-set
+:class:`~repro.graph.graph.Graph`, an immutable
+:class:`~repro.graph.csr.CompactGraph` snapshot, a mutable
+:class:`~repro.graph.dynamic_csr.DynamicCompactGraph` overlay, a plain edge
+list, or a registry dataset name — and starts in the **static** state: the
+graph is frozen as a CSR snapshot (or, with ``backend="hash"``, read from
+the hash-set oracle) and queries (:meth:`EgoSession.top_k`,
+:meth:`~EgoSession.score`, :meth:`~EgoSession.scores`) run on warm caches.
+
+The moment the first update arrives (:meth:`~EgoSession.apply`), the
+session **promotes itself** static → dynamic and from then on owns a
+mutable topology.  Exact all-vertex values are maintained *on demand*: if
+the session already holds a memoised values map at promotion (a
+``scores()`` call happened), an
+:class:`~repro.dynamic.local_update.EgoBetweennessIndex` (LocalInsert /
+LocalDelete) is built immediately, **reusing the already-computed values
+map** instead of recomputing every vertex, and each update patches it
+incrementally.  If full values were never demanded — e.g. a session that
+only feeds lazy top-k maintainers — no index exists and updates cost only
+the topology bookkeeping plus the attached maintainers; the index is
+created later, the first time ``scores()`` / ``score()`` /
+``maintained_top_k(mode="index")`` asks for it.  The promotion happens
+exactly once; a session constructed with ``auto_promote=False`` instead
+raises :class:`~repro.errors.BackendCapabilityError` so frozen read-only
+services cannot be mutated by accident.
+
+Backend negotiation
+-------------------
+``backend=`` accepts four values, resolved once at construction:
+
+========== ==================================================================
+``auto``   ``compact`` for static sources, ``dynamic`` when the source is
+           already a ``DynamicCompactGraph`` overlay (the default).
+``compact`` frozen ``CompactGraph`` CSR snapshot; promotes on first update.
+``hash``   the hash-set ``Graph`` oracle end to end (the bit-identical
+           reference backend; also promotes, onto the hash maintainers).
+``dynamic`` like ``compact`` but updates are always welcome — the promotion
+           ignores ``auto_promote``.
+========== ==================================================================
+
+Every legacy entry point (``top_k_ego_betweenness``, ``base_b_search``,
+``opt_b_search``, the CLI) is a thin adapter that constructs a throwaway
+session, so the results are bit-identical whichever door a caller uses —
+``tests/test_session.py`` enforces it.
+
+Examples
+--------
+>>> from repro.graph.graph import Graph
+>>> session = EgoSession(Graph(edges=[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]))
+>>> [v for v, _ in session.top_k(2)]
+[1, 2]
+>>> session.apply(("insert", 3, 4))
+1
+>>> session.stats().state
+'dynamic'
+>>> session.score(3) == session.scores()[3]
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.core.base_search import _base_b_search_hash
+from repro.core.csr_kernels import (
+    all_ego_betweenness_csr,
+    as_hash_graph,
+    base_b_search_csr,
+    describe_backends,
+    ego_betweenness_csr_cached,
+    opt_b_search_csr,
+)
+from repro.core.ego_betweenness import all_ego_betweenness, ego_betweenness
+from repro.core.opt_search import _opt_b_search_hash
+from repro.core.topk import SearchStats, TopKAccumulator, TopKResult
+from repro.dynamic.lazy_topk import LazyTopKMaintainer
+from repro.dynamic.local_update import EgoBetweennessIndex
+from repro.dynamic.stream import UpdateEvent
+from repro.errors import (
+    BackendCapabilityError,
+    InvalidParameterError,
+    VertexNotFoundError,
+)
+from repro.graph.csr import CompactGraph
+from repro.graph.dynamic_csr import DynamicCompactGraph
+from repro.graph.graph import Graph, Vertex
+from repro.parallel.engines import (
+    ParallelRunResult,
+    edge_parallel_ego_betweenness,
+    vertex_parallel_ego_betweenness,
+)
+
+__all__ = ["EgoSession", "Query", "SessionStats", "SESSION_BACKENDS"]
+
+#: The backend names a session negotiates between (``auto`` resolves to
+#: ``compact`` or ``dynamic`` depending on the source).  Descriptions live
+#: in :data:`repro.core.csr_kernels.BACKEND_DESCRIPTIONS` (one copy).
+SESSION_BACKENDS = ("auto", "compact", "hash", "dynamic")
+
+GraphSource = Union[Graph, CompactGraph, DynamicCompactGraph, str, Iterable]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query answered by a session (the unit of :class:`SessionStats`).
+
+    Attributes
+    ----------
+    kind:
+        ``"top_k"``, ``"score"``, ``"scores"``, ``"parallel_scores"``,
+        ``"maintained_top_k"`` or ``"apply"``.
+    state:
+        Session state (``"static"`` / ``"dynamic"``) when the query ran.
+    elapsed_seconds:
+        Wall-clock time spent answering, including any promotion it caused.
+    k / algorithm / theta / mode / parallel / events:
+        The query parameters that applied (``None`` otherwise).
+    """
+
+    kind: str
+    state: str
+    elapsed_seconds: float
+    k: Optional[int] = None
+    algorithm: Optional[str] = None
+    theta: Optional[float] = None
+    mode: Optional[str] = None
+    parallel: Optional[int] = None
+    events: Optional[int] = None
+
+
+@dataclass
+class SessionStats:
+    """A point-in-time description of a session (see :meth:`EgoSession.stats`).
+
+    Attributes
+    ----------
+    backend:
+        The negotiated backend (``compact``, ``hash`` or ``dynamic``).
+    state:
+        ``"static"`` until the first update promotes the session,
+        ``"dynamic"`` afterwards.
+    num_vertices / num_edges:
+        Current size of the owned graph.
+    queries:
+        Per-kind counters of the queries answered so far.
+    update_events:
+        Total edge updates applied through :meth:`EgoSession.apply`.
+    promotions:
+        0 or 1 — whether the static→dynamic promotion has happened.
+    values_cached:
+        Whether exact all-vertex values are currently held — a fresh static
+        memo, or (dynamic state) an incrementally-maintained index.
+    values_reused_on_promotion:
+        ``True`` when the promotion seeded the dynamic index from the
+        session's memoised values instead of recomputing every vertex.
+    lazy_maintainer_ks:
+        The ``k`` values for which lazy top-k maintainers are attached.
+    overlay_rebuilds:
+        CSR overlay re-compactions of the session's dynamic topology.
+    last_query:
+        The most recent :class:`Query`, or ``None``.
+    """
+
+    backend: str
+    state: str
+    num_vertices: int
+    num_edges: int
+    queries: Dict[str, int] = field(default_factory=dict)
+    update_events: int = 0
+    promotions: int = 0
+    values_cached: bool = False
+    values_reused_on_promotion: bool = False
+    lazy_maintainer_ks: List[int] = field(default_factory=list)
+    overlay_rebuilds: int = 0
+    last_query: Optional[Query] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a JSON-friendly dict (the CLI ``--json`` payload shape)."""
+        payload: Dict[str, Any] = {
+            "backend": self.backend,
+            "state": self.state,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "queries": dict(self.queries),
+            "update_events": self.update_events,
+            "promotions": self.promotions,
+            "values_cached": self.values_cached,
+            "values_reused_on_promotion": self.values_reused_on_promotion,
+            "lazy_maintainer_ks": list(self.lazy_maintainer_ks),
+            "overlay_rebuilds": self.overlay_rebuilds,
+        }
+        if self.last_query is not None:
+            payload["last_query"] = {
+                key: value
+                for key, value in vars(self.last_query).items()
+                if value is not None
+            }
+        return payload
+
+
+def _negotiate_backend(backend: str, source: object) -> str:
+    """Resolve ``backend`` against the source type; validate the name."""
+    backend = backend.lower()
+    if backend not in SESSION_BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; accepted values are "
+            f"{describe_backends(SESSION_BACKENDS)} — 'auto' resolves to "
+            "'compact' for static sources and 'dynamic' when the source is "
+            "already a DynamicCompactGraph"
+        )
+    if backend == "auto":
+        return "dynamic" if isinstance(source, DynamicCompactGraph) else "compact"
+    return backend
+
+
+class EgoSession:
+    """One stateful entry point for search, scoring, maintenance and parallel
+    execution over a single owned graph.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Graph`, :class:`CompactGraph`, :class:`DynamicCompactGraph`,
+        an iterable of ``(u, v)`` edge pairs, or a registry dataset name.
+    backend:
+        One of :data:`SESSION_BACKENDS`; see the module docstring.
+    scale:
+        Dataset scale factor, used only when ``source`` is a dataset name.
+    auto_promote:
+        When ``False``, :meth:`apply` on a static ``compact`` / ``hash``
+        session raises :class:`BackendCapabilityError` instead of promoting
+        (``backend="dynamic"`` always promotes).
+    overlay_options:
+        Forwarded to the :class:`DynamicCompactGraph` overlay created at
+        promotion (``rebuild_ratio``, ``min_rebuild_deltas``, ...).
+
+    Notes
+    -----
+    A static ``hash`` session reads the caller's :class:`Graph` live (no
+    copy — matching the legacy free functions it powers); the promotion
+    copies it, after which the session owns its state.  ``compact`` /
+    ``dynamic`` sessions pin an immutable snapshot at construction.
+    """
+
+    def __init__(
+        self,
+        source: GraphSource,
+        backend: str = "auto",
+        *,
+        scale: Optional[float] = None,
+        auto_promote: bool = True,
+        **overlay_options,
+    ) -> None:
+        source = self._coerce_source(source, scale)
+        self.backend = _negotiate_backend(backend, source)
+        self._auto_promote = auto_promote
+        if overlay_options and self.backend == "hash":
+            raise TypeError(
+                "overlay options are only valid with the 'compact' and "
+                "'dynamic' backends (they configure the CSR overlay built "
+                "at promotion)"
+            )
+        self._overlay_options = dict(overlay_options)
+        self._state = "static"
+
+        self._hash: Optional[Graph] = None
+        self._compact: Optional[CompactGraph] = None
+        if self.backend == "hash":
+            self._hash = as_hash_graph(source)
+        elif isinstance(source, DynamicCompactGraph):
+            self._compact = source.snapshot()
+        elif isinstance(source, CompactGraph):
+            self._compact = source
+        else:
+            self._compact = source.to_compact()
+
+        # Dynamic state (populated at promotion): the session-owned mutable
+        # topology, the optional demand-built exact index adopting it, and
+        # any attached lazy maintainers (each owns its own copy, exactly as
+        # the standalone class does).
+        self._dyn: Optional[DynamicCompactGraph] = None
+        self._index: Optional[EgoBetweennessIndex] = None
+        self._lazy: Dict[int, LazyTopKMaintainer] = {}
+        self._snapshot_cache: Optional[tuple] = None
+        self._graph_view_cache: Optional[tuple] = None
+        self._values: Optional[Dict[Vertex, float]] = None
+        self._values_version: Optional[int] = None
+        self._query_counts: Dict[str, int] = {}
+        self._last_query: Optional[Query] = None
+        self._update_events = 0
+        self._promotions = 0
+        self._values_reused_on_promotion = False
+        self._index_update_seconds = 0.0
+        self._lazy_update_seconds: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_source(source: GraphSource, scale: Optional[float]):
+        if isinstance(source, (Graph, CompactGraph, DynamicCompactGraph)):
+            return source
+        if isinstance(source, str):
+            from repro.datasets.registry import load_dataset
+
+            if scale is None:
+                return load_dataset(source)
+            return load_dataset(source, scale=scale)
+        if isinstance(source, Iterable):
+            return Graph(edges=source)
+        raise InvalidParameterError(
+            "source must be a Graph, CompactGraph, DynamicCompactGraph, an "
+            f"iterable of edges, or a dataset name — got {type(source).__name__}"
+        )
+
+    @classmethod
+    def from_dataset(cls, name: str, scale: Optional[float] = None, **kwargs) -> "EgoSession":
+        """Open a session on a registry dataset (synthetic stand-in)."""
+        return cls(name, scale=scale, **kwargs)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable, **kwargs) -> "EgoSession":
+        """Open a session on an iterable of ``(u, v)`` edge pairs."""
+        return cls(Graph(edges=edges), **kwargs)
+
+    @classmethod
+    def from_edge_list(cls, path, **kwargs) -> "EgoSession":
+        """Open a session on a whitespace edge-list file."""
+        from repro.graph.io import read_edge_list
+
+        return cls(read_edge_list(path), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Internal state accessors
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"static"`` before the first update, ``"dynamic"`` after."""
+        return self._state
+
+    def _current_version(self) -> int:
+        if self._state == "dynamic":
+            return self._dyn.version if self._dyn is not None else self._hash.version
+        if self.backend == "hash":
+            return self._hash.version
+        return 0  # pinned immutable snapshot
+
+    def _current_compact(self) -> CompactGraph:
+        """The CSR view of the current state (memoised per version)."""
+        if self._state != "dynamic":
+            return self._compact
+        if self._dyn is None:  # hash engine
+            return self._hash.to_compact()
+        version = self._dyn.version
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        snapshot = self._dyn.snapshot()
+        self._snapshot_cache = (version, snapshot)
+        return snapshot
+
+    def _current_hash_graph(self) -> Graph:
+        """The hash-set view of the current state (memoised per version)."""
+        if self._state != "dynamic" or self._dyn is None:
+            return self._hash
+        version = self._dyn.version
+        cached = self._graph_view_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        view = self._dyn.to_graph()
+        self._graph_view_cache = (version, view)
+        return view
+
+    def _record(self, kind: str, start: float, **params) -> None:
+        self._query_counts[kind] = self._query_counts.get(kind, 0) + 1
+        self._last_query = Query(
+            kind=kind,
+            state=self._state,
+            elapsed_seconds=time.perf_counter() - start,
+            **params,
+        )
+
+    # ------------------------------------------------------------------
+    # Static / dynamic promotion
+    # ------------------------------------------------------------------
+    def _promote(self, operation: str = "apply()") -> None:
+        """One-time static → dynamic promotion.
+
+        The session takes ownership of a mutable topology — a
+        :class:`DynamicCompactGraph` overlay sharing the pinned snapshot's
+        arrays (or a private copy of the hash graph).  If the session holds
+        a fresh all-vertex values memo, the exact
+        :class:`EgoBetweennessIndex` is built immediately, seeded with
+        those values (skipping its initial all-vertex computation
+        entirely); otherwise the index is deferred until full values are
+        demanded, so lazy-only workloads never pay for it.
+        """
+        if self._state == "dynamic":
+            return
+        if not self._auto_promote and self.backend != "dynamic":
+            raise BackendCapabilityError(
+                f"{operation} requires the static→dynamic promotion, but "
+                f"this session was opened with auto_promote=False on the "
+                f"frozen {self.backend!r} backend; open the session with "
+                "auto_promote=True (the default) or backend='dynamic' to "
+                "accept maintenance"
+            )
+        values = None
+        if self._values is not None and self._values_version == self._current_version():
+            values = self._values
+        if self.backend == "hash":
+            self._hash = self._hash.copy()  # take ownership; source stays intact
+        else:
+            self._dyn = DynamicCompactGraph(self._compact, **self._overlay_options)
+        self._state = "dynamic"
+        self._promotions += 1
+        self._values = None
+        self._values_version = None
+        self._compact = None
+        if values is not None:
+            self._build_index(values)
+            self._values_reused_on_promotion = True
+
+    def _build_index(self, values: Optional[Dict[Vertex, float]]) -> None:
+        """Create the exact index over the session-owned topology."""
+        if self.backend == "hash":
+            self._index = EgoBetweennessIndex(
+                self._hash, backend="hash", values=values, copy=False
+            )
+        else:
+            self._index = EgoBetweennessIndex(
+                self._dyn, backend="compact", values=values, copy=False
+            )
+
+    def _ensure_index(self) -> EgoBetweennessIndex:
+        """The exact all-vertex index, built on first demand.
+
+        When built mid-stream (full values were never demanded before), the
+        initial all-vertex computation runs against the *current* topology;
+        from then on every update patches it incrementally.
+        """
+        if self._index is None:
+            self._build_index(None)
+        return self._index
+
+    def promote(self) -> None:
+        """Promote the session static → dynamic without applying an update.
+
+        Idempotent.  Useful when a caller wants to pay the one-time
+        promotion cost (topology construction and, if a fresh values memo
+        exists, index seeding) eagerly — e.g. before timing a stream of
+        :meth:`apply` calls.
+        """
+        self._promote(operation="promote()")
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def top_k(
+        self,
+        k: int,
+        algorithm: str = "opt",
+        theta: float = 1.05,
+        maintain_shared_maps: bool = True,
+    ) -> TopKResult:
+        """Run a top-k ego-betweenness search on the current graph state.
+
+        ``algorithm`` is ``"opt"`` (OptBSearch, the default), ``"base"``
+        (BaseBSearch) or ``"naive"`` (compute every vertex, then select).
+        ``theta`` is OptBSearch's gradient ratio; ``maintain_shared_maps``
+        is BaseBSearch's Algorithm-1 fidelity switch.  Entries, scores and
+        work counters are bit-identical to the legacy free functions on the
+        same graph state; repeated queries at the same state are served from
+        the memoised snapshot caches.
+        """
+        start = time.perf_counter()
+        if k < 1:
+            raise InvalidParameterError("k must be a positive integer")
+        algorithm = algorithm.lower()
+        if algorithm == "naive":
+            result = self._naive_top_k(k)
+        elif algorithm not in ("opt", "base"):
+            raise InvalidParameterError(
+                f"unknown method {algorithm!r}; use 'opt', 'base' or 'naive'"
+            )
+        elif self.backend == "hash":
+            graph = self._current_hash_graph()
+            if algorithm == "opt":
+                result = _opt_b_search_hash(graph, k, theta=theta)
+            else:
+                result = _base_b_search_hash(
+                    graph, k, maintain_shared_maps=maintain_shared_maps
+                )
+        else:
+            compact = self._current_compact()
+            if algorithm == "opt":
+                result = opt_b_search_csr(compact, k, theta=theta)
+            else:
+                result = base_b_search_csr(
+                    compact, k, maintain_shared_maps=maintain_shared_maps
+                )
+        self._record("top_k", start, k=k, algorithm=algorithm, theta=theta)
+        return result
+
+    def _naive_top_k(self, k: int) -> TopKResult:
+        start = time.perf_counter()
+        scores = self._all_scores()
+        accumulator = TopKAccumulator(min(k, max(len(scores), 1)))
+        for vertex, score in scores.items():
+            accumulator.offer(vertex, score)
+        stats = SearchStats(
+            algorithm="naive",
+            exact_computations=len(scores),
+            pruned_vertices=0,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        return TopKResult(entries=accumulator.ranked_entries(), k=k, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score(self, vertex: Vertex) -> float:
+        """Exact ego-betweenness of one vertex on the current graph state.
+
+        Raises :class:`VertexNotFoundError` for an unknown vertex, whichever
+        internal path (memo, index, or kernel) serves the probe.
+        """
+        start = time.perf_counter()
+        try:
+            if self._state == "dynamic":
+                value = self._ensure_index().score(vertex)
+            elif self._values is not None and self._values_version == self._current_version():
+                value = self._values[vertex]
+            elif self.backend == "hash":
+                value = ego_betweenness(self._hash, vertex)
+            else:
+                value = ego_betweenness_csr_cached(self._compact, vertex)
+        except VertexNotFoundError:
+            raise
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+        self._record("score", start)
+        return value
+
+    def scores(
+        self,
+        vertices: Optional[Iterable[Vertex]] = None,
+        parallel: Optional[int] = None,
+        engine: str = "edge",
+        executor: str = "serial",
+    ) -> Dict[Vertex, float]:
+        """Exact ego-betweenness of every vertex (or a subset).
+
+        ``parallel=N`` routes the all-vertex computation through one of the
+        Section-V engines (``engine="edge"`` — EdgePEBW, the default — or
+        ``"vertex"`` — VertexPEBW) with ``N`` workers; ``executor`` selects
+        the execution backend (``"serial"``, ``"thread"``, ``"process"``).
+        Scores are bit-identical however they are computed, and a full map
+        is memoised on the session, so later :meth:`score` /
+        :meth:`top_k` ``(algorithm="naive")`` calls reuse it.
+        """
+        start = time.perf_counter()
+        if parallel is not None:
+            run = self._parallel_run(parallel, engine=engine, executor=executor)
+            result = dict(run.scores)
+            if self._state == "static":
+                # Engine scores are bit-identical to the serial kernel, so
+                # the full map seeds the session memo for later score() /
+                # naive-top-k calls (dynamic sessions: the index owns it).
+                self._values = dict(result)
+                self._values_version = self._current_version()
+            if vertices is not None:
+                result = {v: result[v] for v in vertices}
+            self._record("scores", start, parallel=parallel)
+            return result
+        if (
+            vertices is not None
+            and self._state == "static"
+            and not (self._values is not None and self._values_version == self._current_version())
+        ):
+            # Subset request with no memo available: compute only the subset.
+            targets = list(vertices)
+            if self.backend == "hash":
+                graph = self._current_hash_graph()
+                result = {v: ego_betweenness(graph, v) for v in targets}
+            else:
+                result = all_ego_betweenness_csr(self._current_compact(), targets)
+            self._record("scores", start)
+            return result
+        full = self._all_scores()
+        if vertices is not None:
+            full = {v: full[v] for v in vertices}
+        self._record("scores", start)
+        return full
+
+    def _all_scores(self) -> Dict[Vertex, float]:
+        """The memoised all-vertex values map (always returned as a copy)."""
+        if self._state == "dynamic":
+            return self._ensure_index().scores()
+        version = self._current_version()
+        if self._values is None or self._values_version != version:
+            if self.backend == "hash":
+                self._values = all_ego_betweenness(self._hash)
+            else:
+                self._values = all_ego_betweenness_csr(self._compact)
+            self._values_version = version
+        return dict(self._values)
+
+    def parallel_scores(
+        self, num_workers: int, engine: str = "edge", executor: str = "serial"
+    ) -> ParallelRunResult:
+        """Run a Section-V parallel engine over the current graph state.
+
+        Returns the full :class:`ParallelRunResult` (scores, schedule and
+        load report); :meth:`scores` with ``parallel=N`` is the dict-shaped
+        convenience wrapper over this.
+        """
+        start = time.perf_counter()
+        run = self._parallel_run(num_workers, engine=engine, executor=executor)
+        self._record("parallel_scores", start, parallel=num_workers)
+        return run
+
+    def _parallel_run(
+        self, num_workers: int, engine: str, executor: str
+    ) -> ParallelRunResult:
+        engine = engine.lower()
+        if engine not in ("edge", "vertex"):
+            raise InvalidParameterError(
+                f"unknown parallel engine {engine!r}; use 'edge' (EdgePEBW) "
+                "or 'vertex' (VertexPEBW)"
+            )
+        run_engine = (
+            edge_parallel_ego_betweenness
+            if engine == "edge"
+            else vertex_parallel_ego_betweenness
+        )
+        if self.backend == "hash":
+            return run_engine(
+                self._current_hash_graph(), num_workers, backend=executor, graph_backend="hash"
+            )
+        return run_engine(
+            self._current_compact(), num_workers, backend=executor, graph_backend="compact"
+        )
+
+    # ------------------------------------------------------------------
+    # Updates and maintenance
+    # ------------------------------------------------------------------
+    def apply(self, events) -> int:
+        """Apply one edge update or a stream of them; return the count.
+
+        Accepts an :class:`UpdateEvent`, an ``("insert" | "delete", u, v)``
+        triple, or any iterable of either.  The first call promotes a static
+        session to the dynamic state (see :meth:`_promote`).  Each update
+        mutates the session's topology, incrementally patches the exact
+        index *if it exists* (it is only built when full values are
+        demanded), and is forwarded to every attached lazy maintainer.
+        """
+        start = time.perf_counter()
+        coerced = self._coerce_events(events)
+        self._promote()
+        index = self._index
+        maintainers = list(self._lazy.items())
+        count = 0
+        for event in coerced:
+            inserting = event.operation == "insert"
+            if index is not None:
+                # The index adopts the session topology, so its update IS
+                # the topology mutation.
+                if inserting:
+                    index.insert_edge(event.u, event.v)
+                else:
+                    index.delete_edge(event.u, event.v)
+                self._index_update_seconds += index.last_update_seconds
+            elif self._dyn is not None:
+                if inserting:
+                    self._dyn.insert_edge(event.u, event.v)
+                else:
+                    self._dyn.delete_edge(event.u, event.v)
+            else:  # hash engine, no index yet
+                if inserting:
+                    self._hash.add_edge(event.u, event.v)
+                else:
+                    self._hash.remove_edge(event.u, event.v)
+            for k, maintainer in maintainers:
+                if inserting:
+                    maintainer.insert_edge(event.u, event.v)
+                else:
+                    maintainer.delete_edge(event.u, event.v)
+                self._lazy_update_seconds[k] += maintainer.last_update_seconds
+            count += 1
+        self._update_events += count
+        self._record("apply", start, events=count)
+        return count
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> int:
+        """Convenience: ``apply(("insert", u, v))`` (stream-target shaped)."""
+        return self.apply(UpdateEvent("insert", u, v))
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> int:
+        """Convenience: ``apply(("delete", u, v))`` (stream-target shaped)."""
+        return self.apply(UpdateEvent("delete", u, v))
+
+    @staticmethod
+    def _coerce_events(events) -> List[UpdateEvent]:
+        def one(item) -> UpdateEvent:
+            if isinstance(item, UpdateEvent):
+                return item
+            if (
+                isinstance(item, (tuple, list))
+                and len(item) == 3
+                and item[0] in ("insert", "delete")
+            ):
+                return UpdateEvent(item[0], item[1], item[2])
+            raise InvalidParameterError(
+                "an update must be an UpdateEvent or an "
+                f"('insert'|'delete', u, v) triple — got {item!r}"
+            )
+
+        if isinstance(events, (UpdateEvent, str)) or (
+            isinstance(events, (tuple, list))
+            and len(events) == 3
+            and events[0] in ("insert", "delete")
+        ):
+            return [one(events)]
+        if isinstance(events, Iterable):
+            return [one(item) for item in events]
+        return [one(events)]
+
+    def maintained_top_k(self, k: int, mode: str = "lazy") -> TopKResult:
+        """The incrementally-maintained top-k result (promotes if static).
+
+        ``mode="lazy"`` attaches (once per ``k``) a
+        :class:`LazyTopKMaintainer` seeded from the session's exact values;
+        it then receives every subsequent update and answers from its lazily
+        maintained result set — without forcing the session to build or
+        drive the exact all-vertex index.  ``mode="index"`` ranks the
+        demand-built index's exact values directly.  Both modes return the
+        true top-k after every update; they differ in the per-update work
+        they do, which :meth:`lazy_counters` and
+        :meth:`maintenance_seconds` expose.
+        """
+        start = time.perf_counter()
+        if k < 1:
+            raise InvalidParameterError("k must be a positive integer")
+        mode = mode.lower()
+        if mode not in ("lazy", "index"):
+            raise InvalidParameterError(
+                f"unknown maintenance mode {mode!r}; use 'lazy' "
+                "(LazyTopKMaintainer, bound-gated recomputations) or 'index' "
+                "(EgoBetweennessIndex, exact values for every vertex)"
+            )
+        self._promote(operation="maintained_top_k()")
+        if mode == "index":
+            entries = self._ensure_index().top_k(k)
+            result = TopKResult(
+                entries=entries,
+                k=k,
+                stats=SearchStats(algorithm="EgoBetweennessIndex"),
+            )
+            self._record("maintained_top_k", start, k=k, mode=mode)
+            return result
+        maintainer = self._lazy.get(k)
+        if maintainer is None:
+            # Seed from the index when it exists (free); otherwise compute
+            # the values fresh — exactly what a standalone maintainer's
+            # initialisation would do — without building the index.
+            if self._index is not None:
+                values = self._index.scores()
+            elif self.backend == "hash":
+                values = all_ego_betweenness(self._hash)
+            else:
+                values = all_ego_betweenness_csr(self._current_compact())
+            if self.backend == "hash":
+                maintainer = LazyTopKMaintainer(
+                    self._current_hash_graph(), k, backend="hash", values=values
+                )
+            else:
+                maintainer = LazyTopKMaintainer(
+                    self._current_compact(),
+                    k,
+                    backend="compact",
+                    values=values,
+                    **self._overlay_options,
+                )
+            self._lazy[k] = maintainer
+            self._lazy_update_seconds.setdefault(k, 0.0)
+        result = maintainer.top_k()
+        self._record("maintained_top_k", start, k=k, mode=mode)
+        return result
+
+    def maintenance_seconds(self) -> Dict[str, Any]:
+        """Cumulative per-component maintenance time spent inside ``apply``.
+
+        Returns ``{"index": seconds, "lazy": {k: seconds, ...}}`` measured by
+        each maintainer's own update timer — the honest per-algorithm cost.
+        A session that never demanded full values reports ``"index": 0.0``
+        (no index exists to drive).
+        """
+        return {
+            "index": self._index_update_seconds,
+            "lazy": dict(self._lazy_update_seconds),
+        }
+
+    def lazy_counters(self, k: int) -> Dict[str, int]:
+        """Laziness counters of the ``k``-maintainer (Exp-3's metrics)."""
+        maintainer = self._lazy.get(k)
+        if maintainer is None:
+            raise InvalidParameterError(
+                f"no lazy maintainer is attached for k={k}; call "
+                "maintained_top_k(k, mode='lazy') first"
+            )
+        return {
+            "exact_recomputations": maintainer.exact_recomputations,
+            "skipped_recomputations": maintainer.skipped_recomputations,
+        }
+
+    def rebuild(self) -> None:
+        """Re-compact the dynamic CSR overlays (values/results unchanged).
+
+        No-op in the static state (the snapshot is already contiguous) and
+        on the hash backend.
+        """
+        if self._state == "dynamic":
+            if self._dyn is not None:
+                self._dyn.rebuild()
+            for maintainer in self._lazy.values():
+                maintainer.rebuild()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> CompactGraph:
+        """An immutable CSR snapshot of the current graph state.
+
+        Static sessions return the pinned snapshot itself (zero cost);
+        dynamic sessions return a per-version memoised compaction of the
+        owned topology.
+        """
+        if self._state == "dynamic":
+            return self._current_compact()
+        if self.backend == "hash":
+            return self._hash.to_compact()
+        return self._compact
+
+    def to_graph(self) -> Graph:
+        """A hash-set :class:`Graph` view of the current state.
+
+        The result is always safe to mutate: a static ``hash`` session
+        returns the caller's own source graph (which the session reads
+        live by contract), every other state materialises an independent
+        graph — in particular a promoted ``hash`` session returns a *copy*
+        of its owned topology, so callers cannot bypass the maintained
+        index.
+        """
+        if self.backend == "hash":
+            if self._state == "dynamic":
+                return self._hash.copy()
+            return self._hash
+        if self._state == "dynamic":
+            return self._current_hash_graph()
+        return self._compact.to_graph()
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the owned graph."""
+        if self._dyn is not None:
+            return self._dyn.num_vertices
+        if self._hash is not None:
+            return self._hash.num_vertices
+        return self._compact.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges of the owned graph."""
+        if self._dyn is not None:
+            return self._dyn.num_edges
+        if self._hash is not None:
+            return self._hash.num_edges
+        return self._compact.num_edges
+
+    def stats(self) -> SessionStats:
+        """A :class:`SessionStats` snapshot of the session's life so far."""
+        if self._state == "dynamic":
+            values_cached = self._index is not None
+        else:
+            values_cached = (
+                self._values is not None and self._values_version == self._current_version()
+            )
+        return SessionStats(
+            backend=self.backend,
+            state=self._state,
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+            queries=dict(self._query_counts),
+            update_events=self._update_events,
+            promotions=self._promotions,
+            values_cached=values_cached,
+            values_reused_on_promotion=self._values_reused_on_promotion,
+            lazy_maintainer_ks=sorted(self._lazy),
+            overlay_rebuilds=self._dyn.rebuilds if self._dyn is not None else 0,
+            last_query=self._last_query,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EgoSession(backend={self.backend!r}, state={self._state!r}, "
+            f"n={self.num_vertices}, m={self.num_edges})"
+        )

@@ -88,6 +88,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "table1" in out
 
+    def test_topk_json_payload(self, edge_list_file, capsys):
+        import json
+
+        assert main(["topk", "--edge-list", edge_list_file, "-k", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "topk"
+        assert payload["algorithm"] == "OptBSearch"
+        assert len(payload["entries"]) == 3
+        assert payload["entries"][0]["rank"] == 1
+        assert payload["search_stats"]["exact_computations"] >= 3
+        assert payload["session"]["backend"] == "compact"
+        assert payload["session"]["queries"] == {"top_k": 1}
+
+    def test_topk_json_matches_table_entries(self, edge_list_file, capsys):
+        import json
+
+        assert main(["topk", "--edge-list", edge_list_file, "-k", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert main(["topk", "--edge-list", edge_list_file, "-k", "4"]) == 0
+        table = capsys.readouterr().out
+        for entry in payload["entries"]:
+            assert str(entry["vertex"]) in table
+
+    def test_stats_json_payload(self, capsys):
+        import json
+
+        assert main(["stats", "--dataset", "dblp", "--scale", "0.08", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "stats"
+        assert payload["statistics"]["n"] > 0
+
+    def test_maintain_json_payload(self, edge_list_file, capsys):
+        import json
+
+        assert main(
+            ["maintain", "--edge-list", edge_list_file, "--updates", "12",
+             "-k", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "maintain"
+        assert payload["updates"] == 12
+        assert len(payload["maintainers"]) == 2
+        assert len(payload["top_k"]) == 2
+        assert payload["session"]["state"] == "dynamic"
+        assert payload["session"]["update_events"] == 12
+
+    def test_experiment_without_backend_does_not_warn(self, capsys, recwarn):
+        assert main(["experiment", "table1", "--scale", "0.08"]) == 0
+        assert not [w for w in recwarn.list if "cross-cutting" in str(w.message)]
+
     def test_missing_edge_list_raises_os_error(self):
         with pytest.raises(OSError):
             main(["topk", "--edge-list", "/nonexistent/file.txt", "-k", "2"])

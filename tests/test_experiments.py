@@ -86,10 +86,11 @@ class TestSmallRuns:
         assert compact["lazy_exact_recomputations"] == hash_["lazy_exact_recomputations"]
         assert compact["lazy_skipped"] == hash_["lazy_skipped"]
 
-    def test_run_experiment_drops_cross_cutting_backend(self):
-        result = run_experiment(
-            "table1", scale=TINY, backend="hash"  # table1 takes no backend
-        )
+    def test_run_experiment_drops_cross_cutting_backend_with_warning(self):
+        with pytest.warns(UserWarning, match=r"'backend'.*dropped"):
+            result = run_experiment(
+                "table1", scale=TINY, backend="hash"  # table1 takes no backend
+            )
         assert result.experiment_id == "table1"
 
     def test_run_experiment_still_raises_on_typos(self):
