@@ -1,11 +1,14 @@
 """Benchmark smoke runs: tiny-scale perf numbers written as JSON artifacts.
 
-Runs the two headline hot paths at a small, CI-friendly scale and writes
+Runs the headline hot paths at a small, CI-friendly scale and writes
 ``BENCH_fig8.json`` (dynamic maintenance: mean/median per-update latency of
-the local index and the lazy maintainer, per backend) and
-``BENCH_fig6.json`` (top-k search: mean/median per-query latency of
-OptBSearch per backend) so every CI run records the perf trajectory of the
-repository.  Pure standard library — runnable as::
+the local index and the lazy maintainer, per backend), ``BENCH_fig6.json``
+(top-k search: mean/median per-query latency of OptBSearch per backend),
+``BENCH_session.json`` (cold vs warm session queries) and
+``BENCH_throughput.json`` (batched queries/sec on a cold vs warm execution
+runtime, plus the runtime's ship/pool accounting) so every CI run records
+the perf trajectory of the repository.  Pure standard library — runnable
+as::
 
     PYTHONPATH=src python benchmarks/smoke.py --scale 0.1 --out bench-artifacts
 
@@ -137,6 +140,42 @@ def bench_session(scale: float, k: int, repeats: int) -> dict:
     }
 
 
+def bench_throughput(scale: float, queries: int, workers: int) -> dict:
+    """Batched queries/sec: cold (pool+ship per query) vs warm runtime."""
+    from repro.cli import run_throughput_benchmark
+    from repro.datasets.registry import load_dataset
+
+    graph = load_dataset("livejournal", scale=scale)
+    result = run_throughput_benchmark(
+        graph, queries=queries, workers=workers, executor="process"
+    )
+    return {
+        "bench": "throughput",
+        "unit": "seconds per query",
+        "dataset": "livejournal",
+        "scale": scale,
+        "queries": queries,
+        "workers": workers,
+        "executor": "process",
+        "backends": {
+            "cold_runtime": {
+                "mean_s": result["cold"]["seconds"] / queries,
+                "qps": result["cold"]["qps"],
+                "payload_ships": result["cold"]["payload_ships"],
+                "pool_launches": result["cold"]["pool_launches"],
+            },
+            "warm_runtime": {
+                "mean_s": result["warm"]["seconds"] / queries,
+                "qps": result["warm"]["qps"],
+                "payload_ships": result["warm"]["payload_ships"],
+                "pool_launches": result["warm"]["pool_launches"],
+            },
+        },
+        "runtime": result["runtime"],
+        "speedup_warm_vs_cold": result["speedup_warm_vs_cold"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="benchmark smoke runs -> JSON artifacts")
     parser.add_argument("--scale", type=float, default=0.1, help="dataset scale (default 0.1)")
@@ -144,6 +183,12 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=5, help="fig6 query repetitions")
     parser.add_argument("-k", type=int, default=10, help="fig6 top-k size")
     parser.add_argument("--seed", type=int, default=7, help="fig8 stream seed")
+    parser.add_argument(
+        "--queries", type=int, default=32, help="throughput batch size (default 32)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="throughput workers per query (default 2)"
+    )
     parser.add_argument(
         "--out", default="benchmarks/results", help="output directory for the JSON artifacts"
     )
@@ -157,6 +202,7 @@ def main(argv=None) -> int:
         ("BENCH_fig8.json", bench_fig8(args.scale, args.updates, args.seed)),
         ("BENCH_fig6.json", bench_fig6(args.scale, args.k, args.repeats)),
         ("BENCH_session.json", bench_session(args.scale, args.k, args.repeats)),
+        ("BENCH_throughput.json", bench_throughput(args.scale, args.queries, args.workers)),
     ):
         payload["environment"] = env
         path = out_dir / name

@@ -8,7 +8,10 @@ A from-scratch reproduction of the paper's full system:
   pruning, BaseBSearch and OptBSearch — :mod:`repro.core`;
 * dynamic maintenance under edge insertions/deletions, both the local
   all-vertex index and the lazy top-k maintainer — :mod:`repro.dynamic`;
-* the vertex- and edge-parallel all-vertex engines — :mod:`repro.parallel`;
+* the vertex- and edge-parallel all-vertex engines, executed on a
+  persistent worker-pool runtime with zero-copy shared-memory CSR
+  transport (:class:`repro.parallel.ExecutionRuntime`) —
+  :mod:`repro.parallel`;
 * the Brandes betweenness baseline (TopBW) — :mod:`repro.baselines`;
 * synthetic dataset stand-ins and the experiment harness reproducing every
   table and figure of the evaluation — :mod:`repro.datasets`,
@@ -49,10 +52,15 @@ from repro.core import (
 from repro.dynamic import EgoBetweennessIndex, LazyTopKMaintainer
 from repro.errors import BackendCapabilityError, ReproError
 from repro.graph import Graph
-from repro.parallel import edge_parallel_ego_betweenness, vertex_parallel_ego_betweenness
+from repro.parallel import (
+    ExecutionRuntime,
+    RuntimeStats,
+    edge_parallel_ego_betweenness,
+    vertex_parallel_ego_betweenness,
+)
 from repro.session import EgoSession, Query, SessionStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -74,5 +82,7 @@ __all__ = [
     "LazyTopKMaintainer",
     "vertex_parallel_ego_betweenness",
     "edge_parallel_ego_betweenness",
+    "ExecutionRuntime",
+    "RuntimeStats",
     "top_k_betweenness",
 ]

@@ -17,6 +17,11 @@ Subcommands
     Replay a mixed edge-update stream against the dynamic maintainers
     (LocalInsert/Delete and LazyInsert/Delete) and report per-update
     latency and laziness counters — the streaming-workload scenario.
+``bench-throughput``
+    Measure batched query throughput on the persistent execution runtime:
+    a cold run (fresh worker pool + graph shipping per query) against a
+    warm run (one runtime shared by the whole batch) — the serving-layer
+    scenario.
 ``experiment``
     Run one of the paper-reproduction experiments and print its report.
 ``datasets``
@@ -110,6 +115,26 @@ def build_parser() -> argparse.ArgumentParser:
         help=_BACKEND_HELP,
     )
     _add_json_argument(maintain)
+
+    bench = subparsers.add_parser(
+        "bench-throughput",
+        help="measure batched query throughput on the execution runtime",
+    )
+    _add_graph_source_arguments(bench)
+    bench.add_argument(
+        "--queries", type=int, default=32, help="queries in the batch (default 32)"
+    )
+    bench.add_argument(
+        "--workers", type=int, default=2, help="parallel workers per query (default 2)"
+    )
+    bench.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default="process",
+        help="execution backend for the runtime (default: process)",
+    )
+    bench.add_argument("--seed", type=int, default=7, help="query-sampling RNG seed")
+    _add_json_argument(bench)
 
     experiment = subparsers.add_parser("experiment", help="run a reproduction experiment")
     experiment.add_argument("experiment_id", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -280,6 +305,134 @@ def _run_maintain(args: argparse.Namespace) -> None:
         print(format_table(rounded, title=f"Maintained top-{args.k} after the stream"))
 
 
+def run_throughput_benchmark(
+    graph: Graph,
+    queries: int = 32,
+    workers: int = 2,
+    executor: str = "process",
+    seed: int = 7,
+) -> Dict[str, Any]:
+    """Cold vs warm batched-query throughput on the execution runtime.
+
+    Samples ``queries`` disjoint-ish vertex subsets, answers them twice and
+    returns the JSON payload shape shared by the CLI, ``benchmarks/smoke.py``
+    and ``benchmarks/bench_throughput.py``:
+
+    * **cold** — one fresh :class:`~repro.parallel.runtime.ExecutionRuntime`
+      per query, paying worker-pool start-up and graph shipping every time
+      (the pre-runtime behaviour of the parallel engines);
+    * **warm** — a single session-owned runtime answering the whole batch
+      through :meth:`~repro.session.EgoSession.scores_batch`: one pool, one
+      payload ship per graph version.
+
+    Both runs return bit-identical answers (asserted here).
+    """
+    import random
+    import time
+
+    from repro.errors import InvalidParameterError
+
+    if queries < 1:
+        raise InvalidParameterError("queries must be a positive integer")
+    compact = graph.to_compact()
+    vertices = graph.vertices()
+    rng = random.Random(seed)
+    per_query = max(1, len(vertices) // queries)
+    subsets = [
+        rng.sample(vertices, min(per_query, len(vertices))) for _ in range(queries)
+    ]
+
+    cold_start = time.perf_counter()
+    cold_answers = []
+    cold_ships = cold_pool_launches = 0
+    for subset in subsets:
+        with EgoSession(compact) as session:
+            session.runtime(executor, max_workers=workers)
+            cold_answers.append(
+                session.scores_batch([subset], parallel=workers, executor=executor)[0]
+            )
+            stats = session.runtime_stats()[executor]
+            cold_ships += stats.payload_ships
+            cold_pool_launches += stats.pool_launches
+    cold_seconds = time.perf_counter() - cold_start
+
+    with EgoSession(compact) as session:
+        session.runtime(executor, max_workers=workers)
+        warm_start = time.perf_counter()
+        warm_answers = session.scores_batch(
+            subsets, parallel=workers, executor=executor
+        )
+        warm_seconds = time.perf_counter() - warm_start
+        runtime_stats = session.runtime_stats()[executor].as_dict()
+        session_stats = session.stats().as_dict()
+
+    if warm_answers != cold_answers:
+        raise AssertionError(
+            "warm batched answers diverged from cold per-query answers"
+        )
+    return {
+        "bench": "throughput",
+        "unit": "queries per second",
+        "queries": queries,
+        "vertices_per_query": per_query,
+        "workers": workers,
+        "executor": executor,
+        "cold": {
+            "seconds": cold_seconds,
+            "qps": queries / cold_seconds if cold_seconds else float("inf"),
+            "payload_ships": cold_ships,
+            "pool_launches": cold_pool_launches,
+        },
+        "warm": {
+            "seconds": warm_seconds,
+            "qps": queries / warm_seconds if warm_seconds else float("inf"),
+            "payload_ships": runtime_stats["payload_ships"],
+            "pool_launches": runtime_stats["pool_launches"],
+        },
+        "speedup_warm_vs_cold": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+        "runtime": runtime_stats,
+        "session": session_stats,
+    }
+
+
+def _run_bench_throughput(args: argparse.Namespace) -> None:
+    payload = run_throughput_benchmark(
+        _load_graph(args),
+        queries=args.queries,
+        workers=args.workers,
+        executor=args.executor,
+        seed=args.seed,
+    )
+    payload["command"] = "bench-throughput"
+    if args.json:
+        _emit_json(payload)
+        return
+    rows = [
+        {
+            "run": name,
+            "seconds": round(payload[name]["seconds"], 4),
+            "queries_per_s": round(payload[name]["qps"], 1),
+            "payload_ships": payload[name]["payload_ships"],
+            "pool_launches": payload[name]["pool_launches"],
+        }
+        for name in ("cold", "warm")
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Batched throughput: {payload['queries']} queries x "
+                f"{payload['vertices_per_query']} vertices "
+                f"({payload['executor']} executor, {payload['workers']} workers)"
+            ),
+        )
+    )
+    print(
+        f"warm runtime speedup: {payload['speedup_warm_vs_cold']:.2f}x "
+        f"(one pool + one payload ship for the whole batch)"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -291,6 +444,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_stats(args)
         elif args.command == "maintain":
             _run_maintain(args)
+        elif args.command == "bench-throughput":
+            _run_bench_throughput(args)
         elif args.command == "experiment":
             kwargs = {} if args.backend is None else {"backend": args.backend}
             result = run_experiment(args.experiment_id, scale=args.scale, **kwargs)

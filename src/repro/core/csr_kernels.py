@@ -65,6 +65,8 @@ __all__ = [
     "ego_betweenness_csr_cached",
     "all_ego_betweenness_csr",
     "ego_betweenness_from_arrays",
+    "build_dense_adjacency",
+    "CSRChunkKernel",
     "ego_bw_cal_csr",
     "bound_decomposition_csr",
     "base_b_search_csr",
@@ -355,6 +357,80 @@ def ego_betweenness_from_arrays(
     if nbr_sets is None:
         nbr_sets = _build_neighbor_sets(indptr, indices)
     return {pid: _ego_score_id(indptr, indices, pid, nbr_sets, dense) for pid in ids}
+
+
+def build_dense_adjacency(
+    indptr: Sequence[int], indices: Sequence[int]
+) -> Optional[bytearray]:
+    """Build the flat ``n × n`` adjacency bitmap from raw CSR buffers.
+
+    The standalone twin of :meth:`CompactGraph.dense_adjacency` for callers
+    that hold only the two flat arrays (parallel workers reading a
+    shared-memory segment).  Returns ``None`` above
+    :data:`~repro.graph.csr.DENSE_ADJACENCY_VERTEX_LIMIT`, where the
+    neighbour-set probe is used instead.
+    """
+    from repro.graph.csr import DENSE_ADJACENCY_VERTEX_LIMIT
+
+    n = len(indptr) - 1
+    if not 0 < n <= DENSE_ADJACENCY_VERTEX_LIMIT:
+        return None
+    dense = bytearray(n * n)
+    for u in range(n):
+        base = u * n
+        for pos in range(indptr[u], indptr[u + 1]):
+            dense[base + indices[pos]] = 1
+    return dense
+
+
+class CSRChunkKernel:
+    """Reusable chunk-scoring kernel over raw CSR buffers.
+
+    Wraps the two flat ``(indptr, indices)`` arrays — plain sequences or
+    zero-copy ``memoryview`` casts of a shared-memory segment — and builds
+    the derived acceleration structures (per-vertex neighbour sets and, on
+    small graphs, the dense adjacency bitmap) exactly once.  A persistent
+    parallel worker constructs one kernel per shipped graph version and then
+    serves every vertex chunk of that version from it, so the per-call cost
+    is the wedge enumeration alone.
+
+    Scores are bit-identical to :func:`all_ego_betweenness_csr` (both
+    accumulate through the canonical sorted histogram).
+
+    Examples
+    --------
+    >>> g = Graph(edges=[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    >>> cg = CompactGraph.from_graph(g)
+    >>> kernel = CSRChunkKernel(cg.indptr, cg.indices)
+    >>> kernel.score_chunk([0, 3]) == {0: 0.0, 3: 0.0}
+    True
+    """
+
+    __slots__ = ("indptr", "indices", "nbr_sets", "dense")
+
+    def __init__(
+        self,
+        indptr: Sequence[int],
+        indices: Sequence[int],
+        build_dense: bool = True,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.nbr_sets = _build_neighbor_sets(indptr, indices)
+        self.dense = build_dense_adjacency(indptr, indices) if build_dense else None
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices covered by the buffers."""
+        return len(self.indptr) - 1
+
+    def score_chunk(self, ids: Iterable[int]) -> Dict[int, float]:
+        """Return ``{id: CB(id)}`` for every dense vertex id in ``ids``."""
+        indptr, indices = self.indptr, self.indices
+        nbr_sets, dense = self.nbr_sets, self.dense
+        return {
+            pid: _ego_score_id(indptr, indices, pid, nbr_sets, dense) for pid in ids
+        }
 
 
 def bound_decomposition_csr(source: GraphLike, vertex: Vertex) -> BoundDecomposition:

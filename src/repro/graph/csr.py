@@ -384,15 +384,11 @@ class CompactGraph:
         """
         if not self._dense_adj_built:
             self._dense_adj_built = True
-            n = len(self._labels)
-            if 0 < n <= DENSE_ADJACENCY_VERTEX_LIMIT:
-                dense = bytearray(n * n)
-                indptr, indices = self.indptr, self.indices
-                for u in range(n):
-                    base = u * n
-                    for pos in range(indptr[u], indptr[u + 1]):
-                        dense[base + indices[pos]] = 1
-                self._dense_adj = dense
+            # One bitmap builder for parent snapshots and parallel workers
+            # alike (imported lazily: csr_kernels imports this module).
+            from repro.core.csr_kernels import build_dense_adjacency
+
+            self._dense_adj = build_dense_adjacency(self.indptr, self.indices)
         return self._dense_adj
 
     def arrays(self) -> Tuple[array, array]:

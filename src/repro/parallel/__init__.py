@@ -14,15 +14,22 @@ Two engines are provided, mirroring the paper's VertexPEBW and EdgePEBW:
 
 Both engines produce exactly the same values as the sequential
 :func:`repro.core.ego_betweenness.all_ego_betweenness` for every worker
-count; only the schedule differs.  Execution backends live in
-:mod:`repro.parallel.executor` (in-process serial execution for benchmarks
-and tests, a ``multiprocessing`` pool for real parallel runs), and
-:mod:`repro.parallel.load_balance` provides the deterministic speedup model
-used to reproduce the shape of Fig. 10 independently of Python's
-process-start overhead.
+count; only the schedule differs.
+
+Execution is owned by the persistent
+:class:`~repro.parallel.runtime.ExecutionRuntime` — a lazily-created,
+reusable worker pool whose workers receive the flat CSR arrays once per
+graph version through a zero-copy shared-memory transport and then execute
+vertex chunks by id range (statically partitioned, or dynamically chunked
+through the pool's shared task queue).  :mod:`repro.parallel.executor`
+keeps the one-shot ``run_chunks`` entry point (plus the legacy hash-oracle
+payload path), and :mod:`repro.parallel.load_balance` provides the
+deterministic speedup model used to reproduce the shape of Fig. 10
+independently of Python's process-start overhead.
 """
 
 from repro.parallel.engines import (
+    ParallelRunResult,
     edge_parallel_ego_betweenness,
     vertex_parallel_ego_betweenness,
 )
@@ -34,11 +41,16 @@ from repro.parallel.partition import (
     vertex_work_estimates,
     vertex_work_estimates_csr,
 )
+from repro.parallel.runtime import BatchStats, ExecutionRuntime, RuntimeStats
 
 __all__ = [
     "vertex_parallel_ego_betweenness",
     "edge_parallel_ego_betweenness",
+    "ParallelRunResult",
     "ParallelBackend",
+    "ExecutionRuntime",
+    "RuntimeStats",
+    "BatchStats",
     "run_chunks",
     "run_chunks_csr",
     "block_partition",

@@ -1,43 +1,51 @@
-"""Execution backends for the parallel engines.
+"""Execution backends for the parallel engines — one unified chunk runner.
 
-Two backends are offered:
+:func:`run_chunks` is the single entry point: it executes per-chunk
+ego-betweenness computations and merges the results, dispatching on the
+*graph representation* it is handed.
 
-``serial``
-    Chunks are executed one after another inside the current process.  This
-    is the default for tests and for the deterministic speedup model (which
-    measures the per-chunk work and simulates the schedule), because Python's
-    per-process start-up and data-shipping overhead would otherwise dominate
-    the small graphs used in the offline reproduction.
+* A :class:`~repro.graph.csr.CompactGraph` (or anything carrying a CSR
+  snapshot) routes through the persistent
+  :class:`~repro.parallel.runtime.ExecutionRuntime` — flat CSR arrays
+  shipped to workers via shared memory, once per graph version.  The old
+  per-call dict-of-sets adjacency payload is gone entirely on this path.
+* A hash-set :class:`~repro.graph.graph.Graph` keeps the legacy payload
+  (the adjacency mapping pickled per call) — it is the bit-identical
+  oracle the CSR path is validated against, not a production path.
 
-``process``
-    Chunks are executed by a ``multiprocessing`` pool, demonstrating real
-    parallel execution across CPU cores (the closest Python equivalent of the
-    paper's OpenMP threads; the substitution is documented in DESIGN.md).
+``backend`` selects *how* chunks execute: ``"serial"`` runs them in the
+current process (tests, deterministic models), ``"process"`` on a worker
+pool.  Callers that execute more than one batch should construct an
+:class:`~repro.parallel.runtime.ExecutionRuntime` and pass it via
+``runtime=`` so the pool and the shipped payload are reused; without one,
+each call builds and tears down an ephemeral runtime (the historical
+behaviour).
+
+Migration notes
+---------------
+``run_chunks_csr`` is now a thin alias of :func:`run_chunks` — existing
+callers keep working, new code should call :func:`run_chunks` (or better,
+hold an ``ExecutionRuntime``).  ``compute_chunk_scores_csr`` remains as the
+stateless one-shot worker function; persistent workers use
+:class:`~repro.core.csr_kernels.CSRChunkKernel` instead.
 """
 
 from __future__ import annotations
 
-from enum import Enum
-from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.errors import InvalidParameterError
 from repro.graph.csr import CompactGraph
 from repro.graph.graph import Graph, Vertex
+from repro.parallel.runtime import ExecutionRuntime, ParallelBackend
 
 __all__ = [
     "ParallelBackend",
     "run_chunks",
-    "compute_chunk_scores",
     "run_chunks_csr",
+    "compute_chunk_scores",
     "compute_chunk_scores_csr",
 ]
-
-
-class ParallelBackend(str, Enum):
-    """Available execution backends for the parallel engines."""
-
-    SERIAL = "serial"
-    PROCESS = "process"
 
 
 def compute_chunk_scores(
@@ -45,9 +53,10 @@ def compute_chunk_scores(
 ) -> Dict[Vertex, float]:
     """Compute the exact ego-betweenness of every vertex in ``chunk``.
 
-    Module-level (hence picklable) worker function shared by both backends.
-    The graph is reconstructed from the plain adjacency mapping so that the
-    payload shipped to worker processes contains no library objects.
+    Module-level (hence picklable) worker function of the legacy hash
+    path.  The graph is reconstructed from the plain adjacency mapping so
+    that the payload shipped to worker processes contains no library
+    objects.
     """
     from repro.core.ego_betweenness import ego_betweenness
 
@@ -60,10 +69,11 @@ def compute_chunk_scores_csr(
 ) -> Dict[int, float]:
     """Compute the exact ego-betweenness of every vertex id in ``chunk``.
 
-    Module-level (hence picklable) CSR worker function.  ``payload`` is the
-    ``(indptr, indices)`` pair from :meth:`CompactGraph.arrays` — two flat
-    typed arrays, far cheaper to pickle and ship than the per-vertex
-    adjacency sets the hash worker receives.
+    Stateless one-shot CSR worker: ``payload`` is the ``(indptr, indices)``
+    pair from :meth:`CompactGraph.arrays`.  The persistent runtime does not
+    use this — its workers keep a
+    :class:`~repro.core.csr_kernels.CSRChunkKernel` per shipped graph
+    version instead of rebuilding the neighbour sets per call.
     """
     from repro.core.csr_kernels import ego_betweenness_from_arrays
 
@@ -71,115 +81,66 @@ def compute_chunk_scores_csr(
     return ego_betweenness_from_arrays(indptr, indices, chunk)
 
 
+def run_chunks(
+    source: Union[Graph, CompactGraph],
+    chunks: Sequence[Sequence],
+    backend: "ParallelBackend | str" = ParallelBackend.SERIAL,
+    runtime: Optional[ExecutionRuntime] = None,
+) -> Tuple[Dict, List[float]]:
+    """Execute the per-chunk computations and merge their results.
+
+    Returns ``(scores, per_chunk_seconds)`` where ``per_chunk_seconds[i]``
+    is the kernel time chunk ``i`` took (measured inside the worker).  The
+    per-chunk times feed the load-balance analysis of Fig. 10.
+
+    ``source`` decides the code path: a :class:`CompactGraph` executes on
+    the :class:`ExecutionRuntime` (chunks contain dense vertex ids, scores
+    are keyed by id); a hash :class:`Graph` uses the legacy adjacency
+    payload (chunks contain labels, scores are keyed by label).
+    """
+    backend = ParallelBackend(backend)
+    if isinstance(source, CompactGraph):
+        return _run_chunks_runtime(source, chunks, backend, runtime)
+    if backend is ParallelBackend.SERIAL:
+        return _run_serial_hash(source, chunks)
+    merged, timings, _ = _run_process_pool(
+        compute_chunk_scores, source.to_adjacency(), chunks
+    )
+    return merged, timings
+
+
 def run_chunks_csr(
     compact: CompactGraph,
     chunks: Sequence[Sequence[int]],
-    backend: ParallelBackend | str = ParallelBackend.SERIAL,
+    backend: "ParallelBackend | str" = ParallelBackend.SERIAL,
+    runtime: Optional[ExecutionRuntime] = None,
 ) -> Tuple[Dict[int, float], List[float]]:
-    """Execute per-chunk computations on the CSR backend and merge results.
-
-    The CSR twin of :func:`run_chunks`: chunks contain dense vertex ids and
-    the returned scores are keyed by id (callers map them back to labels).
-    """
-    backend = ParallelBackend(backend)
-    if backend is ParallelBackend.SERIAL:
-        return _run_serial_csr(compact, chunks)
-    if backend is ParallelBackend.PROCESS:
-        return _run_process_csr(compact, chunks)
-    raise InvalidParameterError(f"unknown backend {backend!r}")
+    """Compatibility alias of :func:`run_chunks` for CSR snapshots."""
+    return run_chunks(compact, chunks, backend=backend, runtime=runtime)
 
 
-def _run_serial_csr(
-    compact: CompactGraph, chunks: Sequence[Sequence[int]]
+def _run_chunks_runtime(
+    compact: CompactGraph,
+    chunks: Sequence[Sequence[int]],
+    backend: ParallelBackend,
+    runtime: Optional[ExecutionRuntime],
 ) -> Tuple[Dict[int, float], List[float]]:
-    import time
-
-    from repro.core.csr_kernels import ego_betweenness_from_arrays
-
-    indptr, indices = compact.indptr, compact.indices
-    # The neighbour-set cache is shared across every chunk of the serial run.
-    nbr_sets = compact.neighbor_sets()
-    dense = compact.dense_adjacency()
-    merged: Dict[int, float] = {}
-    timings: List[float] = []
-    for chunk in chunks:
-        start = time.perf_counter()
-        merged.update(
-            ego_betweenness_from_arrays(indptr, indices, chunk, nbr_sets, dense)
-        )
-        timings.append(time.perf_counter() - start)
-    return merged, timings
-
-
-def _run_process_csr(
-    compact: CompactGraph, chunks: Sequence[Sequence[int]]
-) -> Tuple[Dict[int, float], List[float]]:
-    return _run_process_pool(compute_chunk_scores_csr, compact.arrays(), chunks)
-
-
-def _run_process_pool(
-    worker: Callable, payload, chunks: Sequence[Sequence]
-) -> Tuple[Dict, List[float]]:
-    """Run ``worker(payload, chunk)`` over a process pool and merge results.
-
-    Shared by the hash and CSR process backends so the fork-context
-    fallback, per-result timing semantics and empty-chunk padding exist in
-    exactly one copy.
-    """
-    import multiprocessing
-    import time
-
-    non_empty = [list(chunk) for chunk in chunks if chunk]
-    if not non_empty:
-        return {}, [0.0] * len(chunks)
-
-    merged: Dict = {}
-    timings: List[float] = []
-    # ``fork`` keeps the payload cheap on Linux; fall back to the default
-    # start method elsewhere.
+    """Execute a static chunk schedule through an (ephemeral?) runtime."""
+    owns = runtime is None
+    if owns:
+        workers = sum(1 for chunk in chunks if chunk) or 1
+        runtime = ExecutionRuntime(max_workers=workers, executor=backend)
     try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    with context.Pool(processes=len(non_empty)) as pool:
-        start = time.perf_counter()
-        async_results = [
-            pool.apply_async(worker, (payload, chunk)) for chunk in non_empty
-        ]
-        for result in async_results:
-            merged.update(result.get())
-            timings.append(time.perf_counter() - start)
-    # Pad timings for empty chunks so the caller can zip them with the input.
-    while len(timings) < len(chunks):
-        timings.append(0.0)
-    return merged, timings
+        scores, batch = runtime.execute(compact, chunks=chunks)
+        return scores, batch.chunk_seconds
+    finally:
+        if owns:
+            runtime.close()
 
 
-def run_chunks(
-    graph: Graph,
-    chunks: Sequence[Sequence[Vertex]],
-    backend: ParallelBackend | str = ParallelBackend.SERIAL,
-) -> Tuple[Dict[Vertex, float], List[float]]:
-    """Execute the per-chunk computations and merge their results.
-
-    Returns ``(scores, per_chunk_seconds)`` where ``per_chunk_seconds[i]`` is
-    the wall-clock time chunk ``i`` took (measured inside the worker for the
-    serial backend; end-to-end per-task time for the process backend).  The
-    per-chunk times feed the load-balance analysis of Fig. 10.
-    """
-    backend = ParallelBackend(backend)
-    if backend is ParallelBackend.SERIAL:
-        return _run_serial(graph, chunks)
-    if backend is ParallelBackend.PROCESS:
-        return _run_process(graph, chunks)
-    raise InvalidParameterError(f"unknown backend {backend!r}")
-
-
-def _run_serial(
+def _run_serial_hash(
     graph: Graph, chunks: Sequence[Sequence[Vertex]]
 ) -> Tuple[Dict[Vertex, float], List[float]]:
-    import time
-
     from repro.core.ego_betweenness import ego_betweenness
 
     merged: Dict[Vertex, float] = {}
@@ -192,7 +153,41 @@ def _run_serial(
     return merged, timings
 
 
-def _run_process(
-    graph: Graph, chunks: Sequence[Sequence[Vertex]]
-) -> Tuple[Dict[Vertex, float], List[float]]:
-    return _run_process_pool(compute_chunk_scores, graph.to_adjacency(), chunks)
+def _run_process_pool(
+    worker, payload, chunks: Sequence[Sequence]
+) -> Tuple[Dict, List[float], float]:
+    """Run ``worker(payload, chunk)`` over a throwaway process pool.
+
+    The legacy hash-oracle execution path: the payload is pickled to every
+    worker on every call.  Returns ``(scores, per_chunk_seconds,
+    setup_seconds)`` — the setup component (pool fork) is reported
+    separately so callers can keep it out of compute timings.
+    """
+    import multiprocessing
+
+    non_empty = [list(chunk) for chunk in chunks if chunk]
+    if not non_empty:
+        return {}, [0.0] * len(chunks), 0.0
+
+    merged: Dict = {}
+    timings: List[float] = []
+    # ``fork`` keeps the payload cheap on Linux; fall back to the default
+    # start method elsewhere.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    setup_start = time.perf_counter()
+    with context.Pool(processes=len(non_empty)) as pool:
+        setup_seconds = time.perf_counter() - setup_start
+        start = time.perf_counter()
+        async_results = [
+            pool.apply_async(worker, (payload, chunk)) for chunk in non_empty
+        ]
+        for result in async_results:
+            merged.update(result.get())
+            timings.append(time.perf_counter() - start)
+    # Pad timings for empty chunks so the caller can zip them with the input.
+    while len(timings) < len(chunks):
+        timings.append(0.0)
+    return merged, timings, setup_seconds

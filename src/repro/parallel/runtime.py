@@ -1,0 +1,615 @@
+"""Persistent execution runtime: shared worker pools + zero-copy CSR transport.
+
+The paper's Section V parallelises the all-vertex ego-betweenness
+computation across threads that all read one shared graph.  The Python
+reproduction originally approximated that with a throwaway
+``multiprocessing`` pool per call, re-pickling the graph payload every
+time — fine for a single Fig. 10 run, hopeless for a service answering a
+stream of queries.  :class:`ExecutionRuntime` is the long-lived equivalent
+of the paper's thread pool:
+
+* **One pool, many batches.**  The worker pool is created lazily on the
+  first process-executed batch and reused by every later batch; the
+  per-batch cost of a warm runtime is task submission alone.
+* **Ship the graph once per version.**  The flat CSR arrays of a
+  :class:`~repro.graph.csr.CompactGraph` snapshot are written into a
+  :mod:`multiprocessing.shared_memory` segment exactly once per graph
+  version; workers attach to the segment and read the arrays through
+  zero-copy ``memoryview`` casts, building their derived kernel state
+  (neighbour sets, dense bitmap) once per version.  Only a mutation (a new
+  snapshot identity) triggers a re-ship.
+* **Dynamic chunking with a shared task queue.**  Besides executing an
+  explicit static schedule (the deterministic Fig. 10 model produced by
+  :func:`~repro.parallel.partition.balanced_partition`), the runtime can
+  split the requested ids into ``num_workers × oversubscribe``
+  weight-balanced contiguous id ranges and let idle workers pull the next
+  chunk from the pool's shared queue — self-scheduling work stealing, which
+  absorbs load skew without giving up deterministic results.
+
+Scores are **bit-identical** to the serial kernels for any worker count,
+executor and schedule: every vertex is scored independently by the same
+canonical-histogram kernel and the merged map is materialised in ascending
+id order.
+
+Accounting lives in :class:`RuntimeStats` (cumulative) and
+:class:`BatchStats` (per batch): payload ships, pool launches vs reuses,
+setup vs compute seconds and per-chunk latencies.  ``setup_seconds`` —
+pool start-up plus payload shipping — is reported separately from
+``compute_seconds`` precisely so speedup figures are not polluted by fork
+cost.
+
+Examples
+--------
+>>> from repro.graph.csr import CompactGraph
+>>> cg = CompactGraph.from_edges([(0, 1), (0, 2), (1, 2), (1, 3)])
+>>> with ExecutionRuntime(max_workers=2, executor="serial") as runtime:
+...     scores, batch = runtime.execute(cg)
+...     again, _ = runtime.execute(cg)
+>>> scores == again and sorted(scores) == [0, 1, 2, 3]
+True
+>>> runtime.stats().payload_ships  # one ship for both batches
+1
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CompactGraph
+
+__all__ = [
+    "ParallelBackend",
+    "ExecutionRuntime",
+    "RuntimeStats",
+    "BatchStats",
+    "DEFAULT_OVERSUBSCRIBE",
+]
+
+#: Chunks per worker produced by the dynamic schedule: small enough that an
+#: unlucky worker never sits on more than ``1/oversubscribe`` of the work,
+#: large enough that per-task submission overhead stays negligible.
+DEFAULT_OVERSUBSCRIBE = 4
+
+#: Fixed-width signed 64-bit array typecode used for the shipped buffers —
+#: one definition so parent writes and worker casts can never disagree.
+_TYPECODE = "q"
+_ITEMSIZE = array(_TYPECODE).itemsize
+
+
+class ParallelBackend(str, Enum):
+    """Available execution backends for the runtime and the engines."""
+
+    SERIAL = "serial"
+    PROCESS = "process"
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Execution accounting for one :meth:`ExecutionRuntime.execute` batch.
+
+    Attributes
+    ----------
+    num_tasks:
+        Number of (non-empty) chunks executed.
+    schedule:
+        ``"static"`` (caller-provided chunks) or ``"dynamic"`` (runtime
+        chunking + shared-queue self-scheduling).
+    shipped:
+        Whether this batch had to ship the graph payload (first batch on a
+        new graph version).
+    pool_started:
+        Whether this batch paid the worker-pool start-up (first process
+        batch of the runtime's life).
+    setup_seconds:
+        Pool start-up plus payload-shipping time of this batch (0.0 for a
+        warm runtime).
+    compute_seconds:
+        Wall-clock time of the chunk execution itself.
+    chunk_seconds:
+        Per-chunk kernel seconds, aligned with the executed chunks (static
+        schedules: aligned with the caller's chunk list, empty chunks
+        report 0.0).
+    """
+
+    num_tasks: int
+    schedule: str
+    shipped: bool
+    pool_started: bool
+    setup_seconds: float
+    compute_seconds: float
+    chunk_seconds: List[float] = field(default_factory=list)
+
+
+@dataclass
+class RuntimeStats:
+    """Cumulative accounting of one :class:`ExecutionRuntime`.
+
+    Attributes
+    ----------
+    executor:
+        ``"serial"`` or ``"process"``.
+    max_workers:
+        The pool size (process executor) / nominal parallelism.
+    payload_ships:
+        Times the CSR payload was materialised into the transport — exactly
+        once per distinct graph version the runtime has executed on.
+    payload_bytes:
+        Size of the currently shipped payload in bytes.
+    pool_launches:
+        Worker pools started over the runtime's life (0 or 1 unless the
+        runtime was closed and revived by a caller).
+    pool_reuses:
+        Process batches served by an already-running pool.
+    batches:
+        Total :meth:`~ExecutionRuntime.execute` batches run.
+    tasks:
+        Total chunks executed.
+    setup_seconds / compute_seconds:
+        Cumulative split of where the time went: pool start-up + payload
+        shipping vs kernel execution.
+    last_batch:
+        The most recent :class:`BatchStats`, or ``None``.
+    """
+
+    executor: str
+    max_workers: int
+    payload_ships: int = 0
+    payload_bytes: int = 0
+    pool_launches: int = 0
+    pool_reuses: int = 0
+    batches: int = 0
+    tasks: int = 0
+    setup_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    last_batch: Optional[BatchStats] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a JSON-friendly dict (the CLI/benchmark payload shape)."""
+        payload: Dict[str, Any] = {
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "payload_ships": self.payload_ships,
+            "payload_bytes": self.payload_bytes,
+            "pool_launches": self.pool_launches,
+            "pool_reuses": self.pool_reuses,
+            "batches": self.batches,
+            "tasks": self.tasks,
+            "setup_seconds": self.setup_seconds,
+            "compute_seconds": self.compute_seconds,
+        }
+        if self.last_batch is not None:
+            payload["last_batch"] = {
+                "num_tasks": self.last_batch.num_tasks,
+                "schedule": self.last_batch.schedule,
+                "shipped": self.last_batch.shipped,
+                "pool_started": self.last_batch.pool_started,
+                "setup_seconds": self.last_batch.setup_seconds,
+                "compute_seconds": self.last_batch.compute_seconds,
+            }
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Parent-side transport: one shared-memory segment per graph version
+# ----------------------------------------------------------------------
+class _ShippedPayload:
+    """The CSR arrays of one graph version, materialised in shared memory.
+
+    Layout: ``indptr`` (``n + 1`` int64) immediately followed by ``indices``
+    (``2m`` int64).  ``meta`` is the tiny picklable handle shipped with
+    every task: ``(segment_name, len(indptr), len(indices))``.
+    """
+
+    __slots__ = ("shm", "meta", "nbytes")
+
+    def __init__(self, compact: CompactGraph) -> None:
+        from multiprocessing import shared_memory
+
+        indptr = array(_TYPECODE, compact.indptr)
+        indices = array(_TYPECODE, compact.indices)
+        ptr_bytes = len(indptr) * _ITEMSIZE
+        self.nbytes = ptr_bytes + len(indices) * _ITEMSIZE
+        self.shm = shared_memory.SharedMemory(create=True, size=max(self.nbytes, 1))
+        self.shm.buf[:ptr_bytes] = indptr.tobytes()
+        if indices:
+            self.shm.buf[ptr_bytes : self.nbytes] = indices.tobytes()
+        self.meta = (self.shm.name, len(indptr), len(indices))
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker-side state: attach once per graph version, score many chunks
+# ----------------------------------------------------------------------
+class _AttachedGraph:
+    """A worker's zero-copy view of one shipped graph version.
+
+    Attaching maps the shared segment and casts the two array regions as
+    ``memoryview``\\ s — no deserialisation, no copy of the adjacency — then
+    builds the process-local :class:`~repro.core.csr_kernels.CSRChunkKernel`
+    (neighbour sets, dense bitmap) once.  ``close`` releases the views
+    before closing the mapping, in that order, or ``mmap`` refuses to
+    unmap.
+    """
+
+    __slots__ = ("shm", "kernel", "_views")
+
+    def __init__(self, meta: Tuple[str, int, int]) -> None:
+        from multiprocessing import shared_memory
+
+        from repro.core.csr_kernels import CSRChunkKernel
+
+        name, ptr_len, idx_len = meta
+        self.shm = shared_memory.SharedMemory(name=name)
+        whole = memoryview(self.shm.buf)
+        ptr_bytes = ptr_len * _ITEMSIZE
+        indptr = whole[:ptr_bytes].cast(_TYPECODE)
+        indices = whole[ptr_bytes : ptr_bytes + idx_len * _ITEMSIZE].cast(_TYPECODE)
+        self._views = (indices, indptr, whole)
+        self.kernel = CSRChunkKernel(indptr, indices)
+
+    def close(self) -> None:
+        self.kernel = None
+        for view in self._views:
+            view.release()
+        self._views = ()
+        self.shm.close()
+
+
+#: Process-local cache of attached graph versions, keyed by segment name.
+#: Two entries cover the steady state (current version plus the tail of a
+#: re-ship that raced an in-flight batch).
+_WORKER_CACHE: Dict[str, _AttachedGraph] = {}
+_WORKER_CACHE_LIMIT = 2
+
+
+def _attached(meta: Tuple[str, int, int]) -> _AttachedGraph:
+    entry = _WORKER_CACHE.get(meta[0])
+    if entry is None:
+        while len(_WORKER_CACHE) >= _WORKER_CACHE_LIMIT:
+            _WORKER_CACHE.pop(next(iter(_WORKER_CACHE))).close()
+        entry = _AttachedGraph(meta)
+        _WORKER_CACHE[meta[0]] = entry
+    return entry
+
+
+def _decode_ids(spec) -> Iterable[int]:
+    """Decode a task id spec — ``("r", lo, hi)`` range or ``("l", ids)``."""
+    if spec[0] == "r":
+        return range(spec[1], spec[2])
+    return spec[1]
+
+
+def _encode_ids(chunk: Sequence[int]):
+    """Encode a chunk compactly: contiguous ascending runs ship as ranges."""
+    if chunk and len(chunk) == chunk[-1] - chunk[0] + 1:
+        lo = chunk[0]
+        if all(chunk[i] == lo + i for i in range(len(chunk))):
+            return ("r", lo, chunk[-1] + 1)
+    return ("l", list(chunk))
+
+
+def _score_task(meta: Tuple[str, int, int], index: int, spec):
+    """Pool task: score one chunk against the worker's attached graph."""
+    kernel = _attached(meta).kernel
+    start = time.perf_counter()
+    scores = kernel.score_chunk(_decode_ids(spec))
+    return index, scores, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# The runtime
+# ----------------------------------------------------------------------
+class ExecutionRuntime:
+    """A lazily-created, reusable execution backend for CSR vertex chunks.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-pool size for the process executor (default
+        ``os.cpu_count()``); also the default parallelism of the dynamic
+        schedule.
+    executor:
+        ``"process"`` (persistent ``multiprocessing`` pool + shared-memory
+        transport, the production configuration) or ``"serial"``
+        (in-process execution on the snapshot's own cached structures —
+        deterministic, dependency-free, used by tests and the schedule
+        model).
+    oversubscribe:
+        Chunks per worker produced by the dynamic schedule.
+
+    Notes
+    -----
+    The runtime is tied to one graph *at a time*: executing on a new
+    snapshot identity re-ships the payload and retires the previous
+    segment (multi-graph sharing is a ROADMAP follow-up).  Use as a
+    context manager — or call :meth:`close` — to release the pool and the
+    shared segment deterministically; a GC/exit finaliser backstops
+    callers that forget.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        executor: "ParallelBackend | str" = ParallelBackend.PROCESS,
+        oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+    ) -> None:
+        import os
+        import weakref
+
+        if max_workers is not None and max_workers < 1:
+            raise InvalidParameterError("max_workers must be positive")
+        if oversubscribe < 1:
+            raise InvalidParameterError("oversubscribe must be positive")
+        self.executor = ParallelBackend(executor)
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.oversubscribe = oversubscribe
+        # Mutable holder shared with the GC finaliser: the finaliser must
+        # not keep ``self`` alive, yet must see the *current* pool/payload.
+        self._state: Dict[str, Any] = {"pool": None, "payload": None, "owner": None}
+        self._estimates: Optional[List[float]] = None
+        self._closed = False
+        self._stats = RuntimeStats(
+            executor=self.executor.value, max_workers=self.max_workers
+        )
+        self._finalizer = weakref.finalize(self, _release_state, self._state)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _release_state(self._state)
+        self._estimates = None
+
+    def __enter__(self) -> "ExecutionRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionRuntime(executor={self.executor.value!r}, "
+            f"max_workers={self.max_workers}, ships={self._stats.payload_ships}, "
+            f"closed={self._closed})"
+        )
+
+    def stats(self) -> RuntimeStats:
+        """The cumulative :class:`RuntimeStats` (live object, do not mutate)."""
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Transport and pool management
+    # ------------------------------------------------------------------
+    def _ensure_shipped(self, compact: CompactGraph) -> bool:
+        """Ship ``compact`` unless it is the currently shipped version."""
+        if self._state["owner"] is compact:
+            return False
+        # Drop the old version *and its ownership* before shipping: if the
+        # new ship fails (e.g. shared memory exhausted), the runtime must
+        # not believe the retired payload is still attached.
+        self._state["owner"] = None
+        old = self._state["payload"]
+        if old is not None:
+            self._state["payload"] = None
+            old.close()
+        if self.executor is ParallelBackend.PROCESS:
+            payload = _ShippedPayload(compact)
+            self._state["payload"] = payload
+            self._stats.payload_bytes = payload.nbytes
+        else:
+            # Serial "shipping" is warming the snapshot's shared kernel
+            # state once so every later chunk reuses it.
+            compact.neighbor_sets()
+            compact.dense_adjacency()
+            self._stats.payload_bytes = (
+                len(compact.indptr) + len(compact.indices)
+            ) * _ITEMSIZE
+        self._state["owner"] = compact
+        self._estimates = None
+        self._stats.payload_ships += 1
+        return True
+
+    def _ensure_pool(self) -> bool:
+        """Start the worker pool if the process executor needs one."""
+        if self.executor is not ParallelBackend.PROCESS:
+            return False
+        if self._state["pool"] is not None:
+            return False
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        self._state["pool"] = context.Pool(processes=self.max_workers)
+        self._stats.pool_launches += 1
+        return True
+
+    def _work_estimates(self, compact: CompactGraph) -> List[float]:
+        """Per-id work estimates of the shipped graph (cached per version)."""
+        if self._estimates is None:
+            from repro.parallel.partition import vertex_work_estimates_csr
+
+            self._estimates = vertex_work_estimates_csr(compact)
+        return self._estimates
+
+    def dynamic_chunks(
+        self, compact: CompactGraph, ids: Sequence[int], num_workers: int
+    ) -> List[List[int]]:
+        """Split ``ids`` into weight-balanced contiguous id ranges.
+
+        The dynamic schedule's unit of work: ascending id order (cache
+        friendly, range-encodable) cut into ``num_workers × oversubscribe``
+        chunks of approximately equal estimated work, executed via the
+        pool's shared queue so idle workers steal the next chunk.
+        """
+        ids = sorted(ids)
+        if not ids:
+            return []
+        estimates = self._work_estimates(compact)
+        target_chunks = max(1, min(len(ids), num_workers * self.oversubscribe))
+        total = sum(estimates[i] for i in ids)
+        target = total / target_chunks
+        chunks: List[List[int]] = []
+        current: List[int] = []
+        acc = 0.0
+        for i in ids:
+            current.append(i)
+            acc += estimates[i]
+            if acc >= target and len(chunks) < target_chunks - 1:
+                chunks.append(current)
+                current = []
+                acc = 0.0
+        if current:
+            chunks.append(current)
+        return chunks
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        compact: CompactGraph,
+        chunks: Optional[Sequence[Sequence[int]]] = None,
+        *,
+        ids: Optional[Iterable[int]] = None,
+        num_workers: Optional[int] = None,
+        schedule: str = "dynamic",
+    ) -> Tuple[Dict[int, float], BatchStats]:
+        """Score vertex chunks of ``compact``; return ``(scores, batch)``.
+
+        Parameters
+        ----------
+        compact:
+            The snapshot to execute on.  A snapshot identity the runtime
+            has not seen ships the payload (once per version); the same
+            identity reuses the shipped arrays.
+        chunks:
+            An explicit static schedule (per-worker id chunks).  When
+            omitted, the runtime chunks ``ids`` itself according to
+            ``schedule``.
+        ids:
+            The dense vertex ids to score (default: every vertex).
+            Ignored when ``chunks`` is given.
+        num_workers:
+            Parallelism used by the dynamic chunker (default
+            ``max_workers``).
+        schedule:
+            ``"dynamic"`` (weight-balanced oversubscribed ranges, shared
+            task queue) or ``"static"`` (one chunk per worker in id-range
+            blocks) — only consulted when ``chunks`` is omitted.
+
+        Returns
+        -------
+        The merged ``{id: score}`` map — materialised in ascending id order
+        for every executor/schedule/worker count, which is what keeps every
+        downstream consumer bit-identical to the serial path — plus the
+        batch's :class:`BatchStats`.
+        """
+        if self._closed:
+            raise InvalidParameterError("this ExecutionRuntime has been closed")
+        if schedule not in ("dynamic", "static"):
+            raise InvalidParameterError(
+                f"unknown schedule {schedule!r}; use 'dynamic' or 'static'"
+            )
+        workers = num_workers or self.max_workers
+        explicit_schedule = chunks is not None
+
+        setup_start = time.perf_counter()
+        shipped = self._ensure_shipped(compact)
+        pool_started = self._ensure_pool()
+        setup_seconds = time.perf_counter() - setup_start
+
+        if chunks is None:
+            if ids is None:
+                ids = range(compact.num_vertices)
+            if schedule == "dynamic":
+                chunks = self.dynamic_chunks(compact, list(ids), workers)
+            else:
+                from repro.parallel.partition import block_partition
+
+                chunks = block_partition(sorted(ids), workers)
+
+        compute_start = time.perf_counter()
+        merged: Dict[int, float] = {}
+        chunk_seconds = [0.0] * len(chunks)
+        tasks = [(i, chunk) for i, chunk in enumerate(chunks) if chunk]
+        if self.executor is ParallelBackend.SERIAL:
+            from repro.core.csr_kernels import ego_betweenness_from_arrays
+
+            indptr, indices = compact.indptr, compact.indices
+            nbr_sets = compact.neighbor_sets()
+            dense = compact.dense_adjacency()
+            for i, chunk in tasks:
+                start = time.perf_counter()
+                merged.update(
+                    ego_betweenness_from_arrays(indptr, indices, chunk, nbr_sets, dense)
+                )
+                chunk_seconds[i] = time.perf_counter() - start
+        else:
+            pool = self._state["pool"]
+            meta = self._state["payload"].meta
+            results = [
+                pool.apply_async(_score_task, (meta, i, _encode_ids(chunk)))
+                for i, chunk in tasks
+            ]
+            for result in results:
+                i, scores, seconds = result.get()
+                merged.update(scores)
+                chunk_seconds[i] = seconds
+        merged = {pid: merged[pid] for pid in sorted(merged)}
+        compute_seconds = time.perf_counter() - compute_start
+
+        batch = BatchStats(
+            num_tasks=len(tasks),
+            schedule="static" if explicit_schedule else schedule,
+            shipped=shipped,
+            pool_started=pool_started,
+            setup_seconds=setup_seconds,
+            compute_seconds=compute_seconds,
+            chunk_seconds=chunk_seconds,
+        )
+        stats = self._stats
+        stats.batches += 1
+        stats.tasks += len(tasks)
+        stats.setup_seconds += setup_seconds
+        stats.compute_seconds += compute_seconds
+        if self.executor is ParallelBackend.PROCESS and not pool_started:
+            stats.pool_reuses += 1
+        stats.last_batch = batch
+        return merged, batch
+
+
+def _release_state(state: Dict[str, Any]) -> None:
+    """Tear down a runtime's pool and shared segment (close/GC/exit path)."""
+    pool = state.pop("pool", None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+    payload = state.pop("payload", None)
+    if payload is not None:
+        payload.close()
+    state["owner"] = None
+    state["pool"] = None
+    state["payload"] = None

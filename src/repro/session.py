@@ -73,7 +73,7 @@ True
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.core.base_search import _base_b_search_hash
@@ -104,6 +104,7 @@ from repro.parallel.engines import (
     edge_parallel_ego_betweenness,
     vertex_parallel_ego_betweenness,
 )
+from repro.parallel.runtime import ExecutionRuntime, ParallelBackend, RuntimeStats
 
 __all__ = ["EgoSession", "Query", "SessionStats", "SESSION_BACKENDS"]
 
@@ -122,14 +123,15 @@ class Query:
     Attributes
     ----------
     kind:
-        ``"top_k"``, ``"score"``, ``"scores"``, ``"parallel_scores"``,
-        ``"maintained_top_k"`` or ``"apply"``.
+        ``"top_k"``, ``"score"``, ``"scores"``, ``"scores_batch"``,
+        ``"parallel_scores"``, ``"maintained_top_k"`` or ``"apply"``.
     state:
         Session state (``"static"`` / ``"dynamic"``) when the query ran.
     elapsed_seconds:
         Wall-clock time spent answering, including any promotion it caused.
-    k / algorithm / theta / mode / parallel / events:
-        The query parameters that applied (``None`` otherwise).
+    k / algorithm / theta / mode / parallel / events / batch:
+        The query parameters that applied (``None`` otherwise); ``batch``
+        is the number of queries a ``scores_batch`` call answered.
     """
 
     kind: str
@@ -141,6 +143,7 @@ class Query:
     mode: Optional[str] = None
     parallel: Optional[int] = None
     events: Optional[int] = None
+    batch: Optional[int] = None
 
 
 @dataclass
@@ -172,6 +175,10 @@ class SessionStats:
         The ``k`` values for which lazy top-k maintainers are attached.
     overlay_rebuilds:
         CSR overlay re-compactions of the session's dynamic topology.
+    runtimes:
+        Per-executor :class:`~repro.parallel.runtime.RuntimeStats` of the
+        session's persistent execution runtimes (empty until a parallel
+        query creates one).
     last_query:
         The most recent :class:`Query`, or ``None``.
     """
@@ -187,6 +194,7 @@ class SessionStats:
     values_reused_on_promotion: bool = False
     lazy_maintainer_ks: List[int] = field(default_factory=list)
     overlay_rebuilds: int = 0
+    runtimes: Dict[str, RuntimeStats] = field(default_factory=dict)
     last_query: Optional[Query] = None
 
     def as_dict(self) -> Dict[str, Any]:
@@ -204,6 +212,10 @@ class SessionStats:
             "lazy_maintainer_ks": list(self.lazy_maintainer_ks),
             "overlay_rebuilds": self.overlay_rebuilds,
         }
+        if self.runtimes:
+            payload["runtimes"] = {
+                name: stats.as_dict() for name, stats in self.runtimes.items()
+            }
         if self.last_query is not None:
             payload["last_query"] = {
                 key: value
@@ -307,6 +319,10 @@ class EgoSession:
         self._values_reused_on_promotion = False
         self._index_update_seconds = 0.0
         self._lazy_update_seconds: Dict[int, float] = {}
+        # Persistent execution runtimes, one per executor kind, created
+        # lazily by the first parallel query and reused by every later one
+        # (the shipped CSR payload follows the session's graph version).
+        self._runtimes: Dict[str, ExecutionRuntime] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -385,6 +401,65 @@ class EgoSession:
         view = self._dyn.to_graph()
         self._graph_view_cache = (version, view)
         return view
+
+    def _canonical_vertices(self) -> List[Vertex]:
+        """The session's canonical vertex order (dense-id / insertion order).
+
+        Every parallel result map is materialised in this order, which is
+        also the iteration order of the serial all-vertex kernels — what
+        keeps parallel and serial consumers (naive top-k tie-breaking
+        included) bit-identical.
+        """
+        if self.backend == "hash":
+            return self._current_hash_graph().vertices()
+        return list(self._current_compact().labels)
+
+    # ------------------------------------------------------------------
+    # Execution runtime management
+    # ------------------------------------------------------------------
+    def runtime(
+        self, executor: str = "process", max_workers: Optional[int] = None
+    ) -> ExecutionRuntime:
+        """The session's persistent :class:`ExecutionRuntime` for ``executor``.
+
+        Created lazily on first use and reused by every later parallel
+        query — the worker pool stays up and the CSR payload is shipped
+        once per graph version (a mutation re-ships on the next parallel
+        query).  ``max_workers`` sizes the pool at creation only (default:
+        CPU count); an existing runtime is returned as-is.  :meth:`close`
+        shuts every runtime down.
+        """
+        key = ParallelBackend(executor).value
+        runtime = self._runtimes.get(key)
+        if runtime is None or runtime.closed:
+            runtime = ExecutionRuntime(max_workers=max_workers, executor=key)
+            self._runtimes[key] = runtime
+        return runtime
+
+    def runtime_stats(self) -> Dict[str, RuntimeStats]:
+        """Per-executor :class:`RuntimeStats` of the runtimes created so far.
+
+        The returned objects are the runtimes' *live* counters; use
+        :meth:`stats` for a point-in-time snapshot.
+        """
+        return {name: runtime.stats() for name, runtime in self._runtimes.items()}
+
+    def close(self) -> None:
+        """Shut down the session's execution runtimes (pools + transport).
+
+        Idempotent; the session remains usable — the next parallel query
+        simply starts a fresh runtime.  Sessions also work as context
+        managers: ``with EgoSession(...) as session: ...``.
+        """
+        for runtime in self._runtimes.values():
+            runtime.close()
+        self._runtimes.clear()
+
+    def __enter__(self) -> "EgoSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _record(self, kind: str, start: float, **params) -> None:
         self._query_counts[kind] = self._query_counts.get(kind, 0) + 1
@@ -477,6 +552,9 @@ class EgoSession:
         algorithm: str = "opt",
         theta: float = 1.05,
         maintain_shared_maps: bool = True,
+        parallel: Optional[int] = None,
+        engine: str = "edge",
+        executor: str = "serial",
     ) -> TopKResult:
         """Run a top-k ego-betweenness search on the current graph state.
 
@@ -487,11 +565,24 @@ class EgoSession:
         work counters are bit-identical to the legacy free functions on the
         same graph state; repeated queries at the same state are served from
         the memoised snapshot caches.
+
+        ``parallel=N`` routes the query through the session's persistent
+        :class:`ExecutionRuntime` instead: the exact all-vertex values are
+        computed with ``N`` workers (``engine`` / ``executor`` as in
+        :meth:`scores`), memoised, and ranked — bit-identical to
+        ``algorithm="naive"`` for every worker count, executor and
+        schedule, and served straight from the memo when one is already
+        fresh.  ``algorithm`` is ignored in that case (the pruning
+        searches are inherently sequential).
         """
         start = time.perf_counter()
         if k < 1:
             raise InvalidParameterError("k must be a positive integer")
         algorithm = algorithm.lower()
+        if parallel is not None:
+            result = self._ranked_top_k(k, self._batch_values(parallel, engine, executor))
+            self._record("top_k", start, k=k, algorithm="naive", parallel=parallel)
+            return result
         if algorithm == "naive":
             result = self._naive_top_k(k)
         elif algorithm not in ("opt", "base"):
@@ -519,7 +610,20 @@ class EgoSession:
 
     def _naive_top_k(self, k: int) -> TopKResult:
         start = time.perf_counter()
-        scores = self._all_scores()
+        return self._ranked_top_k(k, self._all_scores(), start=start)
+
+    def _ranked_top_k(
+        self, k: int, scores: Dict[Vertex, float], start: Optional[float] = None
+    ) -> TopKResult:
+        """Rank a full values map exactly as the serial naive path does.
+
+        The accumulator is offered the scores in the map's iteration order,
+        so callers must hand over canonically-ordered maps (the serial
+        kernels and :meth:`_batch_values` both do) for bit-identical
+        tie-breaking.
+        """
+        if start is None:
+            start = time.perf_counter()
         accumulator = TopKAccumulator(min(k, max(len(scores), 1)))
         for vertex, score in scores.items():
             accumulator.offer(vertex, score)
@@ -576,14 +680,7 @@ class EgoSession:
         """
         start = time.perf_counter()
         if parallel is not None:
-            run = self._parallel_run(parallel, engine=engine, executor=executor)
-            result = dict(run.scores)
-            if self._state == "static":
-                # Engine scores are bit-identical to the serial kernel, so
-                # the full map seeds the session memo for later score() /
-                # naive-top-k calls (dynamic sessions: the index owns it).
-                self._values = dict(result)
-                self._values_version = self._current_version()
+            result = self._parallel_values(parallel, engine=engine, executor=executor)
             if vertices is not None:
                 result = {v: result[v] for v in vertices}
             self._record("scores", start, parallel=parallel)
@@ -607,6 +704,128 @@ class EgoSession:
             full = {v: full[v] for v in vertices}
         self._record("scores", start)
         return full
+
+    def _parallel_values(
+        self,
+        num_workers: int,
+        engine: str = "edge",
+        executor: str = "serial",
+        schedule: str = "static",
+    ) -> Dict[Vertex, float]:
+        """Compute the full values map through an engine run and memoise it.
+
+        The map is materialised in the session's canonical vertex order —
+        identical to the serial kernels' iteration order — so every
+        consumer (memo, naive ranking) is bit-identical to the serial path.
+        """
+        run = self._parallel_run(
+            num_workers, engine=engine, executor=executor, schedule=schedule
+        )
+        result = {v: run.scores[v] for v in self._canonical_vertices()}
+        if self._state == "static":
+            # Engine scores are bit-identical to the serial kernel, so
+            # the full map seeds the session memo for later score() /
+            # naive-top-k calls (dynamic sessions: the index owns it).
+            self._values = dict(result)
+            self._values_version = self._current_version()
+        return result
+
+    def _batch_values(
+        self, parallel: Optional[int], engine: str, executor: str
+    ) -> Dict[Vertex, float]:
+        """The full values map for batched answering — memo first.
+
+        Serves a fresh memo (static) or the maintained index (dynamic)
+        without touching the runtime; otherwise computes once — through the
+        runtime's dynamic schedule when ``parallel`` is set — and memoises.
+        """
+        if (
+            self._state == "static"
+            and self._values is not None
+            and self._values_version == self._current_version()
+        ):
+            return dict(self._values)
+        if self._state == "dynamic" and self._index is not None:
+            return self._ensure_index().scores()
+        if parallel is None:
+            return self._all_scores()
+        return self._parallel_values(
+            parallel, engine=engine, executor=executor, schedule="dynamic"
+        )
+
+    def scores_batch(
+        self,
+        queries: Iterable[Optional[Iterable[Vertex]]],
+        parallel: Optional[int] = None,
+        engine: str = "edge",
+        executor: str = "serial",
+    ) -> List[Dict[Vertex, float]]:
+        """Answer many scores queries from one shared execution batch.
+
+        ``queries`` is an iterable of requests: ``None`` asks for every
+        vertex, anything else is an iterable of vertices.  The batch is
+        answered from a single computation pass — the fresh memo or
+        maintained index when one exists; otherwise one kernel/runtime
+        execution over the union of the requested vertices (the full graph
+        when any request is ``None``) — so 32 concurrent requests cost one
+        pool, one payload ship and one sweep over the needed vertices
+        instead of 32 cold calls.
+
+        ``parallel=N`` executes that pass on the session's persistent
+        :class:`ExecutionRuntime` with ``N`` workers and the dynamic
+        work-stealing schedule (``executor`` as in :meth:`scores`; the
+        ``hash`` oracle backend computes serially regardless).  Results are
+        bit-identical to per-query :meth:`scores` calls for every worker
+        count and executor.
+        """
+        start = time.perf_counter()
+        requests = [None if query is None else list(query) for query in queries]
+        if not requests:
+            self._record("scores_batch", start, parallel=parallel, batch=0)
+            return []
+        full_needed = any(request is None for request in requests)
+        memo_available = (
+            self._state == "static"
+            and self._values is not None
+            and self._values_version == self._current_version()
+        ) or (self._state == "dynamic" and self._index is not None)
+        if full_needed or memo_available:
+            source = self._batch_values(parallel, engine, executor)
+        else:
+            # Subset-only batch with nothing memoised: compute the union
+            # of the requested vertices exactly once.
+            union: Dict[Vertex, None] = {}
+            for request in requests:
+                for vertex in request:
+                    union[vertex] = None
+            targets = list(union)
+            if self.backend == "hash":
+                graph = self._current_hash_graph()
+                source = {v: ego_betweenness(graph, v) for v in targets}
+            elif parallel is not None:
+                compact = self._current_compact()
+                ids = [compact.id_of(v) for v in targets]
+                runtime = self.runtime(
+                    executor, max_workers=self._pool_size(parallel)
+                )
+                id_scores, _ = runtime.execute(
+                    compact, ids=ids, num_workers=parallel
+                )
+                labels = compact.labels
+                source = {labels[i]: score for i, score in id_scores.items()}
+            else:
+                source = all_ego_betweenness_csr(self._current_compact(), targets)
+        try:
+            answers = [
+                dict(source)
+                if request is None
+                else {v: source[v] for v in request}
+                for request in requests
+            ]
+        except KeyError as error:
+            raise VertexNotFoundError(error.args[0]) from None
+        self._record("scores_batch", start, parallel=parallel, batch=len(requests))
+        return answers
 
     def _all_scores(self) -> Dict[Vertex, float]:
         """The memoised all-vertex values map (always returned as a copy)."""
@@ -636,7 +855,7 @@ class EgoSession:
         return run
 
     def _parallel_run(
-        self, num_workers: int, engine: str, executor: str
+        self, num_workers: int, engine: str, executor: str, schedule: str = "static"
     ) -> ParallelRunResult:
         engine = engine.lower()
         if engine not in ("edge", "vertex"):
@@ -654,8 +873,22 @@ class EgoSession:
                 self._current_hash_graph(), num_workers, backend=executor, graph_backend="hash"
             )
         return run_engine(
-            self._current_compact(), num_workers, backend=executor, graph_backend="compact"
+            self._current_compact(),
+            num_workers,
+            backend=executor,
+            graph_backend="compact",
+            # Size a freshly created pool to the request (capped at the CPU
+            # count) rather than forking cpu_count() workers for a 2-worker
+            # query; an existing runtime is reused as-is.
+            runtime=self.runtime(executor, max_workers=self._pool_size(num_workers)),
+            schedule=schedule,
         )
+
+    @staticmethod
+    def _pool_size(num_workers: int) -> int:
+        import os
+
+        return max(1, min(num_workers, os.cpu_count() or 1))
 
     # ------------------------------------------------------------------
     # Updates and maintenance
@@ -913,6 +1146,11 @@ class EgoSession:
             values_reused_on_promotion=self._values_reused_on_promotion,
             lazy_maintainer_ks=sorted(self._lazy),
             overlay_rebuilds=self._dyn.rebuilds if self._dyn is not None else 0,
+            # Copies, like every other SessionStats field — the snapshot
+            # must not mutate as later queries tick the live counters.
+            runtimes={
+                name: replace(stats) for name, stats in self.runtime_stats().items()
+            },
             last_query=self._last_query,
         )
 

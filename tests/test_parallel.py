@@ -140,7 +140,40 @@ class TestExecutor:
         with pytest.raises(ValueError):
             run_chunks(g, [[0], [1]], backend="quantum")
 
+    def test_run_chunks_dispatches_on_compact_graph(self):
+        """One entry point: a CSR snapshot takes the runtime path (id keyed)."""
+        g = barabasi_albert_graph(50, 2, seed=6)
+        compact = g.to_compact()
+        id_chunks = block_partition(list(range(compact.num_vertices)), 3)
+        id_scores, timings = run_chunks(compact, id_chunks, backend="serial")
+        assert len(timings) == 3
+        labels = compact.labels
+        expected = all_ego_betweenness(g)
+        assert {labels[i]: s for i, s in id_scores.items()} == expected
+
+    def test_run_chunks_csr_is_an_alias(self):
+        from repro.parallel.executor import run_chunks_csr
+
+        g = barabasi_albert_graph(30, 2, seed=8)
+        compact = g.to_compact()
+        chunks = block_partition(list(range(compact.num_vertices)), 2)
+        assert run_chunks_csr(compact, chunks)[0] == run_chunks(compact, chunks)[0]
+
+    def test_run_chunks_reuses_a_passed_runtime(self):
+        from repro.parallel.runtime import ExecutionRuntime
+
+        g = barabasi_albert_graph(40, 2, seed=9)
+        compact = g.to_compact()
+        chunks = block_partition(list(range(compact.num_vertices)), 2)
+        with ExecutionRuntime(max_workers=2, executor="serial") as runtime:
+            first, _ = run_chunks(compact, chunks, runtime=runtime)
+            second, _ = run_chunks(compact, chunks, runtime=runtime)
+            assert first == second
+            assert runtime.stats().payload_ships == 1
+            assert not runtime.closed  # caller-owned runtimes stay open
+
     @pytest.mark.slow
+    @pytest.mark.parallel
     def test_process_backend_matches_serial(self):
         g = barabasi_albert_graph(60, 3, seed=7)
         chunks = block_partition(g.vertices(), 2)
@@ -148,3 +181,45 @@ class TestExecutor:
         process_scores, _ = run_chunks(g, chunks, backend="process")
         for v, value in serial_scores.items():
             assert process_scores[v] == pytest.approx(value)
+
+    @pytest.mark.parallel
+    def test_process_backend_matches_serial_csr(self):
+        g = barabasi_albert_graph(60, 3, seed=7)
+        compact = g.to_compact()
+        chunks = block_partition(list(range(compact.num_vertices)), 2)
+        serial_scores, _ = run_chunks(compact, chunks, backend="serial")
+        process_scores, _ = run_chunks(compact, chunks, backend="process")
+        assert process_scores == serial_scores  # bit-identical, both id keyed
+
+
+class TestTimingSplit:
+    def test_result_carries_setup_and_compute_split(self):
+        g = barabasi_albert_graph(80, 3, seed=4)
+        run = edge_parallel_ego_betweenness(g, 4)
+        assert run.setup_seconds >= 0.0
+        assert run.compute_seconds > 0.0
+        # the historical single field remains the end-to-end time and
+        # therefore dominates both components
+        assert run.elapsed_seconds >= run.compute_seconds
+
+    @pytest.mark.parallel
+    def test_process_setup_excluded_from_compute(self):
+        g = barabasi_albert_graph(60, 2, seed=3)
+        run = edge_parallel_ego_betweenness(g, 2, backend="process")
+        # pool fork + payload ship must be accounted as setup, not compute
+        assert run.setup_seconds > 0.0
+        assert run.elapsed_seconds >= run.setup_seconds + run.compute_seconds - 1e-6
+
+    def test_dynamic_schedule_matches_static(self):
+        g = barabasi_albert_graph(90, 3, seed=12)
+        static = edge_parallel_ego_betweenness(g, 3, schedule="static")
+        dynamic = edge_parallel_ego_betweenness(g, 3, schedule="dynamic")
+        assert static.scores == dynamic.scores
+        # the load report always models the deterministic static schedule
+        assert static.load_report.worker_loads == dynamic.load_report.worker_loads
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            edge_parallel_ego_betweenness(
+                Graph(edges=[(0, 1)]), 1, schedule="sometimes"
+            )

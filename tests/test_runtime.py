@@ -1,0 +1,276 @@
+"""Determinism and lifecycle tests for the persistent execution runtime.
+
+The contract under test: whatever the worker count, executor, schedule or
+runtime reuse pattern, every parallel/batched path returns **bit-identical**
+results to the serial kernels — and the runtime ships the graph payload to
+the workers exactly once per graph version.
+
+Process-pool tests are marked ``parallel`` (they also run in tier-1; the
+dedicated CI job re-runs them under ``pytest-timeout`` so pool-lifecycle
+hangs fail fast instead of wedging the suite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.csr_kernels import CSRChunkKernel, all_ego_betweenness_csr
+from repro.core.ego_betweenness import all_ego_betweenness
+from repro.errors import InvalidParameterError
+from repro.graph.generators import barabasi_albert_graph, erdos_renyi_graph
+from repro.graph.graph import Graph
+from repro.parallel.runtime import ExecutionRuntime, ParallelBackend
+from repro.session import EgoSession
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def ba_graph() -> Graph:
+    return barabasi_albert_graph(150, 3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def ba_scores(ba_graph):
+    return all_ego_betweenness(ba_graph)
+
+
+class TestChunkKernel:
+    def test_score_chunk_matches_serial_kernel(self, ba_graph, ba_scores):
+        compact = ba_graph.to_compact()
+        kernel = CSRChunkKernel(compact.indptr, compact.indices)
+        ids = list(range(compact.num_vertices))
+        scored = kernel.score_chunk(ids)
+        labels = compact.labels
+        assert {labels[i]: s for i, s in scored.items()} == ba_scores
+
+    def test_kernel_accepts_buffer_views(self, ba_graph):
+        from array import array
+
+        compact = ba_graph.to_compact()
+        indptr = memoryview(array("q", compact.indptr))
+        indices = memoryview(array("q", compact.indices))
+        kernel = CSRChunkKernel(indptr, indices)
+        expected = all_ego_betweenness_csr(compact)
+        labels = compact.labels
+        assert {
+            labels[i]: s for i, s in kernel.score_chunk(range(len(labels))).items()
+        } == expected
+
+
+class TestSerialRuntime:
+    def test_execute_bit_identical_across_workers_and_schedules(self, ba_graph):
+        compact = ba_graph.to_compact()
+        expected = all_ego_betweenness_csr(compact)
+        labels = compact.labels
+        with ExecutionRuntime(max_workers=4, executor="serial") as runtime:
+            for workers in WORKER_COUNTS:
+                for schedule in ("dynamic", "static"):
+                    scores, batch = runtime.execute(
+                        compact, num_workers=workers, schedule=schedule
+                    )
+                    assert {labels[i]: s for i, s in scores.items()} == expected
+                    assert batch.num_tasks >= 1
+
+    def test_payload_ships_once_per_version(self, ba_graph):
+        compact = ba_graph.to_compact()
+        with ExecutionRuntime(max_workers=2, executor="serial") as runtime:
+            for _ in range(5):
+                runtime.execute(compact)
+            assert runtime.stats().payload_ships == 1
+            other = erdos_renyi_graph(40, 0.2, seed=3).to_compact()
+            runtime.execute(other)
+            assert runtime.stats().payload_ships == 2
+            # back to the first snapshot: a *new identity* ships again
+            runtime.execute(compact)
+            assert runtime.stats().payload_ships == 3
+
+    def test_subset_ids_and_id_ordering(self, ba_graph):
+        compact = ba_graph.to_compact()
+        expected = all_ego_betweenness_csr(compact)
+        labels = compact.labels
+        with ExecutionRuntime(max_workers=2, executor="serial") as runtime:
+            scores, _ = runtime.execute(compact, ids=[17, 3, 99, 4], num_workers=2)
+            assert list(scores) == sorted(scores)
+            assert {labels[i]: s for i, s in scores.items()} == {
+                labels[i]: expected[labels[i]] for i in (3, 4, 17, 99)
+            }
+
+    def test_closed_runtime_rejects_execution(self, ba_graph):
+        runtime = ExecutionRuntime(executor="serial")
+        runtime.close()
+        assert runtime.closed
+        with pytest.raises(InvalidParameterError):
+            runtime.execute(ba_graph.to_compact())
+        runtime.close()  # idempotent
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            ExecutionRuntime(max_workers=0)
+        with pytest.raises(InvalidParameterError):
+            ExecutionRuntime(oversubscribe=0)
+        with pytest.raises(ValueError):
+            ExecutionRuntime(executor="quantum")
+        runtime = ExecutionRuntime(executor="serial")
+        with pytest.raises(InvalidParameterError):
+            runtime.execute(Graph(edges=[(0, 1)]).to_compact(), schedule="sometimes")
+        runtime.close()
+
+    def test_dynamic_chunks_cover_ids_in_ranges(self, ba_graph):
+        compact = ba_graph.to_compact()
+        with ExecutionRuntime(max_workers=2, executor="serial") as runtime:
+            runtime.execute(compact)  # ship (estimates cache follows)
+            chunks = runtime.dynamic_chunks(
+                compact, list(range(compact.num_vertices)), 2
+            )
+            flat = [i for chunk in chunks for i in chunk]
+            assert flat == list(range(compact.num_vertices))
+            assert 1 <= len(chunks) <= 2 * runtime.oversubscribe
+
+
+class TestSessionBatchedQueries:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_parallel_top_k_bit_identical_to_naive(self, ba_graph, workers):
+        serial_entries = EgoSession(ba_graph).top_k(10, algorithm="naive").entries
+        with EgoSession(ba_graph) as session:
+            result = session.top_k(10, parallel=workers)
+            assert result.entries == serial_entries
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_scores_batch_bit_identical_across_workers(
+        self, ba_graph, ba_scores, workers
+    ):
+        with EgoSession(ba_graph) as session:
+            full, subset = session.scores_batch([None, [0, 5, 9]], parallel=workers)
+            assert full == ba_scores
+            assert subset == {v: ba_scores[v] for v in (0, 5, 9)}
+
+    def test_scores_batch_subset_only_single_pass(self, ba_graph, ba_scores):
+        with EgoSession(ba_graph) as session:
+            answers = session.scores_batch([[0, 1], [2, 3], [1, 2]], parallel=2)
+            assert answers == [
+                {v: ba_scores[v] for v in request}
+                for request in ([0, 1], [2, 3], [1, 2])
+            ]
+            stats = session.runtime_stats()["serial"]
+            assert stats.payload_ships == 1
+            assert stats.batches == 1
+
+    def test_scores_batch_without_parallel_and_empty(self, ba_graph, ba_scores):
+        session = EgoSession(ba_graph)
+        assert session.scores_batch([]) == []
+        full, sub = session.scores_batch([None, [4]])
+        assert full == ba_scores and sub == {4: ba_scores[4]}
+        # a fresh memo answers later batches without another computation
+        counts_before = session.stats().queries["scores_batch"]
+        assert session.scores_batch([[7]]) == [{7: ba_scores[7]}]
+        assert session.stats().queries["scores_batch"] == counts_before + 1
+
+    def test_scores_batch_unknown_vertex(self, ba_graph):
+        from repro.errors import VertexNotFoundError
+
+        with EgoSession(ba_graph) as session:
+            with pytest.raises(VertexNotFoundError):
+                session.scores_batch([["nope"]])
+
+    def test_hash_backend_batches_match_oracle(self, ba_graph, ba_scores):
+        with EgoSession(ba_graph, backend="hash") as session:
+            full, subset = session.scores_batch([None, [1, 2]], parallel=2)
+            assert full == ba_scores
+            assert subset == {v: ba_scores[v] for v in (1, 2)}
+            assert session.top_k(6, parallel=2).entries == (
+                EgoSession(ba_graph).top_k(6, algorithm="naive").entries
+            )
+
+    def test_session_stats_expose_runtime(self, ba_graph):
+        with EgoSession(ba_graph) as session:
+            session.scores(parallel=2)
+            payload = session.stats().as_dict()
+            assert payload["runtimes"]["serial"]["payload_ships"] == 1
+            assert payload["last_query"]["parallel"] == 2
+
+    def test_close_is_idempotent_and_revivable(self, ba_graph, ba_scores):
+        session = EgoSession(ba_graph)
+        session.scores(parallel=2)
+        session.close()
+        session.close()
+        assert session.scores(parallel=2) == ba_scores  # fresh runtime
+        session.close()
+
+
+class TestRuntimeReuseAcrossMutation:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_reuse_after_apply_and_rebuild(self, workers):
+        graph = barabasi_albert_graph(80, 3, seed=11)
+        with EgoSession(graph) as session:
+            before = session.scores(parallel=workers)
+            assert before == all_ego_betweenness(graph)
+            session.apply([("insert", 0, 79), ("delete", 0, 1)])
+            session.rebuild()
+            after = session.scores(parallel=workers)
+            oracle = all_ego_betweenness(session.to_graph())
+            assert after == oracle
+            # one ship per graph version: the pre-mutation snapshot and the
+            # post-mutation snapshot
+            stats = session.runtime_stats()["serial"]
+            assert stats.payload_ships == 2
+            # Batched queries on a dynamic session serve the maintained
+            # index (exact Section-IV values): parallel top-k must be
+            # bit-identical to the session's own naive ranking for every
+            # worker count.
+            assert session.top_k(8, parallel=workers).entries == (
+                session.top_k(8, algorithm="naive").entries
+            )
+            batch_full = session.scores_batch([None], parallel=workers)[0]
+            assert batch_full == session.scores()
+
+
+@pytest.mark.parallel
+class TestProcessRuntime:
+    """Real worker-pool execution (shared-memory transport, pool reuse)."""
+
+    def test_process_bit_identical_and_ships_once(self, ba_graph, ba_scores):
+        compact = ba_graph.to_compact()
+        labels = compact.labels
+        with ExecutionRuntime(max_workers=2, executor="process") as runtime:
+            for schedule in ("dynamic", "static"):
+                scores, _ = runtime.execute(compact, schedule=schedule)
+                assert {labels[i]: s for i, s in scores.items()} == ba_scores
+            stats = runtime.stats()
+            assert stats.payload_ships == 1
+            assert stats.pool_launches == 1
+            assert stats.pool_reuses == 1
+            assert stats.payload_bytes > 0
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_session_process_matches_serial(self, ba_graph, ba_scores, workers):
+        with EgoSession(ba_graph) as session:
+            serial_answers = session.scores_batch(
+                [None, [0, 3]], parallel=workers, executor="serial"
+            )
+            session.close()  # drop the serial runtime; keep the session memo-free
+        with EgoSession(ba_graph) as session:
+            process_answers = session.scores_batch(
+                [None, [0, 3]], parallel=workers, executor="process"
+            )
+            assert process_answers == serial_answers
+            assert process_answers[0] == ba_scores
+
+    def test_process_reuse_after_mutation(self):
+        graph = barabasi_albert_graph(60, 2, seed=5)
+        with EgoSession(graph) as session:
+            session.scores(parallel=2, executor="process")
+            session.apply(("insert", 0, 59))
+            session.rebuild()
+            after = session.scores(parallel=2, executor="process")
+            assert after == all_ego_betweenness(session.to_graph())
+            stats = session.runtime_stats()["process"]
+            assert stats.payload_ships == 2  # re-shipped once per version
+            assert stats.pool_launches == 1  # the pool survived the mutation
+            assert stats.pool_reuses == 1
+
+    def test_process_parallel_top_k_matches_serial(self, ba_graph):
+        expected = EgoSession(ba_graph).top_k(10, algorithm="naive").entries
+        with EgoSession(ba_graph) as session:
+            result = session.top_k(10, parallel=2, executor="process")
+            assert result.entries == expected
