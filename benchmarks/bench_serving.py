@@ -1,0 +1,67 @@
+"""Benchmark ``serving``: the multi-tenant async gateway acceptance gate.
+
+The ISSUE-5 criterion: 64 concurrent async clients over 2 tenant graphs on
+one shared worker pool — the warm gateway must beat the serial per-query
+baseline (one fresh session per request, the pre-gateway serving model) by
+>= 3x in qps, ship exactly one payload per distinct ``(graph_id, version)``
+pair, and return answers bit-identical to the serial kernels (the load
+generator verifies every single answer against the oracle before reporting
+a number).
+
+Plain pytest — no pytest-benchmark/pytest-asyncio fixtures — so the
+dedicated CI serving job can run it with only ``pytest`` installed::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.serving import run_serving_benchmark
+
+CLIENTS = 64
+
+
+@pytest.mark.parallel
+@pytest.mark.serving
+def test_serving_gateway_acceptance(livejournal_graph, dblp_graph, results_dir):
+    """64 async clients, 2 tenants, 1 shared pool: >= 3x the serial baseline."""
+    payload = run_serving_benchmark(
+        {"livejournal": livejournal_graph, "dblp": dblp_graph},
+        clients=CLIENTS,
+        parallel=1,
+        executor="process",
+    )
+    save_report(results_dir, "serving", json.dumps(payload, indent=2, sort_keys=True))
+
+    # Every cold and warm answer was checked against the serial kernel
+    # oracle inside the load generator.
+    assert payload["bit_identical"]
+    # One payload ship per distinct (graph_id, version) pair, one fork for
+    # the whole tenant fleet.
+    assert payload["store"]["ships"] == 2
+    assert sorted(payload["store"]["by_key"]) == ["dblp@v0", "livejournal@v0"]
+    assert payload["pool"]["launches"] == 1
+    # Micro-batching actually coalesced: far fewer batches than requests.
+    assert payload["gateway"]["batches"] < payload["total_requests"] / 2
+    # The acceptance headline: warm gateway qps >= 3x serial per-query qps.
+    assert payload["speedup_warm_vs_cold"] >= 3.0, payload
+
+
+@pytest.mark.serving
+def test_serving_gateway_serial_executor_smoke(dblp_graph):
+    """The serial executor follows the same accounting (no pool fork)."""
+    payload = run_serving_benchmark(
+        {"dblp": dblp_graph},
+        clients=8,
+        parallel=1,
+        executor="serial",
+        window_seconds=0.005,
+    )
+    assert payload["bit_identical"]
+    assert payload["store"]["ships"] == 1
+    assert payload["pool"]["launches"] == 0

@@ -4,9 +4,11 @@ Runs the headline hot paths at a small, CI-friendly scale and writes
 ``BENCH_fig8.json`` (dynamic maintenance: mean/median per-update latency of
 the local index and the lazy maintainer, per backend), ``BENCH_fig6.json``
 (top-k search: mean/median per-query latency of OptBSearch per backend),
-``BENCH_session.json`` (cold vs warm session queries) and
+``BENCH_session.json`` (cold vs warm session queries),
 ``BENCH_throughput.json`` (batched queries/sec on a cold vs warm execution
-runtime, plus the runtime's ship/pool accounting) so every CI run records
+runtime, plus the runtime's ship/pool accounting) and ``BENCH_serving.json``
+(qps and p50/p95 latency of the async multi-tenant gateway under concurrent
+clients, cold per-query baseline vs warm gateway) so every CI run records
 the perf trajectory of the repository.  Pure standard library — runnable
 as::
 
@@ -176,6 +178,55 @@ def bench_throughput(scale: float, queries: int, workers: int) -> dict:
     }
 
 
+def bench_serving(scale: float, clients: int, workers: int) -> dict:
+    """Concurrent async clients on the gateway: cold baseline vs warm.
+
+    Two tenants (the DBLP and LiveJournal stand-ins) share one worker pool
+    and one payload store; the cold baseline answers the same request plan
+    with one fresh session per query (the pre-gateway serving model).
+    """
+    from repro.datasets.registry import load_dataset
+    from repro.serving import run_serving_benchmark
+
+    result = run_serving_benchmark(
+        {
+            "dblp": load_dataset("dblp", scale=scale),
+            "livejournal": load_dataset("livejournal", scale=scale),
+        },
+        clients=clients,
+        parallel=workers,
+        executor="process",
+    )
+    return {
+        "bench": "serving",
+        "unit": "seconds per request",
+        "datasets": result["tenants"],
+        "scale": scale,
+        "clients": clients,
+        "workers": workers,
+        "executor": "process",
+        "backends": {
+            "cold_per_query": {
+                "mean_s": result["cold"]["mean_s"],
+                "qps": result["cold"]["qps"],
+                "p50_ms": result["cold"]["p50_ms"],
+                "p95_ms": result["cold"]["p95_ms"],
+            },
+            "warm_gateway": {
+                "mean_s": result["warm"]["mean_s"],
+                "qps": result["warm"]["qps"],
+                "p50_ms": result["warm"]["p50_ms"],
+                "p95_ms": result["warm"]["p95_ms"],
+            },
+        },
+        "gateway": result["gateway"],
+        "store": result["store"],
+        "pool": result["pool"],
+        "bit_identical": result["bit_identical"],
+        "speedup_warm_vs_cold": result["speedup_warm_vs_cold"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="benchmark smoke runs -> JSON artifacts")
     parser.add_argument("--scale", type=float, default=0.1, help="dataset scale (default 0.1)")
@@ -185,6 +236,12 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7, help="fig8 stream seed")
     parser.add_argument(
         "--queries", type=int, default=32, help="throughput batch size (default 32)"
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=64,
+        help="concurrent async clients for the serving bench (default 64)",
     )
     parser.add_argument(
         "--workers", type=int, default=2, help="throughput workers per query (default 2)"
@@ -203,6 +260,7 @@ def main(argv=None) -> int:
         ("BENCH_fig6.json", bench_fig6(args.scale, args.k, args.repeats)),
         ("BENCH_session.json", bench_session(args.scale, args.k, args.repeats)),
         ("BENCH_throughput.json", bench_throughput(args.scale, args.queries, args.workers)),
+        ("BENCH_serving.json", bench_serving(args.scale, args.clients, args.workers)),
     ):
         payload["environment"] = env
         path = out_dir / name

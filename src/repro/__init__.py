@@ -8,10 +8,16 @@ A from-scratch reproduction of the paper's full system:
   pruning, BaseBSearch and OptBSearch — :mod:`repro.core`;
 * dynamic maintenance under edge insertions/deletions, both the local
   all-vertex index and the lazy top-k maintainer — :mod:`repro.dynamic`;
-* the vertex- and edge-parallel all-vertex engines, executed on a
-  persistent worker-pool runtime with zero-copy shared-memory CSR
-  transport (:class:`repro.parallel.ExecutionRuntime`) —
+* the vertex- and edge-parallel all-vertex engines, executed on shared
+  serving infrastructure — reference-counted worker pools
+  (:class:`repro.parallel.WorkerPool`), a multi-tenant shared-memory
+  payload store keyed by ``(graph_id, version)``
+  (:class:`repro.parallel.PayloadStore`) and the per-caller
+  :class:`repro.parallel.ExecutionRuntime` composing them —
   :mod:`repro.parallel`;
+* the async multi-tenant serving layer: a micro-batching gateway that
+  coalesces concurrent requests into shared runtime passes
+  (:class:`repro.serving.ServingGateway`) — :mod:`repro.serving`;
 * the Brandes betweenness baseline (TopBW) — :mod:`repro.baselines`;
 * synthetic dataset stand-ins and the experiment harness reproducing every
   table and figure of the evaluation — :mod:`repro.datasets`,
@@ -54,13 +60,18 @@ from repro.errors import BackendCapabilityError, ReproError
 from repro.graph import Graph
 from repro.parallel import (
     ExecutionRuntime,
+    PayloadStore,
     RuntimeStats,
+    WorkerPool,
     edge_parallel_ego_betweenness,
+    shared_payload_store,
+    shared_worker_pool,
     vertex_parallel_ego_betweenness,
 )
+from repro.serving import GatewayStats, ServingGateway
 from repro.session import EgoSession, Query, SessionStats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -83,6 +94,12 @@ __all__ = [
     "vertex_parallel_ego_betweenness",
     "edge_parallel_ego_betweenness",
     "ExecutionRuntime",
+    "WorkerPool",
+    "PayloadStore",
+    "shared_worker_pool",
+    "shared_payload_store",
     "RuntimeStats",
+    "ServingGateway",
+    "GatewayStats",
     "top_k_betweenness",
 ]

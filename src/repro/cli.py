@@ -22,6 +22,11 @@ Subcommands
     a cold run (fresh worker pool + graph shipping per query) against a
     warm run (one runtime shared by the whole batch) — the serving-layer
     scenario.
+``serve``
+    Drive the async micro-batching gateway with a fleet of concurrent
+    clients over several tenant graphs sharing one worker pool, and report
+    qps / latency percentiles against the pre-gateway one-session-per-query
+    baseline (the multi-tenant serving scenario).
 ``experiment``
     Run one of the paper-reproduction experiments and print its report.
 ``datasets``
@@ -38,7 +43,7 @@ from typing import Any, Dict, Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import graph_statistics
 from repro.datasets.registry import dataset_names, load_dataset, registry_table
-from repro.errors import ReproError
+from repro.errors import DatasetError, ReproError
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.graph.graph import Graph
 from repro.graph.io import read_edge_list
@@ -135,6 +140,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=7, help="query-sampling RNG seed")
     _add_json_argument(bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="drive the async multi-tenant serving gateway and report qps/latency",
+    )
+    serve.add_argument(
+        "--datasets",
+        default="dblp,livejournal",
+        help=(
+            "comma-separated registry datasets, one gateway tenant each "
+            "(default: dblp,livejournal)"
+        ),
+    )
+    serve.add_argument(
+        "--scale", type=float, default=0.1, help="scale factor for the tenant datasets"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=64, help="concurrent async clients (default 64)"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=1, help="scores requests per client (default 1)"
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch coalescing window in milliseconds (default 2)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, help="flush early at this batch size"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel workers per runtime pass (default 1; 0 = in-session serial)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default="process",
+        help="execution backend for the tenants' shared runtime (default: process)",
+    )
+    serve.add_argument("--seed", type=int, default=7, help="subset-sampling RNG seed")
+    _add_json_argument(serve)
 
     experiment = subparsers.add_parser("experiment", help="run a reproduction experiment")
     experiment.add_argument("experiment_id", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -433,6 +483,71 @@ def _run_bench_throughput(args: argparse.Namespace) -> None:
     )
 
 
+def _run_serve(args: argparse.Namespace) -> None:
+    """Drive the serving gateway with a synthetic concurrent workload."""
+    from repro.serving import run_serving_benchmark
+
+    names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+    known = set(dataset_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise DatasetError(
+            f"unknown dataset(s) {', '.join(sorted(unknown))}; "
+            f"choose from {', '.join(sorted(known))}"
+        )
+    graphs = {name: load_dataset(name, scale=args.scale) for name in names}
+    payload = run_serving_benchmark(
+        graphs,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        window_seconds=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        parallel=args.workers or None,
+        executor=args.executor,
+        seed=args.seed,
+    )
+    payload["command"] = "serve"
+    if args.json:
+        _emit_json(payload)
+        return
+    rows = [
+        {
+            "run": name,
+            "seconds": round(payload[name]["seconds"], 4),
+            "queries_per_s": round(payload[name]["qps"], 1),
+            "p50_ms": round(payload[name]["p50_ms"], 3),
+            "p95_ms": round(payload[name]["p95_ms"], 3),
+        }
+        for name in ("cold", "warm")
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Serving gateway: {payload['clients']} concurrent clients x "
+                f"{payload['requests_per_client']} requests over "
+                f"{len(payload['tenants'])} tenants "
+                f"({payload['executor']} executor)"
+            ),
+        )
+    )
+    gateway = payload["gateway"]
+    store = payload["store"]
+    print(
+        f"warm gateway speedup: {payload['speedup_warm_vs_cold']:.2f}x over the "
+        "one-session-per-query baseline "
+        f"(answers bit-identical to the serial kernels)"
+    )
+    print(
+        f"micro-batching: {gateway['batches']} batches, "
+        f"mean {gateway['mean_batch_size']:.1f} requests/batch "
+        f"(window {payload['window_seconds'] * 1e3:.1f}ms); "
+        f"payload ships: {store['ships']} "
+        f"(= distinct (graph_id, version) pairs), "
+        f"pool launches: {payload['pool']['launches']}"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -446,6 +561,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_maintain(args)
         elif args.command == "bench-throughput":
             _run_bench_throughput(args)
+        elif args.command == "serve":
+            _run_serve(args)
         elif args.command == "experiment":
             kwargs = {} if args.backend is None else {"backend": args.backend}
             result = run_experiment(args.experiment_id, scale=args.scale, **kwargs)

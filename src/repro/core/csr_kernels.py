@@ -65,6 +65,7 @@ __all__ = [
     "ego_betweenness_csr_cached",
     "all_ego_betweenness_csr",
     "ego_betweenness_from_arrays",
+    "top_k_entries_from_arrays",
     "build_dense_adjacency",
     "CSRChunkKernel",
     "ego_bw_cal_csr",
@@ -359,6 +360,47 @@ def ego_betweenness_from_arrays(
     return {pid: _ego_score_id(indptr, indices, pid, nbr_sets, dense) for pid in ids}
 
 
+def top_k_entries_from_arrays(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    ids: Iterable[int],
+    k: int,
+    nbr_sets: Optional[List[set]] = None,
+    dense: Optional[bytearray] = None,
+) -> List[Tuple[int, float]]:
+    """Score ``ids``; return every candidate that can reach a global top-k.
+
+    Returns the chunk's ``(id, score)`` entries whose score is **>= the
+    chunk's k-th largest score — all threshold ties included** — in
+    ascending id order (everything, when the chunk has at most ``k``
+    entries).
+
+    The tie cohort must ship whole: which tied-at-threshold entry a
+    :class:`TopKAccumulator` evicts depends on the *global* arrival order
+    (the heap evicts the earliest-offered tie, and ties from other chunks
+    interleave), so a chunk cannot decide tie survival locally.  Entries
+    strictly below the chunk threshold, however, are strictly below the
+    global threshold too (a subset's k-th best never exceeds the full
+    set's) and therefore never appear in the global accumulator's final
+    heap — omitting them cannot change the merged result, which is what
+    keeps the per-chunk reduction bit-identical to the serial sweep while
+    still shipping only ``k`` entries plus threshold ties instead of every
+    score.
+    """
+    if k < 1:
+        raise InvalidParameterError("k must be a positive integer")
+    if nbr_sets is None:
+        nbr_sets = _build_neighbor_sets(indptr, indices)
+    entries = [
+        (pid, _ego_score_id(indptr, indices, pid, nbr_sets, dense))
+        for pid in sorted(ids)
+    ]
+    if len(entries) <= k:
+        return entries
+    threshold = heapq.nlargest(k, (score for _, score in entries))[-1]
+    return [(pid, score) for pid, score in entries if score >= threshold]
+
+
 def build_dense_adjacency(
     indptr: Sequence[int], indices: Sequence[int]
 ) -> Optional[bytearray]:
@@ -431,6 +473,19 @@ class CSRChunkKernel:
         return {
             pid: _ego_score_id(indptr, indices, pid, nbr_sets, dense) for pid in ids
         }
+
+    def top_chunk(self, ids: Iterable[int], k: int) -> List[Tuple[int, float]]:
+        """Return the chunk's top-k candidates (threshold ties included).
+
+        The worker-side reduction of ``top_k(parallel=)``: ``k`` entries
+        plus any ties at the chunk threshold leave the worker instead of
+        one score per chunk id.  See :func:`top_k_entries_from_arrays` for
+        the retention contract that keeps the parent merge bit-identical
+        to the serial naive ranking.
+        """
+        return top_k_entries_from_arrays(
+            self.indptr, self.indices, ids, k, self.nbr_sets, self.dense
+        )
 
 
 def bound_decomposition_csr(source: GraphLike, vertex: Vertex) -> BoundDecomposition:

@@ -16,7 +16,27 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import InvalidParameterError
 from repro.graph.graph import Graph, Vertex
 
-__all__ = ["SearchStats", "TopKResult", "TopKAccumulator", "top_k_ego_betweenness"]
+__all__ = [
+    "SearchStats",
+    "TopKResult",
+    "TopKAccumulator",
+    "rank_entries",
+    "top_k_ego_betweenness",
+]
+
+
+def rank_entries(entries: Sequence[Tuple[Vertex, float]]) -> List[Tuple[Vertex, float]]:
+    """Sort ``(vertex, score)`` pairs into the canonical ranked order.
+
+    Non-increasing score, ties broken by the deterministic vertex sort key
+    — the single definition shared by :meth:`TopKAccumulator.ranked_entries`
+    and the distributed top-k merge (which accumulates on dense ids and
+    must re-rank after mapping ids back to labels).
+    """
+    return sorted(
+        entries,
+        key=lambda item: (-item[1], (type(item[0]).__name__, repr(item[0]))),
+    )
 
 
 @dataclass
@@ -133,13 +153,13 @@ class TopKAccumulator:
             return float("-inf")
         return self._heap[0][0]
 
+    def entries(self) -> List[Tuple[Vertex, float]]:
+        """The retained ``(vertex, score)`` pairs in no particular order."""
+        return [(vertex, score) for score, _, vertex in self._heap]
+
     def ranked_entries(self) -> List[Tuple[Vertex, float]]:
         """Return the accumulated entries sorted best-first."""
-        ordered = sorted(
-            self._heap,
-            key=lambda item: (-item[0], (type(item[2]).__name__, repr(item[2]))),
-        )
-        return [(vertex, score) for score, _, vertex in ordered]
+        return rank_entries(self.entries())
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -83,6 +83,34 @@ class InvalidParameterError(ReproError, ValueError):
     """
 
 
+class GatewayError(ReproError):
+    """Base class for serving-gateway failures."""
+
+
+class GatewayClosedError(GatewayError, RuntimeError):
+    """Raised when a request reaches a gateway that has been closed."""
+
+
+class GatewayOverloadedError(GatewayError, RuntimeError):
+    """Raised when a tenant's pending-request queue is full (back-pressure).
+
+    The gateway sheds load instead of buffering without bound: callers
+    should retry with back-off or route to another replica.  The message
+    names the tenant and the configured ``max_pending``.
+    """
+
+
+class UnknownTenantError(GatewayError, KeyError):
+    """Raised when a request names a tenant the gateway does not serve."""
+
+    def __init__(self, tenant_id) -> None:
+        super().__init__(tenant_id)
+        self.tenant_id = tenant_id
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"no tenant {self.tenant_id!r} is registered with this gateway"
+
+
 class DatasetError(ReproError):
     """Raised when a named dataset cannot be located or generated."""
 

@@ -41,7 +41,15 @@ from repro.parallel.partition import (
     vertex_work_estimates,
     vertex_work_estimates_csr,
 )
-from repro.parallel.runtime import BatchStats, ExecutionRuntime, RuntimeStats
+from repro.parallel.runtime import (
+    BatchStats,
+    ExecutionRuntime,
+    PayloadStore,
+    RuntimeStats,
+    WorkerPool,
+    shared_payload_store,
+    shared_worker_pool,
+)
 
 __all__ = [
     "vertex_parallel_ego_betweenness",
@@ -49,6 +57,10 @@ __all__ = [
     "ParallelRunResult",
     "ParallelBackend",
     "ExecutionRuntime",
+    "WorkerPool",
+    "PayloadStore",
+    "shared_worker_pool",
+    "shared_payload_store",
     "RuntimeStats",
     "BatchStats",
     "run_chunks",

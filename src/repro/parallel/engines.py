@@ -102,6 +102,7 @@ def vertex_parallel_ego_betweenness(
     graph_backend: str = "auto",
     runtime: Optional[ExecutionRuntime] = None,
     schedule: str = "static",
+    payload_key=None,
 ) -> ParallelRunResult:
     """VertexPEBW: vertex-partitioned parallel ego-betweenness.
 
@@ -117,11 +118,15 @@ def vertex_parallel_ego_betweenness(
     :class:`ExecutionRuntime` across calls; ``schedule="dynamic"`` executes
     runtime-chunked weight-balanced id ranges through the shared task queue
     instead of the engine's static chunks (the load report still models the
-    static schedule).  Scores are identical across every combination.
+    static schedule); ``payload_key`` is the ``(graph_id, version)`` store
+    key forwarded to the runtime's payload store (sessions pass theirs so
+    multi-tenant stores account bytes per graph).  Scores are identical
+    across every combination.
     """
     return _run_engine(
         graph, num_workers, backend, engine="VertexPEBW",
         graph_backend=graph_backend, runtime=runtime, schedule=schedule,
+        payload_key=payload_key,
     )
 
 
@@ -132,6 +137,7 @@ def edge_parallel_ego_betweenness(
     graph_backend: str = "auto",
     runtime: Optional[ExecutionRuntime] = None,
     schedule: str = "static",
+    payload_key=None,
 ) -> ParallelRunResult:
     """EdgePEBW: edge-work-balanced parallel ego-betweenness.
 
@@ -145,6 +151,7 @@ def edge_parallel_ego_betweenness(
     return _run_engine(
         graph, num_workers, backend, engine="EdgePEBW",
         graph_backend=graph_backend, runtime=runtime, schedule=schedule,
+        payload_key=payload_key,
     )
 
 
@@ -156,6 +163,7 @@ def _run_engine(
     graph_backend: str = "auto",
     runtime: Optional[ExecutionRuntime] = None,
     schedule: str = "static",
+    payload_key=None,
 ) -> ParallelRunResult:
     from repro.core.csr_kernels import normalize_backend
 
@@ -215,6 +223,7 @@ def _run_engine(
                 chunks=id_chunks if schedule == "static" else None,
                 num_workers=num_workers,
                 schedule=schedule,
+                payload_key=payload_key,
             )
         finally:
             if owns_runtime:

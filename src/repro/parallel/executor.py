@@ -86,6 +86,7 @@ def run_chunks(
     chunks: Sequence[Sequence],
     backend: "ParallelBackend | str" = ParallelBackend.SERIAL,
     runtime: Optional[ExecutionRuntime] = None,
+    payload_key=None,
 ) -> Tuple[Dict, List[float]]:
     """Execute the per-chunk computations and merge their results.
 
@@ -100,7 +101,7 @@ def run_chunks(
     """
     backend = ParallelBackend(backend)
     if isinstance(source, CompactGraph):
-        return _run_chunks_runtime(source, chunks, backend, runtime)
+        return _run_chunks_runtime(source, chunks, backend, runtime, payload_key)
     if backend is ParallelBackend.SERIAL:
         return _run_serial_hash(source, chunks)
     merged, timings, _ = _run_process_pool(
@@ -114,9 +115,12 @@ def run_chunks_csr(
     chunks: Sequence[Sequence[int]],
     backend: "ParallelBackend | str" = ParallelBackend.SERIAL,
     runtime: Optional[ExecutionRuntime] = None,
+    payload_key=None,
 ) -> Tuple[Dict[int, float], List[float]]:
     """Compatibility alias of :func:`run_chunks` for CSR snapshots."""
-    return run_chunks(compact, chunks, backend=backend, runtime=runtime)
+    return run_chunks(
+        compact, chunks, backend=backend, runtime=runtime, payload_key=payload_key
+    )
 
 
 def _run_chunks_runtime(
@@ -124,6 +128,7 @@ def _run_chunks_runtime(
     chunks: Sequence[Sequence[int]],
     backend: ParallelBackend,
     runtime: Optional[ExecutionRuntime],
+    payload_key=None,
 ) -> Tuple[Dict[int, float], List[float]]:
     """Execute a static chunk schedule through an (ephemeral?) runtime."""
     owns = runtime is None
@@ -131,7 +136,7 @@ def _run_chunks_runtime(
         workers = sum(1 for chunk in chunks if chunk) or 1
         runtime = ExecutionRuntime(max_workers=workers, executor=backend)
     try:
-        scores, batch = runtime.execute(compact, chunks=chunks)
+        scores, batch = runtime.execute(compact, chunks=chunks, payload_key=payload_key)
         return scores, batch.chunk_seconds
     finally:
         if owns:

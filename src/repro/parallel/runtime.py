@@ -1,42 +1,55 @@
-"""Persistent execution runtime: shared worker pools + zero-copy CSR transport.
+"""Shared serving infrastructure: worker pools, payload store, runtimes.
 
 The paper's Section V parallelises the all-vertex ego-betweenness
 computation across threads that all read one shared graph.  The Python
 reproduction originally approximated that with a throwaway
-``multiprocessing`` pool per call, re-pickling the graph payload every
-time — fine for a single Fig. 10 run, hopeless for a service answering a
-stream of queries.  :class:`ExecutionRuntime` is the long-lived equivalent
-of the paper's thread pool:
+``multiprocessing`` pool per call; the persistent
+:class:`ExecutionRuntime` then made a *single* session fast by shipping the
+CSR payload once into a long-lived pool.  This module is the next step:
+the runtime is split into two shareable pieces so *many* sessions (tenants,
+graphs, versions) can be served by one set of processes:
 
-* **One pool, many batches.**  The worker pool is created lazily on the
-  first process-executed batch and reused by every later batch; the
-  per-batch cost of a warm runtime is task submission alone.
-* **Ship the graph once per version.**  The flat CSR arrays of a
-  :class:`~repro.graph.csr.CompactGraph` snapshot are written into a
-  :mod:`multiprocessing.shared_memory` segment exactly once per graph
-  version; workers attach to the segment and read the arrays through
-  zero-copy ``memoryview`` casts, building their derived kernel state
-  (neighbour sets, dense bitmap) once per version.  Only a mutation (a new
-  snapshot identity) triggers a re-ship.
-* **Dynamic chunking with a shared task queue.**  Besides executing an
-  explicit static schedule (the deterministic Fig. 10 model produced by
-  :func:`~repro.parallel.partition.balanced_partition`), the runtime can
-  split the requested ids into ``num_workers × oversubscribe``
-  weight-balanced contiguous id ranges and let idle workers pull the next
-  chunk from the pool's shared queue — self-scheduling work stealing, which
-  absorbs load skew without giving up deterministic results.
+* :class:`WorkerPool` — the fork lifecycle and task queue.  A pool can be
+  private to one runtime (the historical behaviour), explicitly shared
+  between runtimes, or the process-global singleton returned by
+  :func:`shared_worker_pool`.  Pools are reference counted: every runtime
+  that attaches takes a reference, and a non-``keep_alive`` pool terminates
+  its processes when the last reference is released.
+* :class:`PayloadStore` — a multi-entry shared-memory table keyed by
+  ``(graph_id, version)`` with refcounted eviction.  Each entry holds the
+  flat CSR arrays of one graph version, materialised into a
+  :mod:`multiprocessing.shared_memory` segment exactly once; workers attach
+  to the segment through zero-copy ``memoryview`` casts and keep one
+  :class:`~repro.core.csr_kernels.CSRChunkKernel` per entry, so tenants
+  sharing a pool do not re-ship each other's graphs away.  An entry is
+  evicted (segment unlinked) when the last runtime using it releases it.
 
-Scores are **bit-identical** to the serial kernels for any worker count,
-executor and schedule: every vertex is scored independently by the same
-canonical-histogram kernel and the merged map is materialised in ascending
-id order.
+:class:`ExecutionRuntime` composes the two: by default it owns a private
+pool and store (exactly the pre-split semantics — nothing changes for
+standalone callers), or it can be constructed with ``pool=`` / ``store=``
+to join shared infrastructure (what the serving gateway does for its
+tenants).
 
-Accounting lives in :class:`RuntimeStats` (cumulative) and
-:class:`BatchStats` (per batch): payload ships, pool launches vs reuses,
-setup vs compute seconds and per-chunk latencies.  ``setup_seconds`` —
-pool start-up plus payload shipping — is reported separately from
-``compute_seconds`` precisely so speedup figures are not polluted by fork
-cost.
+Execution offers two reductions:
+
+* :meth:`ExecutionRuntime.execute` — score chunks, merge the full
+  ``{id: score}`` map in ascending id order (bit-identical to the serial
+  kernels for every executor/schedule/worker count).
+* :meth:`ExecutionRuntime.execute_top_k` — worker-side result reduction:
+  every chunk task returns its bounded top-k candidate set (``k`` entries
+  plus any ties at the chunk threshold) instead of every score, and the
+  parent merges the per-chunk candidates in canonical (ascending id)
+  order.  The retained entries are provably identical to offering every
+  score to one accumulator in ascending id order — i.e. bit-identical to
+  the serial naive ranking, threshold ties included — while the result
+  traffic shrinks from ``O(n)`` scores to ``O(tasks × k + ties)``
+  candidates.
+
+Teardown is exception-safe at every layer: pools, stores and individual
+shared-memory payloads each register a ``weakref.finalize`` guard (which
+Python also runs at interpreter exit), and an ``atexit`` sweep unlinks any
+segment that is still alive — a CLI or test crash mid-batch can no longer
+leak ``multiprocessing.shared_memory`` segments.
 
 Examples
 --------
@@ -53,6 +66,8 @@ True
 
 from __future__ import annotations
 
+import atexit
+import threading
 import time
 from array import array
 from dataclasses import dataclass, field
@@ -64,9 +79,14 @@ from repro.graph.csr import CompactGraph
 
 __all__ = [
     "ParallelBackend",
+    "WorkerPool",
+    "PayloadStore",
+    "PayloadKey",
     "ExecutionRuntime",
     "RuntimeStats",
     "BatchStats",
+    "shared_worker_pool",
+    "shared_payload_store",
     "DEFAULT_OVERSUBSCRIBE",
 ]
 
@@ -80,6 +100,11 @@ DEFAULT_OVERSUBSCRIBE = 4
 _TYPECODE = "q"
 _ITEMSIZE = array(_TYPECODE).itemsize
 
+#: A payload-store key: ``(graph_id, version)``.  Sessions derive it from
+#: their stable graph id and their topology version counter; anonymous
+#: snapshots get a store-assigned id.
+PayloadKey = Tuple[str, int]
+
 
 class ParallelBackend(str, Enum):
     """Available execution backends for the runtime and the engines."""
@@ -90,7 +115,7 @@ class ParallelBackend(str, Enum):
 
 @dataclass(frozen=True)
 class BatchStats:
-    """Execution accounting for one :meth:`ExecutionRuntime.execute` batch.
+    """Execution accounting for one runtime batch.
 
     Attributes
     ----------
@@ -101,10 +126,10 @@ class BatchStats:
         chunking + shared-queue self-scheduling).
     shipped:
         Whether this batch had to ship the graph payload (first batch on a
-        new graph version).
+        new ``(graph_id, version)`` key).
     pool_started:
         Whether this batch paid the worker-pool start-up (first process
-        batch of the runtime's life).
+        batch on a not-yet-started pool).
     setup_seconds:
         Pool start-up plus payload-shipping time of this batch (0.0 for a
         warm runtime).
@@ -114,6 +139,9 @@ class BatchStats:
         Per-chunk kernel seconds, aligned with the executed chunks (static
         schedules: aligned with the caller's chunk list, empty chunks
         report 0.0).
+    kind:
+        ``"scores"`` (full merged map) or ``"top_k"`` (worker-side bounded
+        reduction).
     """
 
     num_tasks: int
@@ -123,6 +151,7 @@ class BatchStats:
     setup_seconds: float
     compute_seconds: float
     chunk_seconds: List[float] = field(default_factory=list)
+    kind: str = "scores"
 
 
 @dataclass
@@ -136,17 +165,30 @@ class RuntimeStats:
     max_workers:
         The pool size (process executor) / nominal parallelism.
     payload_ships:
-        Times the CSR payload was materialised into the transport — exactly
-        once per distinct graph version the runtime has executed on.
+        Payload materialisations *this runtime triggered* — exactly once
+        per distinct ``(graph_id, version)`` key it executed on (a key
+        another tenant already shipped into a shared store is a hit, not a
+        ship).
     payload_bytes:
-        Size of the currently shipped payload in bytes.
+        Size of the runtime's currently attached payload in bytes.
+    payload_bytes_shipped:
+        Cumulative bytes this runtime shipped into the store (capacity
+        planning: transport traffic caused by this runtime).
+    resident_payloads / resident_bytes:
+        Point-in-time size of the backing :class:`PayloadStore` (all
+        tenants' entries, refreshed on every batch and ``stats()`` call).
+    payload_evictions:
+        Entries the backing store has evicted (refcount reached zero).
+    payloads:
+        Cumulative bytes shipped per ``(graph_id, version)`` key, rendered
+        as ``"graph_id@vN"`` strings (store-wide).
     pool_launches:
-        Worker pools started over the runtime's life (0 or 1 unless the
-        runtime was closed and revived by a caller).
+        Worker-pool starts this runtime paid for (0 when a shared pool was
+        already running).
     pool_reuses:
         Process batches served by an already-running pool.
     batches:
-        Total :meth:`~ExecutionRuntime.execute` batches run.
+        Total execution batches run.
     tasks:
         Total chunks executed.
     setup_seconds / compute_seconds:
@@ -160,6 +202,11 @@ class RuntimeStats:
     max_workers: int
     payload_ships: int = 0
     payload_bytes: int = 0
+    payload_bytes_shipped: int = 0
+    resident_payloads: int = 0
+    resident_bytes: int = 0
+    payload_evictions: int = 0
+    payloads: Dict[str, int] = field(default_factory=dict)
     pool_launches: int = 0
     pool_reuses: int = 0
     batches: int = 0
@@ -175,6 +222,11 @@ class RuntimeStats:
             "max_workers": self.max_workers,
             "payload_ships": self.payload_ships,
             "payload_bytes": self.payload_bytes,
+            "payload_bytes_shipped": self.payload_bytes_shipped,
+            "resident_payloads": self.resident_payloads,
+            "resident_bytes": self.resident_bytes,
+            "payload_evictions": self.payload_evictions,
+            "payloads": dict(self.payloads),
             "pool_launches": self.pool_launches,
             "pool_reuses": self.pool_reuses,
             "batches": self.batches,
@@ -186,6 +238,7 @@ class RuntimeStats:
             payload["last_batch"] = {
                 "num_tasks": self.last_batch.num_tasks,
                 "schedule": self.last_batch.schedule,
+                "kind": self.last_batch.kind,
                 "shipped": self.last_batch.shipped,
                 "pool_started": self.last_batch.pool_started,
                 "setup_seconds": self.last_batch.setup_seconds,
@@ -195,7 +248,37 @@ class RuntimeStats:
 
 
 # ----------------------------------------------------------------------
-# Parent-side transport: one shared-memory segment per graph version
+# Crash-safe shared-memory bookkeeping
+# ----------------------------------------------------------------------
+#: Every live shared-memory segment created by this process, swept by the
+#: ``atexit`` guard below.  ``weakref.finalize`` already covers the GC and
+#: normal-exit paths per payload; the sweep is the belt-and-braces pass for
+#: anything still registered when the interpreter shuts down.
+_LIVE_SEGMENTS: Dict[str, Any] = {}
+_SEGMENTS_LOCK = threading.Lock()
+
+
+def _unlink_segment(name: str) -> None:
+    """Close and unlink one tracked segment (idempotent, never raises)."""
+    with _SEGMENTS_LOCK:
+        shm = _LIVE_SEGMENTS.pop(name, None)
+    if shm is None:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+        pass
+
+
+@atexit.register
+def _sweep_segments() -> None:  # pragma: no cover - exercised at exit
+    for name in list(_LIVE_SEGMENTS):
+        _unlink_segment(name)
+
+
+# ----------------------------------------------------------------------
+# Parent-side transport: one shared-memory segment per (graph_id, version)
 # ----------------------------------------------------------------------
 class _ShippedPayload:
     """The CSR arrays of one graph version, materialised in shared memory.
@@ -203,11 +286,17 @@ class _ShippedPayload:
     Layout: ``indptr`` (``n + 1`` int64) immediately followed by ``indices``
     (``2m`` int64).  ``meta`` is the tiny picklable handle shipped with
     every task: ``(segment_name, len(indptr), len(indices))``.
+
+    Creation is exception-safe: the segment registers itself with the
+    module's live-segment table *before* the arrays are written, and a
+    ``weakref.finalize`` guard unlinks it if the payload is garbage
+    collected (or the interpreter exits) without :meth:`close`.
     """
 
-    __slots__ = ("shm", "meta", "nbytes")
+    __slots__ = ("shm", "meta", "nbytes", "_finalizer", "__weakref__")
 
     def __init__(self, compact: CompactGraph) -> None:
+        import weakref
         from multiprocessing import shared_memory
 
         indptr = array(_TYPECODE, compact.indptr)
@@ -215,21 +304,25 @@ class _ShippedPayload:
         ptr_bytes = len(indptr) * _ITEMSIZE
         self.nbytes = ptr_bytes + len(indices) * _ITEMSIZE
         self.shm = shared_memory.SharedMemory(create=True, size=max(self.nbytes, 1))
-        self.shm.buf[:ptr_bytes] = indptr.tobytes()
-        if indices:
-            self.shm.buf[ptr_bytes : self.nbytes] = indices.tobytes()
+        with _SEGMENTS_LOCK:
+            _LIVE_SEGMENTS[self.shm.name] = self.shm
+        self._finalizer = weakref.finalize(self, _unlink_segment, self.shm.name)
+        try:
+            self.shm.buf[:ptr_bytes] = indptr.tobytes()
+            if indices:
+                self.shm.buf[ptr_bytes : self.nbytes] = indices.tobytes()
+        except BaseException:
+            self.close()
+            raise
         self.meta = (self.shm.name, len(indptr), len(indices))
 
     def close(self) -> None:
-        try:
-            self.shm.close()
-            self.shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
+        self._finalizer.detach()
+        _unlink_segment(self.shm.name)
 
 
 # ----------------------------------------------------------------------
-# Worker-side state: attach once per graph version, score many chunks
+# Worker-side state: attach once per payload key, score many chunks
 # ----------------------------------------------------------------------
 class _AttachedGraph:
     """A worker's zero-copy view of one shipped graph version.
@@ -266,20 +359,23 @@ class _AttachedGraph:
         self.shm.close()
 
 
-#: Process-local cache of attached graph versions, keyed by segment name.
-#: Two entries cover the steady state (current version plus the tail of a
-#: re-ship that raced an in-flight batch).
+#: Process-local LRU of attached graph versions, keyed by segment name.
+#: Sized for multi-tenant pools: one kernel per resident payload key, so
+#: several tenants' batches interleave without re-attaching (the eviction
+#: only matters when more than ``_WORKER_CACHE_LIMIT`` graphs are live).
 _WORKER_CACHE: Dict[str, _AttachedGraph] = {}
-_WORKER_CACHE_LIMIT = 2
+_WORKER_CACHE_LIMIT = 8
 
 
 def _attached(meta: Tuple[str, int, int]) -> _AttachedGraph:
-    entry = _WORKER_CACHE.get(meta[0])
+    entry = _WORKER_CACHE.pop(meta[0], None)
     if entry is None:
         while len(_WORKER_CACHE) >= _WORKER_CACHE_LIMIT:
             _WORKER_CACHE.pop(next(iter(_WORKER_CACHE))).close()
         entry = _AttachedGraph(meta)
-        _WORKER_CACHE[meta[0]] = entry
+    # Re-insert (hit or miss) so iteration order is least-recently-used
+    # first and hot tenants never get evicted by a one-off batch.
+    _WORKER_CACHE[meta[0]] = entry
     return entry
 
 
@@ -307,35 +403,445 @@ def _score_task(meta: Tuple[str, int, int], index: int, spec):
     return index, scores, time.perf_counter() - start
 
 
+def _topk_task(meta: Tuple[str, int, int], index: int, spec, k: int):
+    """Pool task: return the chunk's top-k candidates, not scores.
+
+    The worker-side reduction: ``k`` ``(id, score)`` entries plus any ties
+    at the chunk threshold leave the worker, in ascending id order,
+    instead of one score per chunk id.
+    """
+    kernel = _attached(meta).kernel
+    start = time.perf_counter()
+    entries = kernel.top_chunk(_decode_ids(spec), k)
+    return index, entries, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# WorkerPool: fork lifecycle + task queue, privately owned or shared
+# ----------------------------------------------------------------------
+def _terminate_pool_state(state: Dict[str, Any]) -> None:
+    """Tear a pool's processes down (close/GC/exit path; never raises)."""
+    pool = state.pop("pool", None)
+    state["pool"] = None
+    if pool is not None:
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - interpreter-exit races
+            pass
+
+
+class WorkerPool:
+    """A reference-counted ``multiprocessing`` fork pool.
+
+    One pool serves any number of :class:`ExecutionRuntime`\\ s (and hence
+    any number of sessions/tenants): the processes fork lazily on the first
+    :meth:`ensure_started`, tasks from every attached runtime share the
+    pool's task queue (self-scheduling work stealing across tenants), and
+    the processes terminate when the last reference is released — unless
+    the pool was created with ``keep_alive=True`` (the process-global
+    singleton of :func:`shared_worker_pool`), in which case it survives
+    individual tenants and is torn down at interpreter exit.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size (default ``os.cpu_count()``).
+    keep_alive:
+        Keep the processes running after the refcount drops to zero.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, keep_alive: bool = False) -> None:
+        import os
+        import weakref
+
+        if max_workers is not None and max_workers < 1:
+            raise InvalidParameterError("max_workers must be positive")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.keep_alive = keep_alive
+        self.launches = 0
+        self._refs = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        # Mutable holder shared with the GC finaliser: the finaliser must
+        # not keep ``self`` alive, yet must see the *current* pool.
+        self._state: Dict[str, Any] = {"pool": None}
+        self._finalizer = weakref.finalize(self, _terminate_pool_state, self._state)
+
+    @property
+    def started(self) -> bool:
+        """``True`` while worker processes are running."""
+        return self._state["pool"] is not None
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once the pool has been shut down for good."""
+        return self._closed
+
+    @property
+    def references(self) -> int:
+        """Number of runtimes currently attached."""
+        return self._refs
+
+    def acquire(self) -> "WorkerPool":
+        """Take a reference (one per attached runtime); returns ``self``."""
+        with self._lock:
+            if self._closed:
+                raise InvalidParameterError("this WorkerPool has been shut down")
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop a reference; terminate a non-``keep_alive`` pool at zero."""
+        with self._lock:
+            self._refs = max(0, self._refs - 1)
+            if self._refs == 0 and not self.keep_alive:
+                self._shutdown_locked()
+
+    def ensure_started(self) -> bool:
+        """Fork the worker processes if needed; ``True`` when this call did."""
+        with self._lock:
+            if self._closed:
+                raise InvalidParameterError("this WorkerPool has been shut down")
+            if self._state["pool"] is not None:
+                return False
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._state["pool"] = context.Pool(processes=self.max_workers)
+            self.launches += 1
+            return True
+
+    def submit(self, task, args: tuple):
+        """Submit ``task(*args)`` to the pool's shared queue (async result)."""
+        pool = self._state["pool"]
+        if pool is None:
+            raise InvalidParameterError(
+                "WorkerPool.submit before ensure_started — no processes running"
+            )
+        return pool.apply_async(task, args)
+
+    def close(self) -> None:
+        """Terminate the processes now, whatever the refcount (idempotent)."""
+        with self._lock:
+            self._shutdown_locked()
+
+    def _shutdown_locked(self) -> None:
+        self._closed = True
+        self._finalizer.detach()
+        _terminate_pool_state(self._state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerPool(max_workers={self.max_workers}, started={self.started}, "
+            f"refs={self._refs}, keep_alive={self.keep_alive})"
+        )
+
+
+_SHARED_POOL: Optional[WorkerPool] = None
+_SHARED_STORE: Optional["PayloadStore"] = None
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_worker_pool(max_workers: Optional[int] = None) -> WorkerPool:
+    """The process-global :class:`WorkerPool` (created on first call).
+
+    ``max_workers`` sizes the pool only when this call creates it; later
+    callers share the existing processes whatever they ask for.  The pool
+    is ``keep_alive`` — it survives every individual runtime/session and is
+    terminated by its exit guard when the interpreter shuts down (or by
+    :meth:`WorkerPool.close`, after which the next call creates a fresh
+    one).
+    """
+    global _SHARED_POOL
+    with _SHARED_LOCK:
+        if _SHARED_POOL is None or _SHARED_POOL.closed:
+            _SHARED_POOL = WorkerPool(max_workers, keep_alive=True)
+        return _SHARED_POOL
+
+
+def shared_payload_store() -> "PayloadStore":
+    """The process-global :class:`PayloadStore` (created on first call)."""
+    global _SHARED_STORE
+    with _SHARED_LOCK:
+        if _SHARED_STORE is None or _SHARED_STORE.closed:
+            _SHARED_STORE = PayloadStore()
+        return _SHARED_STORE
+
+
+# ----------------------------------------------------------------------
+# PayloadStore: the multi-entry shared-memory table
+# ----------------------------------------------------------------------
+class _StoreEntry:
+    """One resident ``(graph_id, version)`` payload.
+
+    Holds a strong reference to the snapshot object that shipped the entry
+    (so the identity map can never alias a recycled ``id()``, and a late
+    ``materialize`` can still write the segment), the materialised
+    shared-memory payload (process transport) and the live refcount.
+    Later snapshots that key-hit the entry are deliberately *not* retained
+    — pinning every holder's copy would leak one full CSR graph per
+    short-lived session on a long-lived shared key.
+    """
+
+    __slots__ = ("key", "compact", "payload", "nbytes", "refs")
+
+    def __init__(self, key: PayloadKey, compact: CompactGraph) -> None:
+        self.key = key
+        self.compact = compact
+        self.payload: Optional[_ShippedPayload] = None
+        self.nbytes = (len(compact.indptr) + len(compact.indices)) * _ITEMSIZE
+        self.refs = 0
+
+    def close(self) -> None:
+        if self.payload is not None:
+            self.payload.close()
+            self.payload = None
+
+
+def _close_store_entries(entries: Dict[PayloadKey, _StoreEntry]) -> None:
+    """Unlink every resident payload (close/GC/exit path)."""
+    for entry in list(entries.values()):
+        entry.close()
+    entries.clear()
+
+
+class PayloadStore:
+    """Refcounted multi-entry table of shipped CSR payloads.
+
+    Keys are ``(graph_id, version)`` pairs.  :meth:`ship` is the only entry
+    point: the first ship of a key materialises the payload (shared-memory
+    segment for the process transport; cache warming for the serial one)
+    and every later ship of the same key — from any runtime, any tenant —
+    is a hit.  Entries are evicted, and their segments unlinked, when the
+    last holder calls :meth:`release`.
+
+    Thread-safe: the serving gateway flushes tenant batches from executor
+    threads, so every mutation takes the store lock.
+
+    Examples
+    --------
+    >>> from repro.graph.csr import CompactGraph
+    >>> store = PayloadStore()
+    >>> cg = CompactGraph.from_edges([(0, 1), (1, 2)])
+    >>> entry, shipped = store.ship(cg, key=("tenant-a", 0), materialize=False)
+    >>> shipped and store.resident_payloads == 1
+    True
+    >>> _, again = store.ship(cg, key=("tenant-a", 0), materialize=False)
+    >>> again  # second tenant: a hit, not a ship (refcount now 2)
+    False
+    >>> store.release(("tenant-a", 0)); store.release(("tenant-a", 0))
+    >>> store.evictions  # the last holder left: the entry was evicted
+    1
+    >>> store.ship(cg, materialize=False)[0].key  # anonymous re-ship
+    ('graph-0', 0)
+    """
+
+    def __init__(self) -> None:
+        import weakref
+
+        self._entries: Dict[PayloadKey, _StoreEntry] = {}
+        self._by_identity: Dict[int, PayloadKey] = {}
+        self._lock = threading.Lock()
+        self._anon = 0
+        self._closed = False
+        self.ships = 0
+        self.evictions = 0
+        self.bytes_shipped = 0
+        #: Cumulative bytes shipped per key (survives eviction — the
+        #: capacity-planning ledger, not the residency table).
+        self.shipped_by_key: Dict[PayloadKey, int] = {}
+        self._finalizer = weakref.finalize(self, _close_store_entries, self._entries)
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def resident_payloads(self) -> int:
+        """Number of entries currently resident."""
+        return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total CSR bytes of the resident entries."""
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    def keys(self) -> List[PayloadKey]:
+        """The resident ``(graph_id, version)`` keys."""
+        return list(self._entries)
+
+    def ship(
+        self,
+        compact: CompactGraph,
+        key: Optional[PayloadKey] = None,
+        materialize: bool = True,
+    ) -> Tuple[_StoreEntry, bool]:
+        """Ensure ``compact`` is resident; return ``(entry, shipped)``.
+
+        ``key`` is the caller's ``(graph_id, version)`` identity; ``None``
+        assigns an anonymous one.  A snapshot object already resident (under
+        any key) and a key already resident (from any snapshot object) are
+        both hits.  ``materialize=False`` is the serial transport: the entry
+        is tracked and accounted, and "shipping" warms the snapshot's shared
+        kernel caches instead of writing a segment.  The entry's refcount is
+        incremented either way — callers own exactly one :meth:`release` per
+        ship.
+        """
+        with self._lock:
+            if self._closed:
+                raise InvalidParameterError("this PayloadStore has been closed")
+            entry = None
+            existing_key = self._by_identity.get(id(compact))
+            if existing_key is not None:
+                entry = self._entries[existing_key]
+            elif key is not None and key in self._entries:
+                # Same (graph_id, version) from a different snapshot object
+                # (e.g. two sessions opened on one dataset): reuse the
+                # resident payload.  The new snapshot is NOT retained or
+                # identity-registered — the key lookup dedupes its later
+                # ships, and holding it would pin one graph copy per
+                # session for the entry's lifetime.
+                entry = self._entries[key]
+            if entry is not None:
+                shipped = False
+                if materialize and entry.payload is None:
+                    entry.payload = _ShippedPayload(entry.compact)
+                    shipped = True
+                    self._account_ship_locked(entry)
+                entry.refs += 1
+                return entry, shipped
+            if key is None:
+                key = (f"graph-{self._anon}", 0)
+                self._anon += 1
+            entry = _StoreEntry(key, compact)
+            if materialize:
+                entry.payload = _ShippedPayload(compact)
+            else:
+                # Serial "shipping" warms the snapshot's shared kernel
+                # state once so every later chunk reuses it.
+                compact.neighbor_sets()
+                compact.dense_adjacency()
+            self._entries[key] = entry
+            self._by_identity[id(compact)] = key
+            self._account_ship_locked(entry)
+            entry.refs += 1
+            return entry, True
+
+    def _account_ship_locked(self, entry: _StoreEntry) -> None:
+        self.ships += 1
+        self.bytes_shipped += entry.nbytes
+        self.shipped_by_key[entry.key] = (
+            self.shipped_by_key.get(entry.key, 0) + entry.nbytes
+        )
+
+    def acquire(self, key: PayloadKey) -> _StoreEntry:
+        """Take an extra reference on a resident key."""
+        with self._lock:
+            entry = self._entries[key]
+            entry.refs += 1
+            return entry
+
+    def release(self, key: PayloadKey) -> None:
+        """Drop one reference; evict (and unlink) the entry at zero."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return
+            entry.refs -= 1
+            if entry.refs <= 0:
+                del self._entries[key]
+                self._by_identity.pop(id(entry.compact), None)
+                entry.close()
+                self.evictions += 1
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-friendly snapshot of the store's accounting."""
+        with self._lock:
+            return {
+                "ships": self.ships,
+                "evictions": self.evictions,
+                "resident_payloads": len(self._entries),
+                "resident_bytes": sum(e.nbytes for e in self._entries.values()),
+                "bytes_shipped": self.bytes_shipped,
+                "by_key": {
+                    f"{graph_id}@v{version}": bytes_shipped
+                    for (graph_id, version), bytes_shipped in self.shipped_by_key.items()
+                },
+            }
+
+    def close(self) -> None:
+        """Evict everything and refuse further ships (idempotent)."""
+        if self._closed:
+            return
+        with self._lock:
+            self._closed = True
+            self._finalizer.detach()
+            self.evictions += len(self._entries)
+            _close_store_entries(self._entries)
+            self._by_identity.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PayloadStore(resident={self.resident_payloads}, "
+            f"ships={self.ships}, evictions={self.evictions})"
+        )
+
+
 # ----------------------------------------------------------------------
 # The runtime
 # ----------------------------------------------------------------------
+def _release_runtime_state(state: Dict[str, Any]) -> None:
+    """Detach a runtime from its pool/store (close/GC/exit path)."""
+    store: Optional[PayloadStore] = state.pop("store", None)
+    key = state.pop("entry_key", None)
+    if store is not None and key is not None and not store.closed:
+        store.release(key)
+    if store is not None and state.pop("owns_store", False) and not store.closed:
+        store.close()
+    pool: Optional[WorkerPool] = state.pop("pool", None)
+    if pool is not None and not pool.closed:
+        pool.release()
+    state.update(store=None, entry_key=None, pool=None, owns_store=False)
+
+
 class ExecutionRuntime:
     """A lazily-created, reusable execution backend for CSR vertex chunks.
 
     Parameters
     ----------
     max_workers:
-        Worker-pool size for the process executor (default
+        Worker-pool size for a *privately created* pool (default
         ``os.cpu_count()``); also the default parallelism of the dynamic
-        schedule.
+        schedule.  Ignored when ``pool=`` is supplied.
     executor:
-        ``"process"`` (persistent ``multiprocessing`` pool + shared-memory
+        ``"process"`` (persistent :class:`WorkerPool` + shared-memory
         transport, the production configuration) or ``"serial"``
         (in-process execution on the snapshot's own cached structures —
         deterministic, dependency-free, used by tests and the schedule
         model).
     oversubscribe:
         Chunks per worker produced by the dynamic schedule.
+    pool:
+        An existing :class:`WorkerPool` to attach to (multi-tenant
+        sharing); ``None`` creates a private pool whose processes terminate
+        with this runtime.
+    store:
+        An existing :class:`PayloadStore` to ship into; ``None`` creates a
+        private store that closes with this runtime.
 
     Notes
     -----
-    The runtime is tied to one graph *at a time*: executing on a new
-    snapshot identity re-ships the payload and retires the previous
-    segment (multi-graph sharing is a ROADMAP follow-up).  Use as a
-    context manager — or call :meth:`close` — to release the pool and the
-    shared segment deterministically; a GC/exit finaliser backstops
-    callers that forget.
+    A runtime executes on one payload key *at a time*: executing a new
+    ``(graph_id, version)`` acquires that entry and releases the previous
+    one (which survives in a shared store while other tenants still hold
+    it).  Use as a context manager — or call :meth:`close` — for
+    deterministic teardown; ``weakref.finalize`` guards back every layer so
+    crashes cannot leak pools or shared-memory segments.
     """
 
     def __init__(
@@ -343,8 +849,9 @@ class ExecutionRuntime:
         max_workers: Optional[int] = None,
         executor: "ParallelBackend | str" = ParallelBackend.PROCESS,
         oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+        pool: Optional[WorkerPool] = None,
+        store: Optional[PayloadStore] = None,
     ) -> None:
-        import os
         import weakref
 
         if max_workers is not None and max_workers < 1:
@@ -352,17 +859,33 @@ class ExecutionRuntime:
         if oversubscribe < 1:
             raise InvalidParameterError("oversubscribe must be positive")
         self.executor = ParallelBackend(executor)
-        self.max_workers = max_workers or os.cpu_count() or 1
+        if pool is None:
+            pool = WorkerPool(max_workers)
+        self.max_workers = max_workers or pool.max_workers
         self.oversubscribe = oversubscribe
+        owns_store = store is None
+        if owns_store:
+            store = PayloadStore()
         # Mutable holder shared with the GC finaliser: the finaliser must
-        # not keep ``self`` alive, yet must see the *current* pool/payload.
-        self._state: Dict[str, Any] = {"pool": None, "payload": None, "owner": None}
+        # not keep ``self`` alive, yet must see the *current* attachments.
+        self._state: Dict[str, Any] = {
+            "pool": pool.acquire(),
+            "store": store,
+            "owns_store": owns_store,
+            "entry_key": None,
+        }
+        self._entry: Optional[_StoreEntry] = None
+        # The snapshot THIS runtime last executed on — the ship/release
+        # short-circuit must be runtime-local, because a key-hit entry in a
+        # shared store does not retain later holders' snapshot objects.
+        self._owner: Optional[CompactGraph] = None
         self._estimates: Optional[List[float]] = None
+        self._estimates_for: Optional[PayloadKey] = None
         self._closed = False
         self._stats = RuntimeStats(
             executor=self.executor.value, max_workers=self.max_workers
         )
-        self._finalizer = weakref.finalize(self, _release_state, self._state)
+        self._finalizer = weakref.finalize(self, _release_runtime_state, self._state)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -372,14 +895,33 @@ class ExecutionRuntime:
         """``True`` once :meth:`close` has run."""
         return self._closed
 
+    @property
+    def pool(self) -> WorkerPool:
+        """The attached :class:`WorkerPool` (shared or private)."""
+        return self._state["pool"]
+
+    @property
+    def store(self) -> PayloadStore:
+        """The attached :class:`PayloadStore` (shared or private)."""
+        return self._state["store"]
+
     def close(self) -> None:
-        """Shut the pool down and unlink the shared segment (idempotent)."""
+        """Detach from the pool and store (idempotent).
+
+        A private pool terminates its processes and a private store unlinks
+        its segments; shared infrastructure merely loses this runtime's
+        references (the entry this runtime held is evicted only if no other
+        tenant still holds it).
+        """
         if self._closed:
             return
         self._closed = True
         self._finalizer.detach()
-        _release_state(self._state)
+        _release_runtime_state(self._state)
+        self._entry = None
+        self._owner = None
         self._estimates = None
+        self._estimates_for = None
 
     def __enter__(self) -> "ExecutionRuntime":
         return self
@@ -395,59 +937,61 @@ class ExecutionRuntime:
         )
 
     def stats(self) -> RuntimeStats:
-        """The cumulative :class:`RuntimeStats` (live object, do not mutate)."""
+        """The cumulative :class:`RuntimeStats` (store fields refreshed)."""
+        self._refresh_store_stats()
         return self._stats
+
+    def _refresh_store_stats(self) -> None:
+        store: Optional[PayloadStore] = self._state.get("store")
+        if store is None or store.closed:
+            return
+        snapshot = store.stats()
+        self._stats.resident_payloads = snapshot["resident_payloads"]
+        self._stats.resident_bytes = snapshot["resident_bytes"]
+        self._stats.payload_evictions = snapshot["evictions"]
+        self._stats.payloads = snapshot["by_key"]
 
     # ------------------------------------------------------------------
     # Transport and pool management
     # ------------------------------------------------------------------
-    def _ensure_shipped(self, compact: CompactGraph) -> bool:
-        """Ship ``compact`` unless it is the currently shipped version."""
-        if self._state["owner"] is compact:
+    def _ensure_shipped(
+        self, compact: CompactGraph, payload_key: Optional[PayloadKey]
+    ) -> bool:
+        """Attach ``compact``'s store entry, shipping it if not resident."""
+        if self._entry is not None and self._owner is compact:
             return False
-        # Drop the old version *and its ownership* before shipping: if the
-        # new ship fails (e.g. shared memory exhausted), the runtime must
-        # not believe the retired payload is still attached.
-        self._state["owner"] = None
-        old = self._state["payload"]
+        store: PayloadStore = self._state["store"]
+        entry, shipped = store.ship(
+            compact,
+            key=payload_key,
+            materialize=self.executor is ParallelBackend.PROCESS,
+        )
+        old = self._entry
+        self._entry = entry
+        self._owner = compact
+        self._state["entry_key"] = entry.key
         if old is not None:
-            self._state["payload"] = None
-            old.close()
-        if self.executor is ParallelBackend.PROCESS:
-            payload = _ShippedPayload(compact)
-            self._state["payload"] = payload
-            self._stats.payload_bytes = payload.nbytes
-        else:
-            # Serial "shipping" is warming the snapshot's shared kernel
-            # state once so every later chunk reuses it.
-            compact.neighbor_sets()
-            compact.dense_adjacency()
-            self._stats.payload_bytes = (
-                len(compact.indptr) + len(compact.indices)
-            ) * _ITEMSIZE
-        self._state["owner"] = compact
-        self._estimates = None
-        self._stats.payload_ships += 1
-        return True
+            store.release(old.key)
+        if shipped:
+            self._stats.payload_ships += 1
+            self._stats.payload_bytes_shipped += entry.nbytes
+        self._stats.payload_bytes = entry.nbytes
+        if self._estimates_for != entry.key:
+            self._estimates = None
+            self._estimates_for = entry.key
+        return shipped
 
     def _ensure_pool(self) -> bool:
         """Start the worker pool if the process executor needs one."""
         if self.executor is not ParallelBackend.PROCESS:
             return False
-        if self._state["pool"] is not None:
-            return False
-        import multiprocessing
-
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-        self._state["pool"] = context.Pool(processes=self.max_workers)
-        self._stats.pool_launches += 1
-        return True
+        started = self.pool.ensure_started()
+        if started:
+            self._stats.pool_launches += 1
+        return started
 
     def _work_estimates(self, compact: CompactGraph) -> List[float]:
-        """Per-id work estimates of the shipped graph (cached per version)."""
+        """Per-id work estimates of the attached graph (cached per key)."""
         if self._estimates is None:
             from repro.parallel.partition import vertex_work_estimates_csr
 
@@ -496,15 +1040,17 @@ class ExecutionRuntime:
         ids: Optional[Iterable[int]] = None,
         num_workers: Optional[int] = None,
         schedule: str = "dynamic",
+        payload_key: Optional[PayloadKey] = None,
     ) -> Tuple[Dict[int, float], BatchStats]:
         """Score vertex chunks of ``compact``; return ``(scores, batch)``.
 
         Parameters
         ----------
         compact:
-            The snapshot to execute on.  A snapshot identity the runtime
-            has not seen ships the payload (once per version); the same
-            identity reuses the shipped arrays.
+            The snapshot to execute on.  A snapshot the store has not seen
+            ships the payload (once per ``(graph_id, version)``); a
+            resident one — shipped by this runtime or any other tenant of a
+            shared store — reuses the shipped arrays.
         chunks:
             An explicit static schedule (per-worker id chunks).  When
             omitted, the runtime chunks ``ids`` itself according to
@@ -519,6 +1065,10 @@ class ExecutionRuntime:
             ``"dynamic"`` (weight-balanced oversubscribed ranges, shared
             task queue) or ``"static"`` (one chunk per worker in id-range
             blocks) — only consulted when ``chunks`` is omitted.
+        payload_key:
+            The ``(graph_id, version)`` store key for this snapshot
+            (sessions pass theirs); ``None`` lets the store assign an
+            anonymous identity-scoped key.
 
         Returns
         -------
@@ -527,19 +1077,10 @@ class ExecutionRuntime:
         downstream consumer bit-identical to the serial path — plus the
         batch's :class:`BatchStats`.
         """
-        if self._closed:
-            raise InvalidParameterError("this ExecutionRuntime has been closed")
-        if schedule not in ("dynamic", "static"):
-            raise InvalidParameterError(
-                f"unknown schedule {schedule!r}; use 'dynamic' or 'static'"
-            )
+        prepared = self._prepare_batch(compact, schedule, payload_key)
+        shipped, pool_started, setup_seconds = prepared
         workers = num_workers or self.max_workers
         explicit_schedule = chunks is not None
-
-        setup_start = time.perf_counter()
-        shipped = self._ensure_shipped(compact)
-        pool_started = self._ensure_pool()
-        setup_seconds = time.perf_counter() - setup_start
 
         if chunks is None:
             if ids is None:
@@ -568,10 +1109,9 @@ class ExecutionRuntime:
                 )
                 chunk_seconds[i] = time.perf_counter() - start
         else:
-            pool = self._state["pool"]
-            meta = self._state["payload"].meta
+            meta = self._entry.payload.meta
             results = [
-                pool.apply_async(_score_task, (meta, i, _encode_ids(chunk)))
+                self.pool.submit(_score_task, (meta, i, _encode_ids(chunk)))
                 for i, chunk in tasks
             ]
             for result in results:
@@ -589,27 +1129,128 @@ class ExecutionRuntime:
             setup_seconds=setup_seconds,
             compute_seconds=compute_seconds,
             chunk_seconds=chunk_seconds,
+            kind="scores",
         )
-        stats = self._stats
-        stats.batches += 1
-        stats.tasks += len(tasks)
-        stats.setup_seconds += setup_seconds
-        stats.compute_seconds += compute_seconds
-        if self.executor is ParallelBackend.PROCESS and not pool_started:
-            stats.pool_reuses += 1
-        stats.last_batch = batch
+        self._account_batch(batch)
         return merged, batch
 
+    def execute_top_k(
+        self,
+        compact: CompactGraph,
+        k: int,
+        *,
+        ids: Optional[Iterable[int]] = None,
+        num_workers: Optional[int] = None,
+        payload_key: Optional[PayloadKey] = None,
+    ) -> Tuple[List[Tuple[int, float]], BatchStats]:
+        """Top-k ids of ``compact`` with worker-side result reduction.
 
-def _release_state(state: Dict[str, Any]) -> None:
-    """Tear down a runtime's pool and shared segment (close/GC/exit path)."""
-    pool = state.pop("pool", None)
-    if pool is not None:
-        pool.terminate()
-        pool.join()
-    payload = state.pop("payload", None)
-    if payload is not None:
-        payload.close()
-    state["owner"] = None
-    state["pool"] = None
-    state["payload"] = None
+        Each chunk task scores its ascending-id range and returns only the
+        entries at or above the chunk's k-th largest score (``k``
+        candidates plus any ties at that threshold — see
+        :func:`~repro.core.csr_kernels.top_k_entries_from_arrays` for why
+        the tie cohort must ship whole); the parent offers the per-chunk
+        candidates to one :class:`~repro.core.topk.TopKAccumulator` in
+        canonical chunk order.  Because the chunks partition the ids in
+        ascending order, that replays the serial ascending-id sweep with
+        only strictly-below-threshold entries omitted — entries that can
+        never enter the final heap — so the merged retained set is
+        **bit-identical to the serial naive ranking** (same entries, same
+        tie-breaking) while only ``O(tasks × k + ties)`` entries cross the
+        process boundary instead of every score.
+
+        Returns the ranked ``(id, score)`` entries (best first, ties broken
+        exactly as :meth:`TopKAccumulator.ranked_entries` does on ids) and
+        the batch's :class:`BatchStats`.
+        """
+        from repro.core.topk import TopKAccumulator
+
+        if k < 1:
+            raise InvalidParameterError("k must be a positive integer")
+        prepared = self._prepare_batch(compact, "dynamic", payload_key)
+        shipped, pool_started, setup_seconds = prepared
+        workers = num_workers or self.max_workers
+        id_list = sorted(ids) if ids is not None else list(range(compact.num_vertices))
+        chunks = self.dynamic_chunks(compact, id_list, workers)
+
+        compute_start = time.perf_counter()
+        chunk_seconds = [0.0] * len(chunks)
+        tasks = [(i, chunk) for i, chunk in enumerate(chunks) if chunk]
+        per_chunk: Dict[int, List[Tuple[int, float]]] = {}
+        cap = min(k, len(id_list)) if id_list else 0
+        if cap:
+            if self.executor is ParallelBackend.SERIAL:
+                from repro.core.csr_kernels import top_k_entries_from_arrays
+
+                indptr, indices = compact.indptr, compact.indices
+                nbr_sets = compact.neighbor_sets()
+                dense = compact.dense_adjacency()
+                for i, chunk in tasks:
+                    start = time.perf_counter()
+                    per_chunk[i] = top_k_entries_from_arrays(
+                        indptr, indices, chunk, cap, nbr_sets, dense
+                    )
+                    chunk_seconds[i] = time.perf_counter() - start
+            else:
+                meta = self._entry.payload.meta
+                results = [
+                    self.pool.submit(_topk_task, (meta, i, _encode_ids(chunk), cap))
+                    for i, chunk in tasks
+                ]
+                for result in results:
+                    i, entries, seconds = result.get()
+                    per_chunk[i] = entries
+                    chunk_seconds[i] = seconds
+        merged_entries: List[Tuple[int, float]] = []
+        if cap:
+            accumulator = TopKAccumulator(cap)
+            # Canonical merge order: chunk index order × ascending id within
+            # each chunk == one ascending-id sweep with the dominated
+            # candidates already removed.
+            for i, _ in tasks:
+                for pid, score in per_chunk[i]:
+                    accumulator.offer(pid, score)
+            merged_entries = accumulator.ranked_entries()
+        compute_seconds = time.perf_counter() - compute_start
+
+        batch = BatchStats(
+            num_tasks=len(tasks),
+            schedule="dynamic",
+            shipped=shipped,
+            pool_started=pool_started,
+            setup_seconds=setup_seconds,
+            compute_seconds=compute_seconds,
+            chunk_seconds=chunk_seconds,
+            kind="top_k",
+        )
+        self._account_batch(batch)
+        return merged_entries, batch
+
+    def _prepare_batch(
+        self,
+        compact: CompactGraph,
+        schedule: str,
+        payload_key: Optional[PayloadKey],
+    ) -> Tuple[bool, bool, float]:
+        """Validate, ship and start the pool; return the setup accounting."""
+        if self._closed:
+            raise InvalidParameterError("this ExecutionRuntime has been closed")
+        if schedule not in ("dynamic", "static"):
+            raise InvalidParameterError(
+                f"unknown schedule {schedule!r}; use 'dynamic' or 'static'"
+            )
+        setup_start = time.perf_counter()
+        shipped = self._ensure_shipped(compact, payload_key)
+        pool_started = self._ensure_pool()
+        return shipped, pool_started, time.perf_counter() - setup_start
+
+    def _account_batch(self, batch: BatchStats) -> None:
+        stats = self._stats
+        stats.batches += 1
+        stats.tasks += batch.num_tasks
+        stats.setup_seconds += batch.setup_seconds
+        stats.compute_seconds += batch.compute_seconds
+        if self.executor is ParallelBackend.PROCESS and not batch.pool_started:
+            stats.pool_reuses += 1
+        stats.last_batch = batch
+        self._refresh_store_stats()

@@ -1,0 +1,23 @@
+"""Async serving layer: the multi-tenant micro-batching gateway.
+
+The ingress the execution stack was built to feed: an :mod:`asyncio`
+gateway (:class:`~repro.serving.gateway.ServingGateway`) accepts concurrent
+``score`` / ``scores`` / ``top_k`` requests for any number of registered
+tenants (one :class:`~repro.session.EgoSession` each), coalesces each
+tenant's requests inside a small time/size micro-batch window into single
+:meth:`~repro.session.EgoSession.scores_batch` passes, and streams the
+answers back — while every tenant's parallel work rides one shared
+:class:`~repro.parallel.runtime.WorkerPool` and ships its CSR payload into
+one shared :class:`~repro.parallel.runtime.PayloadStore` keyed by
+``(graph_id, version)``.
+
+:mod:`repro.serving.loadgen` drives the gateway with a configurable fleet
+of concurrent async clients and reports qps / latency percentiles against
+the pre-gateway one-session-per-query baseline — shared by the ``serve``
+CLI subcommand, ``benchmarks/bench_serving.py`` and ``benchmarks/smoke.py``.
+"""
+
+from repro.serving.gateway import GatewayStats, ServingGateway
+from repro.serving.loadgen import run_serving_benchmark
+
+__all__ = ["ServingGateway", "GatewayStats", "run_serving_benchmark"]

@@ -1,0 +1,617 @@
+"""The asyncio micro-batching gateway: many clients, shared infrastructure.
+
+``EgoSession`` answers one caller at a time; a service answers thousands of
+concurrent callers whose requests arrive interleaved across many tenant
+graphs.  :class:`ServingGateway` closes that gap with two mechanisms:
+
+* **Micro-batching.**  Requests for one tenant that arrive within a small
+  coalescing window (``window_seconds``, or earlier when ``max_batch``
+  requests pile up) are answered by a *single*
+  :meth:`~repro.session.EgoSession.scores_batch` pass — 64 concurrent
+  clients cost one computation over the union of what they asked for, not
+  64 computations.  Results resolve back to each caller's future in
+  request order.
+* **Shared serving infrastructure.**  Every tenant session is attached to
+  the gateway's one :class:`~repro.parallel.runtime.WorkerPool` and one
+  :class:`~repro.parallel.runtime.PayloadStore`, so N tenants fork one set
+  of worker processes and each graph version ships exactly once, under its
+  ``(graph_id, version)`` key, however the tenants' batches interleave.
+
+Back-pressure is explicit: a tenant whose unanswered-request backlog
+reaches ``max_pending`` sheds load with
+:class:`~repro.errors.GatewayOverloadedError` instead of buffering without
+bound.  Cancellation is safe at any point — a request cancelled while it
+waits in the window is simply dropped from the batch; the remaining
+requests are unaffected.
+
+Answers are **bit-identical to the serial kernels**: batching only changes
+*when* a computation runs, never what it computes (the session layer's
+canonical-order guarantees carry through unchanged).
+
+Examples
+--------
+>>> import asyncio
+>>> from repro.serving import ServingGateway
+>>> async def demo():
+...     async with ServingGateway(window_seconds=0.001) as gateway:
+...         gateway.add_tenant("toy", [(0, 1), (0, 2), (1, 2), (1, 3)])
+...         full, one = await asyncio.gather(
+...             gateway.scores("toy"), gateway.score("toy", 1)
+...         )
+...         return one == full[1], gateway.stats()["gateway"]["batches"]
+>>> asyncio.run(demo())
+(True, 1)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.topk import TopKResult
+from repro.errors import (
+    GatewayClosedError,
+    GatewayOverloadedError,
+    InvalidParameterError,
+    UnknownTenantError,
+)
+from repro.graph.graph import Vertex
+from repro.parallel.runtime import PayloadStore, WorkerPool
+from repro.session import EgoSession
+
+__all__ = ["ServingGateway", "GatewayStats"]
+
+#: Default coalescing window: long enough to batch a burst of concurrent
+#: requests, short enough to be invisible next to a kernel pass.
+DEFAULT_WINDOW_SECONDS = 0.002
+
+
+@dataclass
+class GatewayStats:
+    """Cumulative counters of one :class:`ServingGateway`.
+
+    Attributes
+    ----------
+    requests / answered / failed:
+        Score(s) requests accepted, resolved with a result, resolved with
+        the batch's exception.
+    cancelled:
+        Requests whose caller cancelled while they waited in the window
+        (dropped from the batch).
+    rejected:
+        Requests shed by back-pressure (``max_pending`` reached).
+    batches / coalesced_requests / max_batch_size:
+        Executed micro-batches, total requests they answered, and the
+        largest batch observed — ``coalesced_requests / batches`` is the
+        amortisation factor.
+    window_flushes / size_flushes / drain_flushes:
+        What triggered each flush: the coalescing window elapsing, the
+        batch filling to ``max_batch``, or the gateway draining at close.
+    topk_requests / topk_runs / topk_coalesced:
+        Top-k requests accepted, session executions they cost, and
+        requests served by piggy-backing on an identical in-flight run.
+    per_tenant:
+        Requests accepted per tenant id.
+    """
+
+    requests: int = 0
+    answered: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    batches: int = 0
+    coalesced_requests: int = 0
+    max_batch_size: int = 0
+    window_flushes: int = 0
+    size_flushes: int = 0
+    drain_flushes: int = 0
+    topk_requests: int = 0
+    topk_runs: int = 0
+    topk_coalesced: int = 0
+    per_tenant: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests answered per executed batch (0.0 when idle)."""
+        return self.coalesced_requests / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a JSON-friendly dict (the CLI ``--json`` payload shape)."""
+        return {
+            "requests": self.requests,
+            "answered": self.answered,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "coalesced_requests": self.coalesced_requests,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "window_flushes": self.window_flushes,
+            "size_flushes": self.size_flushes,
+            "drain_flushes": self.drain_flushes,
+            "topk_requests": self.topk_requests,
+            "topk_runs": self.topk_runs,
+            "topk_coalesced": self.topk_coalesced,
+            "per_tenant": dict(self.per_tenant),
+        }
+
+
+class _Request:
+    """One queued scores request: payload + the caller's future."""
+
+    __slots__ = ("payload", "future")
+
+    def __init__(self, payload: Optional[List[Vertex]], future: asyncio.Future) -> None:
+        self.payload = payload
+        self.future = future
+
+
+class _Tenant:
+    """Per-tenant serving state: session, pending batch, in-flight locks."""
+
+    __slots__ = ("tenant_id", "session", "pending", "timer", "lock", "backlog", "topk_inflight")
+
+    def __init__(self, tenant_id: str, session: EgoSession) -> None:
+        self.tenant_id = tenant_id
+        self.session = session
+        self.pending: List[_Request] = []
+        self.timer: Optional[asyncio.Task] = None
+        # Serialises session execution: flushes run in worker threads and
+        # EgoSession is not thread-safe, so one pass at a time per tenant.
+        self.lock = asyncio.Lock()
+        self.backlog = 0
+        self.topk_inflight: Dict[Tuple[int, int], asyncio.Task] = {}
+
+
+class ServingGateway:
+    """Accept concurrent async queries; answer them in coalesced batches.
+
+    Parameters
+    ----------
+    window_seconds:
+        The coalescing window: the first request of a batch waits at most
+        this long for company before the batch executes.
+    max_batch:
+        Flush early once this many requests are pending for one tenant.
+    max_pending:
+        Back-pressure bound: a tenant whose unanswered backlog reaches
+        this sheds further requests with :class:`GatewayOverloadedError`.
+    parallel / engine / executor:
+        How tenant batches execute — forwarded to
+        :meth:`EgoSession.scores_batch` / :meth:`EgoSession.top_k`.
+        ``parallel=None`` (default) answers on the session's serial
+        kernels; ``parallel=N`` routes passes through each tenant's
+        runtime on the gateway's shared pool.
+    max_workers:
+        Size of a privately created shared :class:`WorkerPool` (ignored
+        when ``pool`` is given).
+    pool / store:
+        Existing shared infrastructure to join; ``None`` creates
+        gateway-owned instances (released at :meth:`close`).
+
+    Notes
+    -----
+    All request methods are coroutines and must run on one event loop; the
+    compute itself runs in worker threads (and, with ``parallel=N``, the
+    shared process pool), so the loop stays responsive while kernels run.
+    Use as an async context manager for deterministic teardown.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        max_batch: int = 64,
+        max_pending: int = 1024,
+        parallel: Optional[int] = None,
+        engine: str = "edge",
+        executor: str = "serial",
+        max_workers: Optional[int] = None,
+        pool: Optional[WorkerPool] = None,
+        store: Optional[PayloadStore] = None,
+    ) -> None:
+        if window_seconds < 0:
+            raise InvalidParameterError("window_seconds must be >= 0")
+        if max_batch < 1:
+            raise InvalidParameterError("max_batch must be positive")
+        if max_pending < 1:
+            raise InvalidParameterError("max_pending must be positive")
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.parallel = parallel
+        self.engine = engine
+        self.executor = executor
+        self._owns_pool = pool is None
+        self._pool = (pool or WorkerPool(max_workers, keep_alive=True)).acquire()
+        self._owns_store = store is None
+        self._store = store or PayloadStore()
+        self._tenants: Dict[str, _Tenant] = {}
+        self._stats = GatewayStats()
+        self._inflight: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+    def add_tenant(
+        self,
+        tenant_id: str,
+        source,
+        *,
+        backend: str = "auto",
+        scale: Optional[float] = None,
+        **session_options,
+    ) -> EgoSession:
+        """Register a tenant graph; returns its :class:`EgoSession`.
+
+        ``source`` is anything :class:`EgoSession` accepts — or an existing
+        session to adopt.  The tenant's parallel runtime is attached to the
+        gateway's shared pool and payload store, its payloads keyed by the
+        session's ``graph_id``, so tenants never re-ship each other's
+        graphs away.  On a gateway-owned store the ``graph_id`` defaults to
+        ``tenant_id`` (unique within this gateway); on a caller-shared
+        store the session keeps its unique auto id — name tenants'
+        ``graph_id=`` explicitly there to opt into same-graph payload
+        dedup across gateways.
+        """
+        if self._closed:
+            raise GatewayClosedError("cannot add a tenant to a closed gateway")
+        if tenant_id in self._tenants:
+            raise InvalidParameterError(f"tenant {tenant_id!r} is already registered")
+        if isinstance(source, EgoSession):
+            session = source
+        else:
+            if self._owns_store:
+                # Tenant ids are unique within this gateway and the store
+                # is private to it, so keying payloads by tenant id is
+                # safe.  A caller-shared store may span gateways whose
+                # tenant names collide on DIFFERENT graphs — there the
+                # session keeps its unique auto id, and same-graph dedup
+                # stays the caller's explicit graph_id= opt-in.
+                session_options.setdefault("graph_id", tenant_id)
+            session = EgoSession(source, backend=backend, scale=scale, **session_options)
+        if self.parallel is not None:
+            # Install the session's runtime for the gateway's executor now,
+            # bound to the shared infrastructure, so the first batch does
+            # not silently create a private pool instead.
+            runtime = session.runtime(
+                self.executor,
+                max_workers=self._pool.max_workers,
+                pool=self._pool,
+                store=self._store,
+            )
+            if runtime.pool is not self._pool or runtime.store is not self._store:
+                # An adopted session already held a runtime for this
+                # executor: it would fork its own pool and ship into a
+                # private store, silently breaking the one-pool invariant.
+                raise InvalidParameterError(
+                    f"session for tenant {tenant_id!r} already owns a "
+                    f"{self.executor!r} runtime not attached to the "
+                    "gateway's shared pool/store; close() the session's "
+                    "runtimes first or register a fresh session"
+                )
+            if self.executor == "process":
+                # Fork the shared pool now, on the event-loop thread,
+                # before any batch runs inside a ThreadPoolExecutor worker
+                # — forking a multi-threaded process risks inheriting held
+                # locks in the child.
+                self._pool.ensure_started()
+        self._tenants[tenant_id] = _Tenant(tenant_id, session)
+        return session
+
+    def tenant(self, tenant_id: str) -> EgoSession:
+        """The registered session for ``tenant_id``."""
+        return self._require(tenant_id).session
+
+    def tenants(self) -> List[str]:
+        """The registered tenant ids."""
+        return list(self._tenants)
+
+    def _require(self, tenant_id: str) -> _Tenant:
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise UnknownTenantError(tenant_id)
+        return tenant
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def scores(
+        self, tenant_id: str, vertices: Optional[Iterable[Vertex]] = None
+    ) -> Dict[Vertex, float]:
+        """Exact ego-betweenness of every vertex (or a subset) of a tenant.
+
+        The request joins the tenant's current micro-batch; the returned
+        map is bit-identical to :meth:`EgoSession.scores` on the same
+        state.
+        """
+        request = None if vertices is None else list(vertices)
+        return await self._submit(tenant_id, request)
+
+    async def score(self, tenant_id: str, vertex: Vertex) -> float:
+        """Exact ego-betweenness of one vertex (micro-batched)."""
+        answer = await self._submit(tenant_id, [vertex])
+        return answer[vertex]
+
+    async def stream(self, tenant_id: str, queries: Iterable[Optional[Iterable[Vertex]]]):
+        """Submit many scores queries; yield the answers in request order.
+
+        The queries coalesce into batches exactly as concurrent callers
+        would; answers stream back as their batches complete, preserving
+        the input order.  Abandoning the stream early — breaking out of
+        the loop, or a yielded error — cancels the not-yet-consumed
+        requests and retrieves their outcomes, so no orphaned task keeps
+        computing (or logs an unretrieved exception) for an answer nobody
+        will read.
+        """
+        tasks = [
+            asyncio.ensure_future(self.scores(tenant_id, query)) for query in queries
+        ]
+        try:
+            for task in tasks:
+                yield await task
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def top_k(self, tenant_id: str, k: int) -> TopKResult:
+        """The tenant's top-k ego-betweenness ranking.
+
+        Identical concurrent requests (same tenant, same ``k``) coalesce
+        onto one session execution; the entries are bit-identical to the
+        serial naive ranking (``EgoSession.top_k`` guarantees this for
+        every execution path).
+        """
+        tenant = self._require(tenant_id)
+        if self._closed:
+            raise GatewayClosedError("this gateway has been closed")
+        stats = self._stats
+        if tenant.backlog >= self.max_pending:
+            # top-k traffic obeys the same back-pressure bound as scores
+            # traffic: an overloaded tenant sheds load on every door.
+            stats.rejected += 1
+            raise GatewayOverloadedError(
+                f"tenant {tenant_id!r} has {tenant.backlog} unanswered requests "
+                f"(max_pending={self.max_pending}); shed load and retry"
+            )
+        stats.topk_requests += 1
+        stats.per_tenant[tenant_id] = stats.per_tenant.get(tenant_id, 0) + 1
+        # Keyed by (version, k): a request arriving after a mutation must
+        # not be coalesced onto an in-flight pre-mutation run.
+        key = (tenant.session.version, k)
+        task = tenant.topk_inflight.get(key)
+        if task is None:
+            stats.topk_runs += 1
+            task = asyncio.ensure_future(self._run_top_k(tenant, k))
+            tenant.topk_inflight[key] = task
+            task.add_done_callback(lambda _: tenant.topk_inflight.pop(key, None))
+        else:
+            stats.topk_coalesced += 1
+        # Shield the shared run: one caller cancelling must not tear the
+        # result away from the others riding the same execution.  Each
+        # waiting caller occupies one backlog slot until its answer lands.
+        tenant.backlog += 1
+        try:
+            return await asyncio.shield(task)
+        finally:
+            tenant.backlog -= 1
+
+    async def _run_top_k(self, tenant: _Tenant, k: int) -> TopKResult:
+        loop = asyncio.get_running_loop()
+        async with tenant.lock:
+            if self.parallel is not None:
+                call = partial(
+                    tenant.session.top_k,
+                    k,
+                    parallel=self.parallel,
+                    engine=self.engine,
+                    executor=self.executor,
+                )
+            else:
+                call = partial(tenant.session.top_k, k, algorithm="naive")
+            return await loop.run_in_executor(None, call)
+
+    async def _submit(
+        self, tenant_id: str, request: Optional[List[Vertex]]
+    ) -> Dict[Vertex, float]:
+        tenant = self._require(tenant_id)
+        if self._closed:
+            raise GatewayClosedError("this gateway has been closed")
+        stats = self._stats
+        if tenant.backlog >= self.max_pending:
+            stats.rejected += 1
+            raise GatewayOverloadedError(
+                f"tenant {tenant_id!r} has {tenant.backlog} unanswered requests "
+                f"(max_pending={self.max_pending}); shed load and retry"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        tenant.pending.append(_Request(request, future))
+        tenant.backlog += 1
+        future.add_done_callback(partial(self._request_done, tenant))
+        stats.requests += 1
+        stats.per_tenant[tenant_id] = stats.per_tenant.get(tenant_id, 0) + 1
+        if len(tenant.pending) >= self.max_batch:
+            batch = self._take_batch(tenant)
+            task = asyncio.ensure_future(self._run_batch(tenant, batch, "size"))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+        elif len(tenant.pending) == 1:
+            tenant.timer = asyncio.ensure_future(self._window_flush(tenant))
+        return await future
+
+    def _request_done(self, tenant: _Tenant, future: asyncio.Future) -> None:
+        tenant.backlog -= 1
+        if future.cancelled():
+            return
+        if future.exception() is not None:
+            self._stats.failed += 1
+        else:
+            self._stats.answered += 1
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def _take_batch(self, tenant: _Tenant) -> List[_Request]:
+        """Atomically claim the pending batch and disarm the window timer."""
+        batch, tenant.pending = tenant.pending, []
+        if tenant.timer is not None:
+            tenant.timer.cancel()
+            tenant.timer = None
+        return batch
+
+    async def _window_flush(self, tenant: _Tenant) -> None:
+        try:
+            await asyncio.sleep(self.window_seconds)
+        except asyncio.CancelledError:
+            return
+        if tenant.timer is not asyncio.current_task():
+            # A size flush claimed the batch between our wake-up and this
+            # resumption (and may have armed a fresh timer) — stand down.
+            return
+        tenant.timer = None
+        batch = self._take_batch(tenant)
+        # Execute through a tracked task, exactly like size flushes, so
+        # close() awaits an in-progress window batch instead of tearing
+        # the pool down under it.
+        task = asyncio.ensure_future(self._run_batch(tenant, batch, "window"))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+        await task
+
+    async def _run_batch(
+        self, tenant: _Tenant, batch: List[_Request], trigger: str
+    ) -> None:
+        live = [request for request in batch if not request.future.cancelled()]
+        self._stats.cancelled += len(batch) - len(live)
+        if not live:
+            return
+        loop = asyncio.get_running_loop()
+        async with tenant.lock:
+            call = partial(
+                tenant.session.scores_batch,
+                [request.payload for request in live],
+                parallel=self.parallel,
+                engine=self.engine,
+                executor=self.executor,
+            )
+            try:
+                answers = await loop.run_in_executor(None, call)
+            except Exception:  # noqa: BLE001 - isolated per request below
+                # One bad request (e.g. an unknown vertex) must not poison
+                # the coalesced batch: fall back to answering each request
+                # on its own, so only the offending callers see the error.
+                # The shared computation is already memoised on the
+                # session, so the re-slicing passes are cheap.
+                answers = []
+                for request in live:
+                    single = partial(
+                        tenant.session.scores_batch,
+                        [request.payload],
+                        parallel=self.parallel,
+                        engine=self.engine,
+                        executor=self.executor,
+                    )
+                    try:
+                        answers.append((await loop.run_in_executor(None, single))[0])
+                    except Exception as error:  # noqa: BLE001 - that caller's
+                        answers.append(error)
+        stats = self._stats
+        stats.batches += 1
+        stats.coalesced_requests += len(live)
+        stats.max_batch_size = max(stats.max_batch_size, len(live))
+        if trigger == "window":
+            stats.window_flushes += 1
+        elif trigger == "size":
+            stats.size_flushes += 1
+        else:
+            stats.drain_flushes += 1
+        for request, answer in zip(live, answers):
+            if request.future.done():
+                continue
+            if isinstance(answer, Exception):
+                request.future.set_exception(answer)
+            else:
+                request.future.set_result(answer)
+
+    # ------------------------------------------------------------------
+    # Lifecycle and introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-friendly snapshot: gateway, tenants, store and pool."""
+        return {
+            "gateway": self._stats.as_dict(),
+            "config": {
+                "window_seconds": self.window_seconds,
+                "max_batch": self.max_batch,
+                "max_pending": self.max_pending,
+                "parallel": self.parallel,
+                "engine": self.engine,
+                "executor": self.executor,
+            },
+            "tenants": {
+                tenant_id: tenant.session.stats().as_dict()
+                for tenant_id, tenant in self._tenants.items()
+            },
+            "store": self._store.stats(),
+            "pool": {
+                "max_workers": self._pool.max_workers,
+                "started": self._pool.started,
+                "launches": self._pool.launches,
+                "references": self._pool.references,
+            },
+        }
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has run."""
+        return self._closed
+
+    async def close(self) -> None:
+        """Drain pending batches, close tenant sessions, release the pool.
+
+        Pending requests are *answered* (one final drain flush per tenant)
+        rather than failed; new requests raise :class:`GatewayClosedError`.
+        Shared infrastructure passed in by the caller survives — only the
+        gateway's own references are released.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for tenant in self._tenants.values():
+            if tenant.pending:
+                await self._run_batch(tenant, self._take_batch(tenant), "drain")
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        for tenant in self._tenants.values():
+            for task in list(tenant.topk_inflight.values()):
+                try:
+                    await task
+                except Exception:  # pragma: no cover - caller saw it already
+                    pass
+            tenant.session.close()
+        if self._owns_store:
+            self._store.close()
+        self._pool.release()
+        if self._owns_pool:
+            self._pool.close()
+
+    async def __aenter__(self) -> "ServingGateway":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServingGateway(tenants={len(self._tenants)}, "
+            f"window={self.window_seconds}, parallel={self.parallel}, "
+            f"closed={self._closed})"
+        )

@@ -1,0 +1,217 @@
+"""Async load generator for the serving gateway — the zero-to-qps driver.
+
+:func:`run_serving_benchmark` measures the serving-layer headline: a fleet
+of concurrent async clients spread over several tenant graphs, answered by
+one warm :class:`~repro.serving.gateway.ServingGateway` (micro-batching,
+shared worker pool, per-``(graph_id, version)`` payload store), against the
+**pre-gateway baseline** — one fresh session per query, serially, which is
+exactly what independent clients cost before the serving layer existed.
+
+Every answer from both runs is checked bit-identical to the serial kernel
+oracle before any number is reported.  The JSON payload shape is shared by
+the ``serve`` CLI subcommand, ``benchmarks/bench_serving.py`` (the
+acceptance gate) and ``benchmarks/smoke.py`` (``BENCH_serving.json``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import statistics
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.csr_kernels import all_ego_betweenness_csr
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CompactGraph
+from repro.serving.gateway import ServingGateway
+from repro.session import EgoSession
+
+__all__ = ["run_serving_benchmark"]
+
+
+def _percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    """p50/p95 of per-request latencies, in milliseconds."""
+    ordered = sorted(samples)
+    if not ordered:
+        return {"p50_ms": 0.0, "p95_ms": 0.0}
+    if len(ordered) == 1:
+        p50 = p95 = ordered[0]
+    else:
+        cuts = statistics.quantiles(ordered, n=20, method="inclusive")
+        p50, p95 = cuts[9], cuts[18]
+    return {"p50_ms": p50 * 1e3, "p95_ms": p95 * 1e3}
+
+
+def _request_plan(
+    tenants: Dict[str, CompactGraph],
+    clients: int,
+    requests_per_client: int,
+    subset_every: int,
+    seed: int,
+) -> List[List[Tuple[str, Optional[list]]]]:
+    """Per-client request schedules: mostly full maps, some subset slices.
+
+    Clients are spread round-robin over the tenants; every ``subset_every``-th
+    client asks for a deterministic random vertex slice instead of the full
+    map, so batches exercise the union/coalescing path too.
+    """
+    rng = random.Random(seed)
+    names = list(tenants)
+    plan: List[List[Tuple[str, Optional[list]]]] = []
+    for client in range(clients):
+        tenant_id = names[client % len(names)]
+        labels = tenants[tenant_id].labels
+        schedule = []
+        for _ in range(requests_per_client):
+            if subset_every and client % subset_every == 0:
+                size = max(1, len(labels) // max(clients, 1))
+                schedule.append((tenant_id, rng.sample(labels, min(size, len(labels)))))
+            else:
+                schedule.append((tenant_id, None))
+        plan.append(schedule)
+    return plan
+
+
+def _check_answer(answer, request, oracle) -> None:
+    expected = oracle if request is None else {v: oracle[v] for v in request}
+    if answer != expected:
+        raise AssertionError(
+            "serving answer diverged from the serial kernel oracle"
+        )
+
+
+def run_serving_benchmark(
+    graphs: Dict[str, Any],
+    *,
+    clients: int = 64,
+    requests_per_client: int = 1,
+    subset_every: int = 4,
+    window_seconds: float = 0.002,
+    max_batch: int = 64,
+    parallel: Optional[int] = 1,
+    executor: str = "process",
+    seed: int = 7,
+) -> Dict[str, Any]:
+    """Cold per-query baseline vs warm gateway under concurrent async load.
+
+    Parameters
+    ----------
+    graphs:
+        ``{tenant_id: graph}`` — anything with ``to_compact()`` or a
+        :class:`CompactGraph`; each becomes one gateway tenant.
+    clients / requests_per_client:
+        The async fleet: ``clients`` concurrent coroutines, each issuing
+        ``requests_per_client`` scores requests against its tenant.
+    subset_every:
+        Every n-th client requests a vertex slice instead of the full map
+        (0 disables subsets).
+    window_seconds / max_batch / parallel / executor:
+        Gateway configuration (see :class:`ServingGateway`).
+    seed:
+        RNG seed for the subset slices.
+
+    Returns
+    -------
+    The JSON payload: ``cold`` (fresh session per query, serial — the
+    one-session-one-pool model this PR retires), ``warm`` (gateway steady
+    state after one priming pass per tenant), both with qps and p50/p95
+    latency, plus the gateway/store/pool accounting and the bit-identity
+    verdict (an :class:`AssertionError` is raised before any number is
+    reported if an answer diverges from the serial kernels).
+    """
+    if clients < 1 or requests_per_client < 1:
+        raise InvalidParameterError("clients and requests_per_client must be positive")
+    if not graphs:
+        raise InvalidParameterError("at least one tenant graph is required")
+    tenants = {
+        name: graph if isinstance(graph, CompactGraph) else graph.to_compact()
+        for name, graph in graphs.items()
+    }
+    oracles = {name: all_ego_betweenness_csr(cg) for name, cg in tenants.items()}
+    plan = _request_plan(tenants, clients, requests_per_client, subset_every, seed)
+    total_requests = clients * requests_per_client
+
+    # ------------------------------------------------------------------
+    # Cold baseline: one fresh session per query, answered serially.
+    # ------------------------------------------------------------------
+    cold_latencies: List[float] = []
+    cold_start = time.perf_counter()
+    for schedule in plan:
+        for tenant_id, request in schedule:
+            begin = time.perf_counter()
+            answer = EgoSession(tenants[tenant_id]).scores(vertices=request)
+            cold_latencies.append(time.perf_counter() - begin)
+            _check_answer(answer, request, oracles[tenant_id])
+    cold_seconds = time.perf_counter() - cold_start
+
+    # ------------------------------------------------------------------
+    # Warm gateway: shared pool/store, micro-batching, memoised tenants.
+    # ------------------------------------------------------------------
+    async def drive() -> Dict[str, Any]:
+        async with ServingGateway(
+            window_seconds=window_seconds,
+            max_batch=max_batch,
+            parallel=parallel,
+            executor=executor,
+        ) as gateway:
+            for name, compact in tenants.items():
+                gateway.add_tenant(name, compact)
+            # Priming pass: one full-map request per tenant pays the pool
+            # launch, the payload ship and the first kernel sweep — the
+            # steady state a long-lived service runs in.
+            for name in tenants:
+                _check_answer(await gateway.scores(name), None, oracles[name])
+
+            latencies: List[float] = []
+
+            async def client(schedule) -> None:
+                for tenant_id, request in schedule:
+                    begin = time.perf_counter()
+                    answer = await gateway.scores(tenant_id, request)
+                    latencies.append(time.perf_counter() - begin)
+                    _check_answer(answer, request, oracles[tenant_id])
+
+            begin = time.perf_counter()
+            await asyncio.gather(*(client(schedule) for schedule in plan))
+            elapsed = time.perf_counter() - begin
+            return {
+                "seconds": elapsed,
+                "latencies": latencies,
+                "stats": gateway.stats(),
+            }
+
+    warm = asyncio.run(drive())
+    warm_seconds = warm["seconds"]
+    gateway_stats = warm["stats"]
+
+    return {
+        "bench": "serving",
+        "unit": "queries per second",
+        "tenants": sorted(tenants),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "total_requests": total_requests,
+        "window_seconds": window_seconds,
+        "parallel": parallel,
+        "executor": executor,
+        "bit_identical": True,  # _check_answer raised otherwise
+        "cold": {
+            "seconds": cold_seconds,
+            "qps": total_requests / cold_seconds if cold_seconds else float("inf"),
+            "mean_s": cold_seconds / total_requests,
+            **_percentiles(cold_latencies),
+        },
+        "warm": {
+            "seconds": warm_seconds,
+            "qps": total_requests / warm_seconds if warm_seconds else float("inf"),
+            "mean_s": warm_seconds / total_requests,
+            **_percentiles(warm["latencies"]),
+        },
+        "speedup_warm_vs_cold": (
+            cold_seconds / warm_seconds if warm_seconds else float("inf")
+        ),
+        "gateway": gateway_stats["gateway"],
+        "store": gateway_stats["store"],
+        "pool": gateway_stats["pool"],
+    }

@@ -76,6 +76,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+import itertools
+
 from repro.core.base_search import _base_b_search_hash
 from repro.core.csr_kernels import (
     all_ego_betweenness_csr,
@@ -87,7 +89,7 @@ from repro.core.csr_kernels import (
 )
 from repro.core.ego_betweenness import all_ego_betweenness, ego_betweenness
 from repro.core.opt_search import _opt_b_search_hash
-from repro.core.topk import SearchStats, TopKAccumulator, TopKResult
+from repro.core.topk import SearchStats, TopKAccumulator, TopKResult, rank_entries
 from repro.dynamic.lazy_topk import LazyTopKMaintainer
 from repro.dynamic.local_update import EgoBetweennessIndex
 from repro.dynamic.stream import UpdateEvent
@@ -104,7 +106,14 @@ from repro.parallel.engines import (
     edge_parallel_ego_betweenness,
     vertex_parallel_ego_betweenness,
 )
-from repro.parallel.runtime import ExecutionRuntime, ParallelBackend, RuntimeStats
+from repro.parallel.runtime import (
+    ExecutionRuntime,
+    ParallelBackend,
+    PayloadKey,
+    PayloadStore,
+    RuntimeStats,
+    WorkerPool,
+)
 
 __all__ = ["EgoSession", "Query", "SessionStats", "SESSION_BACKENDS"]
 
@@ -114,6 +123,11 @@ __all__ = ["EgoSession", "Query", "SessionStats", "SESSION_BACKENDS"]
 SESSION_BACKENDS = ("auto", "compact", "hash", "dynamic")
 
 GraphSource = Union[Graph, CompactGraph, DynamicCompactGraph, str, Iterable]
+
+#: Monotonic source of auto-assigned session graph ids — the ``graph_id``
+#: half of the ``(graph_id, version)`` payload-store key a session stamps
+#: on every runtime execution.
+_GRAPH_IDS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -168,6 +182,10 @@ class SessionStats:
     values_cached:
         Whether exact all-vertex values are currently held — a fresh static
         memo, or (dynamic state) an incrementally-maintained index.
+    graph_id:
+        The session's stable graph identity — the ``graph_id`` half of the
+        ``(graph_id, version)`` payload-store key its parallel executions
+        are accounted under.
     values_reused_on_promotion:
         ``True`` when the promotion seeded the dynamic index from the
         session's memoised values instead of recomputing every vertex.
@@ -187,6 +205,7 @@ class SessionStats:
     state: str
     num_vertices: int
     num_edges: int
+    graph_id: str = ""
     queries: Dict[str, int] = field(default_factory=dict)
     update_events: int = 0
     promotions: int = 0
@@ -204,6 +223,7 @@ class SessionStats:
             "state": self.state,
             "num_vertices": self.num_vertices,
             "num_edges": self.num_edges,
+            "graph_id": self.graph_id,
             "queries": dict(self.queries),
             "update_events": self.update_events,
             "promotions": self.promotions,
@@ -276,10 +296,16 @@ class EgoSession:
         *,
         scale: Optional[float] = None,
         auto_promote: bool = True,
+        graph_id: Optional[str] = None,
         **overlay_options,
     ) -> None:
         source = self._coerce_source(source, scale)
         self.backend = _negotiate_backend(backend, source)
+        # The stable half of the session's (graph_id, version) payload key.
+        # Auto-assigned ids are unique per session; an explicit graph_id is
+        # the opt-in for cross-session payload dedup in a shared store (two
+        # tenants naming the same graph_id assert they hold the same graph).
+        self.graph_id = graph_id or f"session-{next(_GRAPH_IDS)}"
         self._auto_promote = auto_promote
         if overlay_options and self.backend == "hash":
             raise TypeError(
@@ -323,6 +349,11 @@ class EgoSession:
         # lazily by the first parallel query and reused by every later one
         # (the shipped CSR payload follows the session's graph version).
         self._runtimes: Dict[str, ExecutionRuntime] = {}
+        # Per-(version, k) cache of parallel top-k entries: the worker-side
+        # reduction returns only the ranked candidates, so repeated
+        # identical queries must not re-run the pool.
+        self._topk_cache: Dict[int, List] = {}
+        self._topk_cache_version: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -368,6 +399,17 @@ class EgoSession:
     def state(self) -> str:
         """``"static"`` before the first update, ``"dynamic"`` after."""
         return self._state
+
+    @property
+    def version(self) -> int:
+        """Monotonic topology version of the owned graph.
+
+        0 for a pinned static snapshot; bumped by every applied update.
+        ``(graph_id, version)`` is the session's payload-store key, and the
+        identity consumers should cache/coalesce under (the serving
+        gateway keys in-flight top-k runs by it).
+        """
+        return self._current_version()
 
     def _current_version(self) -> int:
         if self._state == "dynamic":
@@ -417,22 +459,37 @@ class EgoSession:
     # ------------------------------------------------------------------
     # Execution runtime management
     # ------------------------------------------------------------------
+    def _payload_key(self) -> PayloadKey:
+        """The ``(graph_id, version)`` key this session's payloads ship under."""
+        return (self.graph_id, self._current_version())
+
     def runtime(
-        self, executor: str = "process", max_workers: Optional[int] = None
+        self,
+        executor: str = "process",
+        max_workers: Optional[int] = None,
+        pool: Optional[WorkerPool] = None,
+        store: Optional[PayloadStore] = None,
     ) -> ExecutionRuntime:
         """The session's persistent :class:`ExecutionRuntime` for ``executor``.
 
         Created lazily on first use and reused by every later parallel
         query — the worker pool stays up and the CSR payload is shipped
         once per graph version (a mutation re-ships on the next parallel
-        query).  ``max_workers`` sizes the pool at creation only (default:
-        CPU count); an existing runtime is returned as-is.  :meth:`close`
-        shuts every runtime down.
+        query).  ``max_workers``, ``pool`` and ``store`` configure the
+        runtime at creation only; an existing runtime is returned as-is.
+        Passing a shared :class:`WorkerPool` / :class:`PayloadStore` (what
+        the serving gateway does for every tenant) makes this session a
+        tenant of that infrastructure: its payloads ship into the shared
+        table under :meth:`stats`'s ``graph_id`` and its tasks ride the
+        shared pool.  :meth:`close` detaches this session's runtimes —
+        shared pools and stores survive until their other tenants leave.
         """
         key = ParallelBackend(executor).value
         runtime = self._runtimes.get(key)
         if runtime is None or runtime.closed:
-            runtime = ExecutionRuntime(max_workers=max_workers, executor=key)
+            runtime = ExecutionRuntime(
+                max_workers=max_workers, executor=key, pool=pool, store=store
+            )
             self._runtimes[key] = runtime
         return runtime
 
@@ -580,7 +637,7 @@ class EgoSession:
             raise InvalidParameterError("k must be a positive integer")
         algorithm = algorithm.lower()
         if parallel is not None:
-            result = self._ranked_top_k(k, self._batch_values(parallel, engine, executor))
+            result = self._parallel_top_k(k, parallel, engine, executor)
             self._record("top_k", start, k=k, algorithm="naive", parallel=parallel)
             return result
         if algorithm == "naive":
@@ -607,6 +664,65 @@ class EgoSession:
                 )
         self._record("top_k", start, k=k, algorithm=algorithm, theta=theta)
         return result
+
+    def _parallel_top_k(
+        self, k: int, num_workers: int, engine: str, executor: str
+    ) -> TopKResult:
+        """Batched top-k with worker-side result reduction.
+
+        Priority order: a cached result for this exact ``(version, k)``; a
+        fresh values memo / maintained index (ranked directly, exactly as
+        before — dynamic sessions always serve the Section-IV index); and
+        only then a distributed pass.  The distributed pass is the
+        result-traffic optimisation: each chunk task returns a *bounded*
+        top-k accumulator instead of every score, merged in canonical
+        (ascending id) order at the parent — bit-identical to the serial
+        naive ranking, with ``O(tasks × k)`` instead of ``O(n)`` result
+        traffic.  Because only the candidates come back, no full values map
+        is memoised; the ranked entries are cached per ``(version, k)`` so
+        repeated identical queries cost a dict lookup.
+        """
+        start = time.perf_counter()
+        version = self._current_version()
+        if self._topk_cache_version != version:
+            self._topk_cache.clear()
+            self._topk_cache_version = version
+        cached = self._topk_cache.get(k)
+        if cached is not None:
+            stats = SearchStats(
+                algorithm="naive",
+                exact_computations=0,
+                pruned_vertices=0,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+            return TopKResult(entries=list(cached), k=k, stats=stats)
+        values_fresh = (
+            self._state == "static"
+            and self._values is not None
+            and self._values_version == version
+        ) or (self._state == "dynamic" and self._index is not None)
+        if values_fresh or self._state == "dynamic" or self.backend == "hash":
+            result = self._ranked_top_k(k, self._batch_values(num_workers, engine, executor))
+            self._topk_cache[k] = list(result.entries)
+            return result
+        compact = self._current_compact()
+        runtime = self.runtime(executor, max_workers=self._pool_size(num_workers))
+        id_entries, _ = runtime.execute_top_k(
+            compact, k, num_workers=num_workers, payload_key=self._payload_key()
+        )
+        labels = compact.labels
+        # Re-rank after mapping ids back to labels: retention happened on
+        # ids (== the canonical offer order), the final tie order follows
+        # the label sort key exactly as the serial accumulator's does.
+        entries = rank_entries([(labels[i], score) for i, score in id_entries])
+        stats = SearchStats(
+            algorithm="naive",
+            exact_computations=compact.num_vertices,
+            pruned_vertices=0,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        self._topk_cache[k] = list(entries)
+        return TopKResult(entries=entries, k=k, stats=stats)
 
     def _naive_top_k(self, k: int) -> TopKResult:
         start = time.perf_counter()
@@ -809,7 +925,10 @@ class EgoSession:
                     executor, max_workers=self._pool_size(parallel)
                 )
                 id_scores, _ = runtime.execute(
-                    compact, ids=ids, num_workers=parallel
+                    compact,
+                    ids=ids,
+                    num_workers=parallel,
+                    payload_key=self._payload_key(),
                 )
                 labels = compact.labels
                 source = {labels[i]: score for i, score in id_scores.items()}
@@ -882,6 +1001,7 @@ class EgoSession:
             # query; an existing runtime is reused as-is.
             runtime=self.runtime(executor, max_workers=self._pool_size(num_workers)),
             schedule=schedule,
+            payload_key=self._payload_key(),
         )
 
     @staticmethod
@@ -1139,6 +1259,7 @@ class EgoSession:
             state=self._state,
             num_vertices=self.num_vertices,
             num_edges=self.num_edges,
+            graph_id=self.graph_id,
             queries=dict(self._query_counts),
             update_events=self._update_events,
             promotions=self._promotions,

@@ -182,6 +182,21 @@ class TestSessionBatchedQueries:
                 EgoSession(ba_graph).top_k(6, algorithm="naive").entries
             )
 
+    def test_parallel_top_k_result_cache_per_version_and_k(self, ba_graph):
+        with EgoSession(ba_graph) as session:
+            first = session.top_k(6, parallel=2)
+            batches = session.runtime_stats()["serial"].batches
+            # same (version, k): served from the result cache, no new batch
+            assert session.top_k(6, parallel=2).entries == first.entries
+            assert session.runtime_stats()["serial"].batches == batches
+            # different k: a fresh bounded reduction
+            session.top_k(9, parallel=2)
+            assert session.runtime_stats()["serial"].batches == batches + 1
+            # a mutation invalidates the cache (new version)
+            session.apply(("insert", 0, 149))
+            after = session.top_k(6, parallel=2)
+            assert after.entries == session.top_k(6, algorithm="naive").entries
+
     def test_session_stats_expose_runtime(self, ba_graph):
         with EgoSession(ba_graph) as session:
             session.scores(parallel=2)
@@ -223,6 +238,135 @@ class TestRuntimeReuseAcrossMutation:
             )
             batch_full = session.scores_batch([None], parallel=workers)[0]
             assert batch_full == session.scores()
+
+
+class TestWorkerSideTopKReduction:
+    """execute_top_k: bounded per-chunk accumulators, bit-identical merge."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("k", (1, 5, 16, 10_000))
+    def test_execute_top_k_matches_full_ranking(self, ba_graph, workers, k):
+        from repro.core.topk import TopKAccumulator
+
+        compact = ba_graph.to_compact()
+        expected_scores = all_ego_betweenness_csr(compact)
+        accumulator = TopKAccumulator(min(k, compact.num_vertices))
+        for pid in range(compact.num_vertices):
+            accumulator.offer(pid, expected_scores[compact.labels[pid]])
+        expected = accumulator.ranked_entries()
+        with ExecutionRuntime(max_workers=4, executor="serial") as runtime:
+            entries, batch = runtime.execute_top_k(compact, k, num_workers=workers)
+            assert entries == expected
+            assert batch.kind == "top_k"
+            # the reduction genuinely bounds result traffic
+            assert len(entries) == min(k, compact.num_vertices)
+
+    def test_execute_top_k_subset_ids(self, ba_graph):
+        compact = ba_graph.to_compact()
+        scores = all_ego_betweenness_csr(compact)
+        ids = [3, 17, 40, 77, 99]
+        with ExecutionRuntime(max_workers=2, executor="serial") as runtime:
+            entries, _ = runtime.execute_top_k(compact, 3, ids=ids, num_workers=2)
+        assert len(entries) == 3
+        ranked = sorted(
+            ((i, scores[compact.labels[i]]) for i in ids),
+            key=lambda item: (-item[1], repr(item[0])),
+        )
+        assert entries == ranked[:3]
+
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_execute_top_k_bit_identical_under_threshold_ties(
+        self, monkeypatch, workers
+    ):
+        """Regression: tie-at-threshold eviction is a GLOBAL decision.
+
+        A bounded per-chunk accumulator evicts the earliest-offered tie
+        *within its chunk*, while the serial sweep's eviction consumes the
+        earliest *global* tie — so chunks must ship their whole threshold
+        tie cohort.  Synthetic scores pin the exact pattern that broke the
+        bounded variant (ids 0/12/13/14 tied at the threshold, strictly
+        greater entries arriving after them).
+        """
+        from repro.core import csr_kernels
+        from repro.core.topk import TopKAccumulator
+
+        synthetic = {0: 2.0, 3: 3.0, 12: 2.0, 13: 2.0, 14: 2.0, 15: 3.0}
+
+        def fake_score(indptr, indices, pid, nbr_sets=None, dense=None):
+            return synthetic.get(pid, 0.0)
+
+        monkeypatch.setattr(csr_kernels, "_ego_score_id", fake_score)
+        compact = Graph(edges=[(i, i + 1) for i in range(47)]).to_compact()
+        expected_accumulator = TopKAccumulator(3)
+        for pid in range(compact.num_vertices):
+            expected_accumulator.offer(pid, synthetic.get(pid, 0.0))
+        expected = expected_accumulator.ranked_entries()
+        with ExecutionRuntime(max_workers=4, executor="serial") as runtime:
+            entries, _ = runtime.execute_top_k(compact, 3, num_workers=workers)
+            assert entries == expected
+
+    @pytest.mark.parametrize("k", (1, 2, 3, 5, 8))
+    def test_execute_top_k_on_tie_heavy_graph_matches_naive(self, k):
+        # Disjoint stars: center of an L-leaf star scores C(L, 2), every
+        # leaf scores 0.0 — masses of exact ties at every threshold.
+        edges, base = [], 0
+        for leaves in (3, 2, 3, 4, 2, 3, 4, 3, 2):
+            for leaf in range(leaves):
+                edges.append((base, base + 1 + leaf))
+            base += leaves + 1
+        graph = Graph(edges=edges)
+        expected = EgoSession(graph).top_k(k, algorithm="naive").entries
+        for workers in (1, 2, 3):
+            with EgoSession(graph) as session:
+                assert session.top_k(k, parallel=workers).entries == expected
+
+    def test_execute_top_k_validates_k(self, ba_graph):
+        with ExecutionRuntime(executor="serial") as runtime:
+            with pytest.raises(InvalidParameterError):
+                runtime.execute_top_k(ba_graph.to_compact(), 0)
+
+    def test_chunk_kernel_top_chunk_matches_score_chunk(self, ba_graph):
+        from repro.core.topk import TopKAccumulator
+
+        compact = ba_graph.to_compact()
+        kernel = CSRChunkKernel(compact.indptr, compact.indices)
+        ids = list(range(40))
+        accumulator = TopKAccumulator(4)
+        for pid, score in sorted(kernel.score_chunk(ids).items()):
+            accumulator.offer(pid, score)
+        assert sorted(kernel.top_chunk(ids, 4)) == sorted(accumulator.entries())
+
+
+class TestPayloadAccounting:
+    def test_runtime_stats_expose_store_accounting(self, ba_graph):
+        compact = ba_graph.to_compact()
+        other = erdos_renyi_graph(30, 0.2, seed=9).to_compact()
+        with ExecutionRuntime(max_workers=2, executor="serial") as runtime:
+            runtime.execute(compact, payload_key=("tenant", 0))
+            stats = runtime.stats()
+            assert stats.payload_bytes_shipped == stats.payload_bytes > 0
+            assert stats.resident_payloads == 1
+            assert stats.resident_bytes == stats.payload_bytes
+            assert stats.payloads == {"tenant@v0": stats.payload_bytes}
+            runtime.execute(other, payload_key=("tenant", 1))
+            stats = runtime.stats()
+            assert stats.payload_evictions == 1  # v0 released at the switch
+            assert set(stats.payloads) == {"tenant@v0", "tenant@v1"}
+            payload = stats.as_dict()
+            assert payload["payload_bytes_shipped"] == stats.payload_bytes_shipped
+            assert payload["resident_payloads"] == 1
+            assert payload["last_batch"]["kind"] == "scores"
+
+    def test_session_stats_surface_payload_accounting(self, ba_graph):
+        with EgoSession(ba_graph, graph_id="capacity") as session:
+            session.scores(parallel=2)
+            payload = session.stats().as_dict()
+            assert payload["graph_id"] == "capacity"
+            runtime_payload = payload["runtimes"]["serial"]
+            assert runtime_payload["payloads"] == {
+                "capacity@v0": runtime_payload["payload_bytes"]
+            }
+            assert runtime_payload["resident_bytes"] > 0
 
 
 @pytest.mark.parallel
@@ -274,3 +418,13 @@ class TestProcessRuntime:
         with EgoSession(ba_graph) as session:
             result = session.top_k(10, parallel=2, executor="process")
             assert result.entries == expected
+
+    def test_process_execute_top_k_matches_serial_runtime(self, ba_graph):
+        compact = ba_graph.to_compact()
+        with ExecutionRuntime(max_workers=2, executor="serial") as serial_runtime:
+            expected, _ = serial_runtime.execute_top_k(compact, 12, num_workers=2)
+        with ExecutionRuntime(max_workers=2, executor="process") as runtime:
+            entries, batch = runtime.execute_top_k(compact, 12, num_workers=2)
+            assert entries == expected
+            assert batch.kind == "top_k"
+            assert runtime.stats().payload_ships == 1
