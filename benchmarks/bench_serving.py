@@ -52,6 +52,55 @@ def test_serving_gateway_acceptance(livejournal_graph, dblp_graph, results_dir):
     assert payload["speedup_warm_vs_cold"] >= 3.0, payload
 
 
+@pytest.mark.parallel
+@pytest.mark.serving
+@pytest.mark.chaos
+def test_serving_gateway_chaos_acceptance(livejournal_graph, dblp_graph, results_dir):
+    """Chaos gate: faults mid-serving, bit-identical answers, >= 50% qps.
+
+    The same subset-heavy workload (every request slices, so every batch
+    hits the worker pool) runs twice — fault-free, then under a plan that
+    kills workers mid-batch and tears one payload ship.  The recovered
+    gateway must answer every client bit-identically, leak no shared-memory
+    segment, and sustain at least half the fault-free warm throughput.
+    """
+    from repro import faults
+    from repro.parallel import runtime as runtime_module
+
+    graphs = {"livejournal": livejournal_graph, "dblp": dblp_graph}
+    workload = dict(
+        clients=16,
+        requests_per_client=2,
+        subset_every=1,
+        parallel=2,
+        executor="process",
+        task_deadline=5.0,
+    )
+    baseline = run_serving_benchmark(graphs, **workload)
+    plan = faults.FaultPlan(kill_every=8, corrupt_ships=1)
+    chaotic = run_serving_benchmark(graphs, **workload, fault_plan=plan)
+    save_report(
+        results_dir,
+        "serving_chaos",
+        json.dumps(
+            {"fault_free": baseline, "chaos": chaotic}, indent=2, sort_keys=True
+        ),
+    )
+
+    # Bit-identity held through worker kills and the torn payload ship.
+    assert baseline["bit_identical"] and chaotic["bit_identical"]
+    # The plan actually fired.
+    assert chaotic["faults"]["kills"] >= 1
+    assert chaotic["faults"]["corruptions"] == 1
+    recovered = chaotic["tenant_stats"]
+    assert sum(t["worker_deaths"] for t in recovered.values()) >= 1
+    # No shared-memory segment survived either run.
+    assert runtime_module._LIVE_SEGMENTS == {}
+    # The recovered gateway keeps at least half the fault-free throughput.
+    retention = chaotic["warm"]["qps"] / baseline["warm"]["qps"]
+    assert retention >= 0.5, (retention, chaotic["warm"], baseline["warm"])
+
+
 @pytest.mark.serving
 def test_serving_gateway_serial_executor_smoke(dblp_graph):
     """The serial executor follows the same accounting (no pool fork)."""

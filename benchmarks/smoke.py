@@ -8,7 +8,10 @@ the local index and the lazy maintainer, per backend), ``BENCH_fig6.json``
 ``BENCH_throughput.json`` (batched queries/sec on a cold vs warm execution
 runtime, plus the runtime's ship/pool accounting) and ``BENCH_serving.json``
 (qps and p50/p95 latency of the async multi-tenant gateway under concurrent
-clients, cold per-query baseline vs warm gateway) so every CI run records
+clients, cold per-query baseline vs warm gateway) and ``BENCH_chaos.json``
+(warm gateway qps/p95 with faults injected — one worker killed per N tasks
+plus one torn payload ship — next to the fault-free run, so CI records how
+much throughput the supervision layer retains) so every CI run records
 the perf trajectory of the repository.  Pure standard library — runnable
 as::
 
@@ -227,6 +230,77 @@ def bench_serving(scale: float, clients: int, workers: int) -> dict:
     }
 
 
+def bench_chaos(scale: float, clients: int, workers: int, kill_every: int = 100) -> dict:
+    """Warm gateway throughput under fault injection vs fault-free.
+
+    The same subset-heavy workload (every request slices, so every warm
+    batch rides the worker pool) runs twice: once clean, once under a plan
+    that kills one worker process per ``kill_every`` tasks and tears the
+    first payload ship's integrity header.  The interesting numbers are the
+    throughput retention (chaos qps / fault-free qps — the acceptance gate
+    holds it at >= 0.5) and the recovery counters (deaths, respawns,
+    retries) that explain where the lost time went.
+    """
+    from repro import faults
+    from repro.datasets.registry import load_dataset
+    from repro.serving import run_serving_benchmark
+
+    graphs = {
+        "dblp": load_dataset("dblp", scale=scale),
+        "livejournal": load_dataset("livejournal", scale=scale),
+    }
+    workload = dict(
+        clients=clients,
+        requests_per_client=2,
+        subset_every=1,
+        parallel=workers,
+        executor="process",
+        task_deadline=5.0,
+    )
+    fault_free = run_serving_benchmark(graphs, **workload)
+    plan = faults.FaultPlan(kill_every=kill_every, corrupt_ships=1)
+    chaos = run_serving_benchmark(graphs, **workload, fault_plan=plan)
+
+    def _warm(result: dict) -> dict:
+        return {
+            "mean_s": result["warm"]["mean_s"],
+            "qps": result["warm"]["qps"],
+            "p50_ms": result["warm"]["p50_ms"],
+            "p95_ms": result["warm"]["p95_ms"],
+        }
+
+    recovery: dict = {}
+    for stats in chaos["tenant_stats"].values():
+        for field in (
+            "worker_deaths",
+            "respawns",
+            "task_retries",
+            "deadline_misses",
+            "integrity_failures",
+            "fallbacks",
+        ):
+            recovery[field] = recovery.get(field, 0) + stats.get(field, 0)
+
+    return {
+        "bench": "chaos",
+        "unit": "seconds per request (warm phase)",
+        "datasets": chaos["tenants"],
+        "scale": scale,
+        "clients": clients,
+        "workers": workers,
+        "executor": "process",
+        "fault_plan": {"kill_every": kill_every, "corrupt_ships": 1},
+        "backends": {"fault_free": _warm(fault_free), "chaos": _warm(chaos)},
+        "faults": chaos["faults"],
+        "recovery": recovery,
+        "bit_identical": fault_free["bit_identical"] and chaos["bit_identical"],
+        "throughput_retention": chaos["warm"]["qps"] / fault_free["warm"]["qps"],
+        "speedup_fault_free_vs_chaos": (
+            chaos["warm"]["mean_s"] / fault_free["warm"]["mean_s"]
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="benchmark smoke runs -> JSON artifacts")
     parser.add_argument("--scale", type=float, default=0.1, help="dataset scale (default 0.1)")
@@ -247,6 +321,12 @@ def main(argv=None) -> int:
         "--workers", type=int, default=2, help="throughput workers per query (default 2)"
     )
     parser.add_argument(
+        "--chaos-kill-every",
+        type=int,
+        default=100,
+        help="chaos bench: kill one worker per N pool tasks (default 100)",
+    )
+    parser.add_argument(
         "--out", default="benchmarks/results", help="output directory for the JSON artifacts"
     )
     args = parser.parse_args(argv)
@@ -261,6 +341,12 @@ def main(argv=None) -> int:
         ("BENCH_session.json", bench_session(args.scale, args.k, args.repeats)),
         ("BENCH_throughput.json", bench_throughput(args.scale, args.queries, args.workers)),
         ("BENCH_serving.json", bench_serving(args.scale, args.clients, args.workers)),
+        (
+            "BENCH_chaos.json",
+            bench_chaos(
+                args.scale, args.clients, args.workers, kill_every=args.chaos_kill_every
+            ),
+        ),
     ):
         payload["environment"] = env
         path = out_dir / name

@@ -184,6 +184,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for the tenants' shared runtime (default: process)",
     )
     serve.add_argument("--seed", type=int, default=7, help="subset-sampling RNG seed")
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "inject deterministic faults (worker kills, stragglers, payload "
+            "corruption) into the warm phase; answers stay bit-identical — "
+            "the run reports the throughput of the recovered gateway"
+        ),
+    )
+    serve.add_argument(
+        "--chaos-kill-every",
+        type=int,
+        default=100,
+        help="kill the worker on every Nth task (default 100; 0 disables)",
+    )
+    serve.add_argument(
+        "--chaos-delay-every",
+        type=int,
+        default=0,
+        help="delay every Nth task by --chaos-delay-ms (default 0 = off)",
+    )
+    serve.add_argument(
+        "--chaos-delay-ms",
+        type=float,
+        default=50.0,
+        help="straggler delay in milliseconds (default 50)",
+    )
+    serve.add_argument(
+        "--chaos-raise-every",
+        type=int,
+        default=0,
+        help="raise inside the kernel on every Nth task (default 0 = off)",
+    )
+    serve.add_argument(
+        "--chaos-corrupt-ships",
+        type=int,
+        default=1,
+        help="corrupt the header of the first N payload ships (default 1)",
+    )
+    serve.add_argument(
+        "--task-deadline",
+        type=float,
+        default=None,
+        help=(
+            "per-task supervision deadline in seconds for every tenant "
+            "runtime (default: the runtime's own default)"
+        ),
+    )
+    serve.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        help="gateway per-request waiting bound in seconds (default: none)",
+    )
     _add_json_argument(serve)
 
     experiment = subparsers.add_parser("experiment", help="run a reproduction experiment")
@@ -496,6 +550,17 @@ def _run_serve(args: argparse.Namespace) -> None:
             f"choose from {', '.join(sorted(known))}"
         )
     graphs = {name: load_dataset(name, scale=args.scale) for name in names}
+    fault_plan = None
+    if args.chaos:
+        from repro import faults
+
+        fault_plan = faults.FaultPlan(
+            kill_every=args.chaos_kill_every,
+            delay_every=args.chaos_delay_every,
+            delay_seconds=args.chaos_delay_ms / 1e3,
+            raise_every=args.chaos_raise_every,
+            corrupt_ships=args.chaos_corrupt_ships,
+        )
     payload = run_serving_benchmark(
         graphs,
         clients=args.clients,
@@ -505,6 +570,9 @@ def _run_serve(args: argparse.Namespace) -> None:
         parallel=args.workers or None,
         executor=args.executor,
         seed=args.seed,
+        fault_plan=fault_plan,
+        task_deadline=args.task_deadline,
+        request_deadline=args.request_deadline,
     )
     payload["command"] = "serve"
     if args.json:
@@ -546,6 +614,35 @@ def _run_serve(args: argparse.Namespace) -> None:
         f"(= distinct (graph_id, version) pairs), "
         f"pool launches: {payload['pool']['launches']}"
     )
+    tenant_stats = payload.get("tenant_stats", {})
+    recovered = {
+        field: sum(stats.get(field, 0) for stats in tenant_stats.values())
+        for field in (
+            "worker_deaths",
+            "respawns",
+            "task_retries",
+            "deadline_misses",
+            "fallbacks",
+        )
+    }
+    if "faults" in payload:
+        injected = payload["faults"]
+        print(
+            f"chaos: injected {injected['kills']} kills, "
+            f"{injected['delays']} stragglers, {injected['raises']} raises, "
+            f"{injected['corruptions']} corrupt ships"
+        )
+    if any(recovered.values()) or gateway["batch_retries"] or gateway["circuit_opens"]:
+        print(
+            f"recovery: {recovered['worker_deaths']} worker deaths, "
+            f"{recovered['respawns']} pool respawns, "
+            f"{recovered['task_retries']} task retries, "
+            f"{recovered['deadline_misses']} task deadline misses, "
+            f"{recovered['fallbacks']} serial fallbacks; gateway: "
+            f"{gateway['batch_retries']} batch retries, "
+            f"{gateway['circuit_opens']} circuit opens, "
+            f"{gateway['deadline_misses']} request deadline misses"
+        )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -83,6 +83,99 @@ class InvalidParameterError(ReproError, ValueError):
     """
 
 
+class WorkerFaultError(ReproError, RuntimeError):
+    """Base class for serving-plane execution-infrastructure failures.
+
+    Everything under this class means *the machinery* (worker processes,
+    shared-memory transport, task scheduling) failed — not the query.  The
+    computation itself is pure and idempotent, so callers holding a serial
+    code path (``EgoSession`` does) can always re-answer bit-identically;
+    catching this base class is the degraded-mode switch.
+    """
+
+
+class WorkerCrashError(WorkerFaultError):
+    """Raised when a worker process died (was killed or exited) mid-task."""
+
+
+class TaskDeadlineError(WorkerFaultError):
+    """Raised when a task exceeded its deadline and its retries ran out."""
+
+
+class PoolBrokenError(WorkerFaultError):
+    """Raised when the worker pool cannot accept or complete tasks.
+
+    Covers failed submissions to a terminated/torn pool and respawn
+    failures.  The supervising runtime normally respawns the pool and
+    retries before letting this escape.
+    """
+
+
+class PoolStateError(WorkerFaultError):
+    """Raised when a pool operation is invalid in the pool's current state.
+
+    The message always names the state (``"new"`` — never started,
+    ``"running"``, or ``"closed"``) so a ``submit`` on a closed or
+    never-started pool fails loudly instead of surfacing as an opaque
+    ``AttributeError`` or a hang.
+    """
+
+
+class TaskQuarantinedError(WorkerFaultError):
+    """Raised when a task failed so often it was quarantined.
+
+    Poison-task isolation: a chunk that keeps killing or timing out workers
+    is pulled out of the pool rotation (later batches compute it serially
+    in the parent) so one pathological chunk cannot crash-loop the pool.
+    """
+
+
+class PayloadIntegrityError(WorkerFaultError):
+    """Raised when a worker attaches a torn/corrupt shared-memory payload.
+
+    Every shipped segment carries a ``(magic, lengths, checksum)`` header;
+    a mismatch means the segment was torn or corrupted and must be
+    unlinked and re-shipped, never cast and dereferenced.
+    """
+
+
+class PayloadEvictedError(WorkerFaultError, KeyError):
+    """Raised when acquiring a payload-store key that is not resident.
+
+    The key was either evicted (its last holder released it) or never
+    shipped; the message names the key and the resident keys.
+    """
+
+    def __init__(self, key, resident=()) -> None:
+        super().__init__(key)
+        self.key = key
+        self.resident = tuple(resident)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"payload key {self.key!r} is not resident (evicted or never "
+            f"shipped); resident keys: {list(self.resident)!r}"
+        )
+
+
+class InjectedFaultError(WorkerFaultError):
+    """Raised by the fault-injection harness (:mod:`repro.faults`).
+
+    Marks a *deliberate* failure injected by an active
+    :class:`~repro.faults.FaultPlan`; the supervision layer treats it as
+    transient (retry), exactly like a real worker fault.
+    """
+
+
+class DegradedModeError(WorkerFaultError):
+    """Raised when the parallel plane is broken and fallback is disabled.
+
+    Sessions fall back to the serial kernels by default (bit-identical
+    answers, degraded latency) and never raise this; it only escapes from
+    a session constructed with ``degraded_fallback=False``.
+    """
+
+
 class GatewayError(ReproError):
     """Base class for serving-gateway failures."""
 
@@ -97,6 +190,26 @@ class GatewayOverloadedError(GatewayError, RuntimeError):
     The gateway sheds load instead of buffering without bound: callers
     should retry with back-off or route to another replica.  The message
     names the tenant and the configured ``max_pending``.
+    """
+
+
+class RequestTimeoutError(GatewayError, TimeoutError):
+    """Raised when a gateway request missed its per-request deadline.
+
+    The computation may still complete and warm the tenant's memo, but the
+    caller has been released: a deadline bounds *waiting*, not work.
+    """
+
+
+class CircuitOpenError(GatewayOverloadedError):
+    """Raised when a tenant's circuit breaker is open (load shedding).
+
+    After ``circuit_threshold`` consecutive infrastructure failures the
+    gateway stops queueing work for the tenant and fails fast until the
+    reset window elapses; then one half-open probe batch decides whether
+    the circuit closes again.  A subtype of
+    :class:`GatewayOverloadedError` so existing shed-and-retry handlers
+    keep working.
     """
 
 

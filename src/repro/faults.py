@@ -1,0 +1,249 @@
+"""Fault-injection harness for the serving plane.
+
+A :class:`FaultPlan` describes *deterministic* failures to inject into the
+parallel execution path: kill the worker on every Nth task, delay every
+Nth task by T seconds (a straggler), raise inside the kernel on every Nth
+task, and corrupt the integrity header of the first C shipped payloads.
+
+The plan is drawn **parent-side**: :class:`ExecutionRuntime` consults the
+process-global active plan when it submits each task and ships the drawn
+action *with* the task, so fault counting is deterministic regardless of
+which worker picks the task up.  The worker merely performs whatever
+action rode along (``os._exit``, ``sleep``, ``raise``).  Ship corruption
+is applied parent-side too, by flipping the checksum word of the freshly
+shipped segment — the next worker attach detects the mismatch exactly as
+it would a torn write.
+
+Usage (tests and the ``repro serve --chaos`` CLI path)::
+
+    from repro import faults
+
+    plan = faults.FaultPlan(kill_every=100, delay_every=70,
+                            delay_seconds=0.3, corrupt_ships=1)
+    with faults.inject(plan):
+        ...  # every parallel batch in this block draws from the plan
+    plan.stats()  # {"kills": 2, "delays": 1, ...}
+
+The serial execution path never consults the plan: it is the trusted
+degraded-mode oracle the supervision layer falls back to.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.errors import InjectedFaultError, InvalidParameterError
+
+__all__ = [
+    "FaultPlan",
+    "active",
+    "clear",
+    "draw_ship_corruption",
+    "draw_task_fault",
+    "inject",
+    "install",
+    "perform",
+]
+
+#: Exit code used by the ``kill`` fault so a supervised death is
+#: distinguishable from a genuine crash in worker logs.
+KILL_EXIT_CODE = 86
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    Parameters
+    ----------
+    kill_every:
+        Kill the worker process (``os._exit``) on every Nth task
+        (0 disables).  The parent sees a vanished pid and a task that
+        never completes — the worker-death recovery path.
+    delay_every:
+        Sleep ``delay_seconds`` before every Nth task (0 disables) — the
+        straggler/deadline-miss recovery path.
+    delay_seconds:
+        Straggler sleep duration.
+    raise_every:
+        Raise :class:`InjectedFaultError` inside the kernel on every Nth
+        task (0 disables) — the transient-task-failure retry path.
+    corrupt_ships:
+        Corrupt the integrity header of the first C shipped payloads —
+        the torn-segment detect/unlink/re-ship path.
+
+    When several ``*_every`` patterns coincide on the same task ordinal,
+    one fault is injected with priority kill > raise > delay.
+    """
+
+    def __init__(
+        self,
+        *,
+        kill_every: int = 0,
+        delay_every: int = 0,
+        delay_seconds: float = 0.05,
+        raise_every: int = 0,
+        corrupt_ships: int = 0,
+    ) -> None:
+        for name, value in (
+            ("kill_every", kill_every),
+            ("delay_every", delay_every),
+            ("raise_every", raise_every),
+            ("corrupt_ships", corrupt_ships),
+        ):
+            if value < 0:
+                raise InvalidParameterError(f"{name} must be >= 0, got {value}")
+        if delay_seconds < 0:
+            raise InvalidParameterError(
+                f"delay_seconds must be >= 0, got {delay_seconds}"
+            )
+        self.kill_every = int(kill_every)
+        self.delay_every = int(delay_every)
+        self.delay_seconds = float(delay_seconds)
+        self.raise_every = int(raise_every)
+        self.corrupt_ships = int(corrupt_ships)
+        self._lock = threading.Lock()
+        self._tasks_seen = 0
+        self._ships_seen = 0
+        self._injected = {"kills": 0, "delays": 0, "raises": 0, "corruptions": 0}
+
+    # ------------------------------------------------------------------
+    # Parent-side draws
+    # ------------------------------------------------------------------
+    def draw_task_fault(self) -> Optional[Tuple[Any, ...]]:
+        """Draw the fault (if any) for the next submitted task.
+
+        Returns ``None`` or an action tuple shipped with the task:
+        ``("kill",)``, ``("raise", message)`` or ``("delay", seconds)``.
+        """
+        with self._lock:
+            self._tasks_seen += 1
+            ordinal = self._tasks_seen
+            if self.kill_every and ordinal % self.kill_every == 0:
+                self._injected["kills"] += 1
+                return ("kill",)
+            if self.raise_every and ordinal % self.raise_every == 0:
+                self._injected["raises"] += 1
+                return ("raise", f"injected fault on task #{ordinal}")
+            if self.delay_every and ordinal % self.delay_every == 0:
+                self._injected["delays"] += 1
+                return ("delay", self.delay_seconds)
+        return None
+
+    def draw_ship_corruption(self) -> bool:
+        """True if the payload being shipped right now should be corrupted."""
+        with self._lock:
+            self._ships_seen += 1
+            if self._injected["corruptions"] < self.corrupt_ships:
+                self._injected["corruptions"] += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counts of injected faults (and draw totals) so far."""
+        with self._lock:
+            return {
+                "tasks_seen": self._tasks_seen,
+                "ships_seen": self._ships_seen,
+                **dict(self._injected),
+            }
+
+    def reset(self) -> None:
+        """Zero the counters (the schedule restarts from task #1)."""
+        with self._lock:
+            self._tasks_seen = 0
+            self._ships_seen = 0
+            for key in self._injected:
+                self._injected[key] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(kill_every={self.kill_every}, "
+            f"delay_every={self.delay_every}, "
+            f"delay_seconds={self.delay_seconds}, "
+            f"raise_every={self.raise_every}, "
+            f"corrupt_ships={self.corrupt_ships})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Process-global plan registry
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultPlan] = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the process-global active plan (replacing any)."""
+    global _ACTIVE
+    if not isinstance(plan, FaultPlan):
+        raise InvalidParameterError(
+            f"install expects a FaultPlan, got {type(plan).__name__}"
+        )
+    with _ACTIVE_LOCK:
+        _ACTIVE = plan
+    return plan
+
+
+def clear() -> None:
+    """Deactivate fault injection."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = None
+
+
+def active() -> Optional[FaultPlan]:
+    """The currently installed plan, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager: install ``plan`` for the block, then restore."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        previous = _ACTIVE
+        _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        with _ACTIVE_LOCK:
+            _ACTIVE = previous
+
+
+def draw_task_fault() -> Optional[Tuple[Any, ...]]:
+    """Draw from the active plan (None when injection is off)."""
+    plan = _ACTIVE
+    return plan.draw_task_fault() if plan is not None else None
+
+
+def draw_ship_corruption() -> bool:
+    """Ship-corruption draw from the active plan (False when off)."""
+    plan = _ACTIVE
+    return plan.draw_ship_corruption() if plan is not None else False
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+def perform(fault: Optional[Tuple[Any, ...]]) -> None:
+    """Execute a fault action tuple inside the worker (no-op on ``None``)."""
+    if fault is None:
+        return
+    kind = fault[0]
+    if kind == "kill":
+        # A hard exit, exactly like SIGKILL from the outside: no cleanup,
+        # no exception back to the parent — the task simply never returns.
+        os._exit(KILL_EXIT_CODE)
+    if kind == "delay":
+        time.sleep(fault[1])
+        return
+    if kind == "raise":
+        raise InjectedFaultError(fault[1])
+    raise InvalidParameterError(f"unknown fault action {fault!r}")

@@ -69,12 +69,21 @@ from __future__ import annotations
 import atexit
 import threading
 import time
+import zlib
 from array import array
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import InvalidParameterError
+from repro import faults as _faults
+from repro.errors import (
+    InjectedFaultError,
+    InvalidParameterError,
+    PayloadEvictedError,
+    PayloadIntegrityError,
+    PoolBrokenError,
+    PoolStateError,
+)
 from repro.graph.csr import CompactGraph
 
 __all__ = [
@@ -88,12 +97,30 @@ __all__ = [
     "shared_worker_pool",
     "shared_payload_store",
     "DEFAULT_OVERSUBSCRIBE",
+    "DEFAULT_TASK_DEADLINE",
+    "DEFAULT_MAX_TASK_RETRIES",
 ]
 
 #: Chunks per worker produced by the dynamic schedule: small enough that an
 #: unlucky worker never sits on more than ``1/oversubscribe`` of the work,
 #: large enough that per-task submission overhead stays negligible.
 DEFAULT_OVERSUBSCRIBE = 4
+
+#: Default per-task deadline (seconds).  A chunk task that has not produced
+#: a result this long after submission is presumed lost (hung worker,
+#: silent death the pid check missed) and is resubmitted.  Chunk kernels at
+#: any realistic chunking are sub-second, so the default only fires on
+#: genuine hangs; ``task_deadline=None`` disables the straggler cutoff
+#: (worker-death detection stays on).
+DEFAULT_TASK_DEADLINE = 60.0
+
+#: Default per-task retry budget before a chunk is quarantined and computed
+#: serially in the parent (poison-task isolation).
+DEFAULT_MAX_TASK_RETRIES = 2
+
+#: Pool respawns one batch may attempt before giving up with
+#: :class:`PoolBrokenError`.
+_MAX_RESPAWNS_PER_BATCH = 3
 
 #: Fixed-width signed 64-bit array typecode used for the shipped buffers —
 #: one definition so parent writes and worker casts can never disagree.
@@ -194,6 +221,21 @@ class RuntimeStats:
     setup_seconds / compute_seconds:
         Cumulative split of where the time went: pool start-up + payload
         shipping vs kernel execution.
+    worker_deaths:
+        Worker processes this runtime observed vanishing mid-batch.
+    respawns:
+        Full pool respawns this runtime triggered (broken-pool recovery).
+    task_retries:
+        Chunk tasks resubmitted after a worker death, deadline miss,
+        injected fault or integrity failure.
+    deadline_misses:
+        Tasks that overran ``task_deadline`` and were resubmitted.
+    quarantined_tasks:
+        Chunks that exhausted their retry budget and were isolated to
+        serial in-parent execution (poison-task quarantine).
+    integrity_failures:
+        Torn/corrupt shared-memory payloads detected on worker attach
+        (each one triggers an unlink + re-ship).
     last_batch:
         The most recent :class:`BatchStats`, or ``None``.
     """
@@ -213,6 +255,12 @@ class RuntimeStats:
     tasks: int = 0
     setup_seconds: float = 0.0
     compute_seconds: float = 0.0
+    worker_deaths: int = 0
+    respawns: int = 0
+    task_retries: int = 0
+    deadline_misses: int = 0
+    quarantined_tasks: int = 0
+    integrity_failures: int = 0
     last_batch: Optional[BatchStats] = None
 
     def as_dict(self) -> Dict[str, Any]:
@@ -233,6 +281,12 @@ class RuntimeStats:
             "tasks": self.tasks,
             "setup_seconds": self.setup_seconds,
             "compute_seconds": self.compute_seconds,
+            "worker_deaths": self.worker_deaths,
+            "respawns": self.respawns,
+            "task_retries": self.task_retries,
+            "deadline_misses": self.deadline_misses,
+            "quarantined_tasks": self.quarantined_tasks,
+            "integrity_failures": self.integrity_failures,
         }
         if self.last_batch is not None:
             payload["last_batch"] = {
@@ -280,17 +334,29 @@ def _sweep_segments() -> None:  # pragma: no cover - exercised at exit
 # ----------------------------------------------------------------------
 # Parent-side transport: one shared-memory segment per (graph_id, version)
 # ----------------------------------------------------------------------
+#: Integrity header prepended to every shipped segment: four int64 words —
+#: ``[magic, len(indptr), len(indices), adler32(data region)]``.  Workers
+#: verify all four on attach, so a torn or corrupted ship is detected and
+#: re-shipped instead of being cast and dereferenced.
+_HEADER_WORDS = 4
+_HEADER_BYTES = _HEADER_WORDS * _ITEMSIZE
+_PAYLOAD_MAGIC = 0x45474F4257  # "EGOBW"
+
+
 class _ShippedPayload:
     """The CSR arrays of one graph version, materialised in shared memory.
 
-    Layout: ``indptr`` (``n + 1`` int64) immediately followed by ``indices``
+    Layout: a four-word integrity header (magic, array lengths, checksum),
+    then ``indptr`` (``n + 1`` int64) immediately followed by ``indices``
     (``2m`` int64).  ``meta`` is the tiny picklable handle shipped with
     every task: ``(segment_name, len(indptr), len(indices))``.
 
     Creation is exception-safe: the segment registers itself with the
     module's live-segment table *before* the arrays are written, and a
     ``weakref.finalize`` guard unlinks it if the payload is garbage
-    collected (or the interpreter exits) without :meth:`close`.
+    collected (or the interpreter exits) without :meth:`close`.  The
+    checksum is written *after* the data region, so a parent that dies
+    mid-write leaves a header that can never verify.
     """
 
     __slots__ = ("shm", "meta", "nbytes", "_finalizer", "__weakref__")
@@ -303,18 +369,39 @@ class _ShippedPayload:
         indices = array(_TYPECODE, compact.indices)
         ptr_bytes = len(indptr) * _ITEMSIZE
         self.nbytes = ptr_bytes + len(indices) * _ITEMSIZE
-        self.shm = shared_memory.SharedMemory(create=True, size=max(self.nbytes, 1))
+        total_bytes = _HEADER_BYTES + self.nbytes
+        self.shm = shared_memory.SharedMemory(create=True, size=max(total_bytes, 1))
         with _SEGMENTS_LOCK:
             _LIVE_SEGMENTS[self.shm.name] = self.shm
         self._finalizer = weakref.finalize(self, _unlink_segment, self.shm.name)
         try:
-            self.shm.buf[:ptr_bytes] = indptr.tobytes()
+            buf = self.shm.buf
+            data_end = _HEADER_BYTES + self.nbytes
+            buf[_HEADER_BYTES : _HEADER_BYTES + ptr_bytes] = indptr.tobytes()
             if indices:
-                self.shm.buf[ptr_bytes : self.nbytes] = indices.tobytes()
+                buf[_HEADER_BYTES + ptr_bytes : data_end] = indices.tobytes()
+            checksum = zlib.adler32(buf[_HEADER_BYTES:data_end])
+            header = array(
+                _TYPECODE, [_PAYLOAD_MAGIC, len(indptr), len(indices), checksum]
+            )
+            buf[:_HEADER_BYTES] = header.tobytes()
         except BaseException:
             self.close()
             raise
         self.meta = (self.shm.name, len(indptr), len(indices))
+
+    def corrupt_header(self) -> None:
+        """Flip checksum bits in place — a simulated torn ship.
+
+        Fault-injection hook (see :mod:`repro.faults`): the next worker
+        attach fails verification exactly as it would for a real torn
+        write, driving the detect → unlink → re-ship recovery path.
+        """
+        header = memoryview(self.shm.buf)[:_HEADER_BYTES].cast(_TYPECODE)
+        try:
+            header[3] ^= 0x5A5A5A5A
+        finally:
+            header.release()
 
     def close(self) -> None:
         self._finalizer.detach()
@@ -344,12 +431,57 @@ class _AttachedGraph:
 
         name, ptr_len, idx_len = meta
         self.shm = shared_memory.SharedMemory(name=name)
-        whole = memoryview(self.shm.buf)
-        ptr_bytes = ptr_len * _ITEMSIZE
-        indptr = whole[:ptr_bytes].cast(_TYPECODE)
-        indices = whole[ptr_bytes : ptr_bytes + idx_len * _ITEMSIZE].cast(_TYPECODE)
+        views: List[memoryview] = []
+        try:
+            whole = memoryview(self.shm.buf)
+            views.append(whole)
+            self._verify(whole, name, ptr_len, idx_len)
+            ptr_start = _HEADER_BYTES
+            ptr_bytes = ptr_len * _ITEMSIZE
+            indptr = whole[ptr_start : ptr_start + ptr_bytes].cast(_TYPECODE)
+            views.append(indptr)
+            indices = whole[
+                ptr_start + ptr_bytes : ptr_start + ptr_bytes + idx_len * _ITEMSIZE
+            ].cast(_TYPECODE)
+            views.append(indices)
+            self.kernel = CSRChunkKernel(indptr, indices)
+        except BaseException:
+            for view in reversed(views):
+                view.release()
+            self.shm.close()
+            raise
         self._views = (indices, indptr, whole)
-        self.kernel = CSRChunkKernel(indptr, indices)
+
+    @staticmethod
+    def _verify(whole: memoryview, name: str, ptr_len: int, idx_len: int) -> None:
+        """Check the integrity header against the task meta and the data.
+
+        A mismatch means the segment was torn mid-write or corrupted in
+        place; raising (picklable) :class:`PayloadIntegrityError` back to
+        the parent triggers the unlink → re-ship → resubmit recovery.
+        """
+        header = whole[:_HEADER_BYTES].cast(_TYPECODE)
+        try:
+            magic, h_ptr, h_idx, checksum = header[0], header[1], header[2], header[3]
+        finally:
+            header.release()
+        if magic != _PAYLOAD_MAGIC or h_ptr != ptr_len or h_idx != idx_len:
+            raise PayloadIntegrityError(
+                f"payload segment {name!r} header mismatch: "
+                f"magic={magic:#x} lengths=({h_ptr}, {h_idx}), "
+                f"expected magic={_PAYLOAD_MAGIC:#x} lengths=({ptr_len}, {idx_len})"
+            )
+        data_end = _HEADER_BYTES + (ptr_len + idx_len) * _ITEMSIZE
+        data = whole[_HEADER_BYTES:data_end]
+        try:
+            actual = zlib.adler32(data)
+        finally:
+            data.release()
+        if actual != checksum:
+            raise PayloadIntegrityError(
+                f"payload segment {name!r} checksum mismatch "
+                f"(stored {checksum:#x}, computed {actual:#x}): torn ship"
+            )
 
     def close(self) -> None:
         self.kernel = None
@@ -395,21 +527,28 @@ def _encode_ids(chunk: Sequence[int]):
     return ("l", list(chunk))
 
 
-def _score_task(meta: Tuple[str, int, int], index: int, spec):
-    """Pool task: score one chunk against the worker's attached graph."""
+def _score_task(meta: Tuple[str, int, int], index: int, spec, fault=None):
+    """Pool task: score one chunk against the worker's attached graph.
+
+    ``fault`` is the action drawn parent-side by the fault-injection
+    harness (``None`` outside chaos runs) and is performed before the
+    kernel touches the payload.
+    """
+    _faults.perform(fault)
     kernel = _attached(meta).kernel
     start = time.perf_counter()
     scores = kernel.score_chunk(_decode_ids(spec))
     return index, scores, time.perf_counter() - start
 
 
-def _topk_task(meta: Tuple[str, int, int], index: int, spec, k: int):
+def _topk_task(meta: Tuple[str, int, int], index: int, spec, k: int, fault=None):
     """Pool task: return the chunk's top-k candidates, not scores.
 
     The worker-side reduction: ``k`` ``(id, score)`` entries plus any ties
     at the chunk threshold leave the worker, in ascending id order,
     instead of one score per chunk id.
     """
+    _faults.perform(fault)
     kernel = _attached(meta).kernel
     start = time.perf_counter()
     entries = kernel.top_chunk(_decode_ids(spec), k)
@@ -443,25 +582,51 @@ class WorkerPool:
     singleton of :func:`shared_worker_pool`), in which case it survives
     individual tenants and is torn down at interpreter exit.
 
+    The pool is *supervised*: it tracks the pids of its fork workers, so
+    :meth:`check_workers` can report deaths (``mp.Pool``'s maintenance
+    thread replaces dead processes, but their in-flight tasks are lost —
+    the supervising runtime resubmits them), and :meth:`respawn` replaces a
+    broken pool wholesale with bounded exponential backoff between
+    consecutive respawns.
+
     Parameters
     ----------
     max_workers:
         Pool size (default ``os.cpu_count()``).
     keep_alive:
         Keep the processes running after the refcount drops to zero.
+    respawn_backoff / max_respawn_backoff:
+        Exponential-backoff window between consecutive :meth:`respawn`
+        calls: the first respawn is immediate, later ones sleep
+        ``respawn_backoff × 2^n`` capped at ``max_respawn_backoff``.  The
+        runtime resets the window after every healthy batch.
     """
 
-    def __init__(self, max_workers: Optional[int] = None, keep_alive: bool = False) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        keep_alive: bool = False,
+        respawn_backoff: float = 0.05,
+        max_respawn_backoff: float = 2.0,
+    ) -> None:
         import os
         import weakref
 
         if max_workers is not None and max_workers < 1:
             raise InvalidParameterError("max_workers must be positive")
+        if respawn_backoff < 0 or max_respawn_backoff < 0:
+            raise InvalidParameterError("respawn backoff values must be >= 0")
         self.max_workers = max_workers or os.cpu_count() or 1
         self.keep_alive = keep_alive
+        self.respawn_backoff = respawn_backoff
+        self.max_respawn_backoff = max_respawn_backoff
         self.launches = 0
+        self.respawns = 0
+        self.worker_deaths = 0
         self._refs = 0
         self._closed = False
+        self._next_backoff = 0.0
+        self._known_pids: set = set()
         self._lock = threading.Lock()
         # Mutable holder shared with the GC finaliser: the finaliser must
         # not keep ``self`` alive, yet must see the *current* pool.
@@ -477,6 +642,13 @@ class WorkerPool:
     def closed(self) -> bool:
         """``True`` once the pool has been shut down for good."""
         return self._closed
+
+    @property
+    def state(self) -> str:
+        """Lifecycle state name: ``"new"``, ``"running"`` or ``"closed"``."""
+        if self._closed:
+            return "closed"
+        return "running" if self.started else "new"
 
     @property
     def references(self) -> int:
@@ -505,24 +677,114 @@ class WorkerPool:
                 raise InvalidParameterError("this WorkerPool has been shut down")
             if self._state["pool"] is not None:
                 return False
-            import multiprocessing
-
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = multiprocessing.get_context()
-            self._state["pool"] = context.Pool(processes=self.max_workers)
-            self.launches += 1
+            self._fork_locked()
             return True
 
+    def _fork_locked(self) -> None:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        pool = context.Pool(processes=self.max_workers)
+        self._state["pool"] = pool
+        self._known_pids = self._live_pids(pool)
+        self.launches += 1
+
+    @staticmethod
+    def _live_pids(pool) -> set:
+        return {
+            proc.pid
+            for proc in list(getattr(pool, "_pool", None) or [])
+            if proc.exitcode is None
+        }
+
+    def worker_pids(self) -> set:
+        """Pids of the currently live worker processes (empty if not started)."""
+        with self._lock:
+            pool = self._state["pool"]
+            return self._live_pids(pool) if pool is not None else set()
+
+    def check_workers(self) -> int:
+        """Count workers that vanished since the last check.
+
+        ``mp.Pool``'s maintenance thread replaces a dead process, but any
+        task it was executing is silently lost — the caller must resubmit
+        in-flight work whenever this returns non-zero.  Each death is
+        reported exactly once (replacement pids are folded into the known
+        set).
+        """
+        with self._lock:
+            pool = self._state["pool"]
+            if pool is None:
+                return 0
+            live = self._live_pids(pool)
+            dead = self._known_pids - live
+            self._known_pids = live
+            if dead:
+                self.worker_deaths += len(dead)
+            return len(dead)
+
+    def respawn(self) -> float:
+        """Replace a broken pool with freshly forked processes.
+
+        Sleeps the current backoff window first (0 on the first respawn,
+        doubling up to ``max_respawn_backoff`` on consecutive ones — call
+        :meth:`reset_backoff` after a healthy batch), then terminates
+        whatever processes remain and forks a new pool.  Returns the delay
+        slept.  Raises :class:`PoolStateError` on a closed pool.
+        """
+        with self._lock:
+            if self._closed:
+                raise PoolStateError(
+                    "cannot respawn a WorkerPool in state 'closed'"
+                )
+            delay = self._next_backoff
+            self._next_backoff = min(
+                max(delay * 2, self.respawn_backoff), self.max_respawn_backoff
+            )
+        if delay:
+            time.sleep(delay)
+        with self._lock:
+            if self._closed:
+                raise PoolStateError(
+                    "cannot respawn a WorkerPool in state 'closed'"
+                )
+            _terminate_pool_state(self._state)
+            self._fork_locked()
+            self.respawns += 1
+        return delay
+
+    def reset_backoff(self) -> None:
+        """Arm the next respawn to fire immediately (healthy-batch signal)."""
+        with self._lock:
+            self._next_backoff = 0.0
+
     def submit(self, task, args: tuple):
-        """Submit ``task(*args)`` to the pool's shared queue (async result)."""
+        """Submit ``task(*args)`` to the pool's shared queue (async result).
+
+        Raises :class:`PoolStateError` — naming the pool state — on a pool
+        that is closed or was never started, and :class:`PoolBrokenError`
+        when the underlying ``mp.Pool`` refuses the task (torn down or
+        broken mid-flight; callers respawn and retry).
+        """
         pool = self._state["pool"]
         if pool is None:
-            raise InvalidParameterError(
-                "WorkerPool.submit before ensure_started — no processes running"
+            raise PoolStateError(
+                f"WorkerPool.submit on a pool in state {self.state!r}: "
+                + (
+                    "the pool has been shut down and cannot accept tasks"
+                    if self._closed
+                    else "no worker processes are running — call ensure_started() first"
+                )
             )
-        return pool.apply_async(task, args)
+        try:
+            return pool.apply_async(task, args)
+        except Exception as exc:
+            raise PoolBrokenError(
+                f"WorkerPool.submit failed on a broken pool: {exc}"
+            ) from exc
 
     def close(self) -> None:
         """Terminate the processes now, whatever the refcount (idempotent)."""
@@ -740,10 +1002,38 @@ class PayloadStore:
         )
 
     def acquire(self, key: PayloadKey) -> _StoreEntry:
-        """Take an extra reference on a resident key."""
+        """Take an extra reference on a resident key.
+
+        Raises :class:`PayloadEvictedError` — naming the key and the
+        resident keys — when the key was evicted or never shipped, instead
+        of surfacing an opaque ``KeyError``.
+        """
         with self._lock:
-            entry = self._entries[key]
+            entry = self._entries.get(key)
+            if entry is None:
+                raise PayloadEvictedError(key, resident=list(self._entries))
             entry.refs += 1
+            return entry
+
+    def reship(self, key: PayloadKey) -> _StoreEntry:
+        """Re-materialise a resident key's shared-memory segment.
+
+        The integrity-recovery path: when a worker reports a torn or
+        corrupt segment, the old segment is unlinked and the entry's
+        retained snapshot is written into a fresh one under the same key
+        (refcounts untouched).  Returns the entry with its new payload.
+        """
+        with self._lock:
+            if self._closed:
+                raise InvalidParameterError("this PayloadStore has been closed")
+            entry = self._entries.get(key)
+            if entry is None:
+                raise PayloadEvictedError(key, resident=list(self._entries))
+            if entry.payload is not None:
+                entry.payload.close()
+                entry.payload = None
+            entry.payload = _ShippedPayload(entry.compact)
+            self._account_ship_locked(entry)
             return entry
 
     def release(self, key: PayloadKey) -> None:
@@ -833,6 +1123,16 @@ class ExecutionRuntime:
     store:
         An existing :class:`PayloadStore` to ship into; ``None`` creates a
         private store that closes with this runtime.
+    task_deadline:
+        Per-task straggler deadline in seconds (``None`` disables).  A
+        submitted chunk with no result after this long is presumed lost
+        and resubmitted (the kernels are pure, so duplicates are
+        idempotent).  Default :data:`DEFAULT_TASK_DEADLINE`.
+    max_task_retries:
+        Resubmissions a single chunk may consume (worker death, deadline
+        miss, injected fault, integrity failure) before it is quarantined
+        and computed serially in the parent.  Default
+        :data:`DEFAULT_MAX_TASK_RETRIES`.
 
     Notes
     -----
@@ -851,6 +1151,8 @@ class ExecutionRuntime:
         oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
         pool: Optional[WorkerPool] = None,
         store: Optional[PayloadStore] = None,
+        task_deadline: Optional[float] = DEFAULT_TASK_DEADLINE,
+        max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
     ) -> None:
         import weakref
 
@@ -858,6 +1160,12 @@ class ExecutionRuntime:
             raise InvalidParameterError("max_workers must be positive")
         if oversubscribe < 1:
             raise InvalidParameterError("oversubscribe must be positive")
+        if task_deadline is not None and task_deadline <= 0:
+            raise InvalidParameterError("task_deadline must be positive or None")
+        if max_task_retries < 0:
+            raise InvalidParameterError("max_task_retries must be >= 0")
+        self.task_deadline = task_deadline
+        self.max_task_retries = max_task_retries
         self.executor = ParallelBackend(executor)
         if pool is None:
             pool = WorkerPool(max_workers)
@@ -875,6 +1183,13 @@ class ExecutionRuntime:
             "entry_key": None,
         }
         self._entry: Optional[_StoreEntry] = None
+        # Poison-task quarantine: (payload key, encoded chunk spec) pairs
+        # that exhausted their retry budget execute serially in the parent
+        # for the life of this runtime.
+        self._quarantine: set = set()
+        #: Poll granularity of the supervised result loop: how quickly a
+        #: worker death / straggler is noticed while results are pending.
+        self._poll_seconds = 0.02
         # The snapshot THIS runtime last executed on — the ship/release
         # short-circuit must be runtime-local, because a key-hit entry in a
         # shared store does not retain later holders' snapshot objects.
@@ -975,6 +1290,10 @@ class ExecutionRuntime:
         if shipped:
             self._stats.payload_ships += 1
             self._stats.payload_bytes_shipped += entry.nbytes
+            if entry.payload is not None and _faults.draw_ship_corruption():
+                # Chaos hook: a "torn" ship — workers will detect the bad
+                # checksum on attach and the batch re-ships cleanly.
+                entry.payload.corrupt_header()
         self._stats.payload_bytes = entry.nbytes
         if self._estimates_for != entry.key:
             self._estimates = None
@@ -989,6 +1308,158 @@ class ExecutionRuntime:
         if started:
             self._stats.pool_launches += 1
         return started
+
+    # ------------------------------------------------------------------
+    # Supervised process execution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _spec_key(spec) -> Tuple:
+        """A hashable identity for an encoded chunk spec (quarantine key)."""
+        if spec[0] == "r":
+            return spec
+        return ("l", tuple(spec[1]))
+
+    def _reship_payload(self) -> None:
+        """Replace the attached entry's segment after an integrity failure."""
+        entry = self.store.reship(self._entry.key)
+        self._stats.payload_ships += 1
+        self._stats.payload_bytes_shipped += entry.nbytes
+
+    def _run_supervised(
+        self,
+        task_fn: Callable,
+        tasks: Sequence[Tuple[int, Sequence[int]]],
+        extra: Tuple,
+        serial_chunk: Callable[[Sequence[int]], Any],
+    ) -> Dict[int, Tuple[Any, float]]:
+        """Submit chunk tasks and collect results under supervision.
+
+        The happy path is the old submit-then-get loop; on top of it this
+        detects vanished workers (pid liveness), resubmits their lost
+        tasks, retries stragglers past ``task_deadline`` and tasks hit by
+        injected faults, re-ships torn payloads, respawns a broken pool
+        with bounded backoff, and quarantines chunks that exhaust their
+        retry budget (they run serially in the parent — the kernels are
+        pure, so every recovery path stays bit-identical).
+
+        Returns ``{chunk index: (result payload, kernel seconds)}`` for
+        every submitted task.  Deterministic kernel errors (anything that
+        is not a worker fault) propagate unchanged.
+        """
+        pool: WorkerPool = self.pool
+        stats = self._stats
+        chunk_of: Dict[int, Sequence[int]] = dict(tasks)
+        specs = {index: _encode_ids(chunk) for index, chunk in tasks}
+        retries = {index: 0 for index, _ in tasks}
+        outputs: Dict[int, Tuple[Any, float]] = {}
+        # index -> [async_result, submitted_at, meta-at-submit]
+        pending: Dict[int, List[Any]] = {}
+        to_submit = [index for index, _ in tasks]
+        respawn_budget = _MAX_RESPAWNS_PER_BATCH
+
+        def run_quarantined(index: int) -> None:
+            start = time.perf_counter()
+            payload = serial_chunk(chunk_of[index])
+            outputs[index] = (payload, time.perf_counter() - start)
+
+        def charge_retry(index: int) -> None:
+            retries[index] += 1
+            if retries[index] > self.max_task_retries:
+                self._quarantine.add((self._entry.key, self._spec_key(specs[index])))
+                stats.quarantined_tasks += 1
+                run_quarantined(index)
+            else:
+                stats.task_retries += 1
+                to_submit.append(index)
+
+        while to_submit or pending:
+            # --- submit everything queued --------------------------------
+            while to_submit:
+                index = to_submit[-1]
+                if (self._entry.key, self._spec_key(specs[index])) in self._quarantine:
+                    to_submit.pop()
+                    run_quarantined(index)
+                    continue
+                meta = self._entry.payload.meta
+                fault = _faults.draw_task_fault()
+                try:
+                    result = pool.submit(
+                        task_fn, (meta, index, specs[index]) + extra + (fault,)
+                    )
+                except PoolStateError:
+                    raise
+                except PoolBrokenError:
+                    # The pool itself is torn: every in-flight result is
+                    # orphaned.  Respawn (bounded backoff) and resubmit the
+                    # lot — or give up if the pool will not come back.
+                    if respawn_budget <= 0:
+                        raise
+                    respawn_budget -= 1
+                    to_submit.extend(pending)
+                    pending.clear()
+                    pool.respawn()
+                    stats.respawns += 1
+                    continue
+                to_submit.pop()
+                pending[index] = [result, time.monotonic(), meta]
+
+            if not pending:
+                break
+
+            # --- collect whatever is ready -------------------------------
+            progressed = False
+            for index in list(pending):
+                result, _, meta = pending[index]
+                if not result.ready():
+                    continue
+                del pending[index]
+                progressed = True
+                try:
+                    out = result.get()
+                except (PayloadIntegrityError, FileNotFoundError):
+                    # Torn/corrupt segment (or a stale segment name after a
+                    # concurrent re-ship): re-ship once per corruption, then
+                    # retry the task against the fresh segment.
+                    stats.integrity_failures += 1
+                    if meta == self._entry.payload.meta:
+                        self._reship_payload()
+                    charge_retry(index)
+                except InjectedFaultError:
+                    charge_retry(index)
+                else:
+                    out_index, payload, seconds = out
+                    outputs[out_index] = (payload, seconds)
+
+            if progressed or not pending:
+                continue
+
+            # --- nothing ready: health and deadline checks ---------------
+            next(iter(pending.values()))[0].wait(self._poll_seconds)
+            deaths = pool.check_workers()
+            if deaths:
+                stats.worker_deaths += deaths
+                # A vanished worker silently drops whatever it was
+                # executing; queued tasks survive, but telling them apart
+                # is impossible from here — resubmit every in-flight task
+                # (idempotent; results are keyed and merged by index).
+                for index in list(pending):
+                    if pending[index][0].ready():
+                        continue
+                    del pending[index]
+                    charge_retry(index)
+                continue
+            if self.task_deadline is not None:
+                now = time.monotonic()
+                for index in list(pending):
+                    result, submitted_at, _ = pending[index]
+                    if result.ready() or now - submitted_at <= self.task_deadline:
+                        continue
+                    del pending[index]
+                    stats.deadline_misses += 1
+                    charge_retry(index)
+
+        pool.reset_backoff()
+        return outputs
 
     def _work_estimates(self, compact: CompactGraph) -> List[float]:
         """Per-id work estimates of the attached graph (cached per key)."""
@@ -1109,13 +1580,20 @@ class ExecutionRuntime:
                 )
                 chunk_seconds[i] = time.perf_counter() - start
         else:
-            meta = self._entry.payload.meta
-            results = [
-                self.pool.submit(_score_task, (meta, i, _encode_ids(chunk)))
-                for i, chunk in tasks
-            ]
-            for result in results:
-                i, scores, seconds = result.get()
+            from repro.core.csr_kernels import ego_betweenness_from_arrays
+
+            def serial_chunk(chunk):
+                return ego_betweenness_from_arrays(
+                    compact.indptr,
+                    compact.indices,
+                    chunk,
+                    compact.neighbor_sets(),
+                    compact.dense_adjacency(),
+                )
+
+            outputs = self._run_supervised(_score_task, tasks, (), serial_chunk)
+            for i, _ in tasks:
+                scores, seconds = outputs[i]
                 merged.update(scores)
                 chunk_seconds[i] = seconds
         merged = {pid: merged[pid] for pid in sorted(merged)}
@@ -1192,13 +1670,21 @@ class ExecutionRuntime:
                     )
                     chunk_seconds[i] = time.perf_counter() - start
             else:
-                meta = self._entry.payload.meta
-                results = [
-                    self.pool.submit(_topk_task, (meta, i, _encode_ids(chunk), cap))
-                    for i, chunk in tasks
-                ]
-                for result in results:
-                    i, entries, seconds = result.get()
+                from repro.core.csr_kernels import top_k_entries_from_arrays
+
+                def serial_chunk(chunk):
+                    return top_k_entries_from_arrays(
+                        compact.indptr,
+                        compact.indices,
+                        chunk,
+                        cap,
+                        compact.neighbor_sets(),
+                        compact.dense_adjacency(),
+                    )
+
+                outputs = self._run_supervised(_topk_task, tasks, (cap,), serial_chunk)
+                for i, _ in tasks:
+                    entries, seconds = outputs[i]
                     per_chunk[i] = entries
                     chunk_seconds[i] = seconds
         merged_entries: List[Tuple[int, float]] = []

@@ -53,10 +53,13 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.topk import TopKResult
 from repro.errors import (
+    CircuitOpenError,
     GatewayClosedError,
     GatewayOverloadedError,
     InvalidParameterError,
+    RequestTimeoutError,
     UnknownTenantError,
+    WorkerFaultError,
 )
 from repro.graph.graph import Vertex
 from repro.parallel.runtime import PayloadStore, WorkerPool
@@ -93,6 +96,16 @@ class GatewayStats:
     topk_requests / topk_runs / topk_coalesced:
         Top-k requests accepted, session executions they cost, and
         requests served by piggy-backing on an identical in-flight run.
+    deadline_misses:
+        Requests that missed their ``request_deadline`` (the caller got
+        :class:`~repro.errors.RequestTimeoutError`).
+    batch_retries / batch_faults:
+        Micro-batches retried once after a
+        :class:`~repro.errors.WorkerFaultError`, and batches that still
+        failed after the retry (every live request got the fault).
+    circuit_opens / circuit_shed:
+        Times a tenant's circuit breaker tripped open, and requests shed
+        with :class:`~repro.errors.CircuitOpenError` while it was open.
     per_tenant:
         Requests accepted per tenant id.
     """
@@ -111,6 +124,11 @@ class GatewayStats:
     topk_requests: int = 0
     topk_runs: int = 0
     topk_coalesced: int = 0
+    deadline_misses: int = 0
+    batch_retries: int = 0
+    batch_faults: int = 0
+    circuit_opens: int = 0
+    circuit_shed: int = 0
     per_tenant: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -136,6 +154,11 @@ class GatewayStats:
             "topk_requests": self.topk_requests,
             "topk_runs": self.topk_runs,
             "topk_coalesced": self.topk_coalesced,
+            "deadline_misses": self.deadline_misses,
+            "batch_retries": self.batch_retries,
+            "batch_faults": self.batch_faults,
+            "circuit_opens": self.circuit_opens,
+            "circuit_shed": self.circuit_shed,
             "per_tenant": dict(self.per_tenant),
         }
 
@@ -153,7 +176,18 @@ class _Request:
 class _Tenant:
     """Per-tenant serving state: session, pending batch, in-flight locks."""
 
-    __slots__ = ("tenant_id", "session", "pending", "timer", "lock", "backlog", "topk_inflight")
+    __slots__ = (
+        "tenant_id",
+        "session",
+        "pending",
+        "timer",
+        "lock",
+        "backlog",
+        "topk_inflight",
+        "circuit_state",
+        "consecutive_failures",
+        "circuit_open_until",
+    )
 
     def __init__(self, tenant_id: str, session: EgoSession) -> None:
         self.tenant_id = tenant_id
@@ -165,6 +199,11 @@ class _Tenant:
         self.lock = asyncio.Lock()
         self.backlog = 0
         self.topk_inflight: Dict[Tuple[int, int], asyncio.Task] = {}
+        # Circuit breaker over *infrastructure* failures (WorkerFaultError
+        # escaping a batch after its retry): closed → open → half_open.
+        self.circuit_state = "closed"
+        self.consecutive_failures = 0
+        self.circuit_open_until = 0.0
 
 
 class ServingGateway:
@@ -192,6 +231,22 @@ class ServingGateway:
     pool / store:
         Existing shared infrastructure to join; ``None`` creates
         gateway-owned instances (released at :meth:`close`).
+    request_deadline:
+        Per-request waiting bound in seconds (``None`` — the default —
+        waits without bound).  A caller whose answer has not landed
+        within the deadline gets :class:`RequestTimeoutError`; the
+        batch keeps computing and warms the tenant's memo for the retry.
+    circuit_threshold / circuit_reset_seconds:
+        Per-tenant circuit breaker: after ``circuit_threshold``
+        *consecutive* micro-batches failed on infrastructure faults
+        (:class:`WorkerFaultError`, after the batch's one retry), the
+        tenant's circuit opens and requests are shed with
+        :class:`CircuitOpenError` for ``circuit_reset_seconds``; then one
+        half-open probe batch decides whether the circuit closes again.
+    drain_seconds:
+        Bound on the :meth:`close` drain: batches still unanswered after
+        this long are cancelled and their requests failed with
+        :class:`GatewayClosedError` — a broken pool cannot hang close().
 
     Notes
     -----
@@ -213,6 +268,10 @@ class ServingGateway:
         max_workers: Optional[int] = None,
         pool: Optional[WorkerPool] = None,
         store: Optional[PayloadStore] = None,
+        request_deadline: Optional[float] = None,
+        circuit_threshold: int = 5,
+        circuit_reset_seconds: float = 1.0,
+        drain_seconds: float = 5.0,
     ) -> None:
         if window_seconds < 0:
             raise InvalidParameterError("window_seconds must be >= 0")
@@ -220,12 +279,24 @@ class ServingGateway:
             raise InvalidParameterError("max_batch must be positive")
         if max_pending < 1:
             raise InvalidParameterError("max_pending must be positive")
+        if request_deadline is not None and request_deadline <= 0:
+            raise InvalidParameterError("request_deadline must be positive or None")
+        if circuit_threshold < 1:
+            raise InvalidParameterError("circuit_threshold must be positive")
+        if circuit_reset_seconds <= 0:
+            raise InvalidParameterError("circuit_reset_seconds must be positive")
+        if drain_seconds <= 0:
+            raise InvalidParameterError("drain_seconds must be positive")
         self.window_seconds = window_seconds
         self.max_batch = max_batch
         self.max_pending = max_pending
         self.parallel = parallel
         self.engine = engine
         self.executor = executor
+        self.request_deadline = request_deadline
+        self.circuit_threshold = circuit_threshold
+        self.circuit_reset_seconds = circuit_reset_seconds
+        self.drain_seconds = drain_seconds
         self._owns_pool = pool is None
         self._pool = (pool or WorkerPool(max_workers, keep_alive=True)).acquire()
         self._owns_store = store is None
@@ -233,6 +304,7 @@ class ServingGateway:
         self._tenants: Dict[str, _Tenant] = {}
         self._stats = GatewayStats()
         self._inflight: set = set()
+        self._outstanding: set = set()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -373,6 +445,7 @@ class ServingGateway:
         if self._closed:
             raise GatewayClosedError("this gateway has been closed")
         stats = self._stats
+        self._check_circuit(tenant)
         if tenant.backlog >= self.max_pending:
             # top-k traffic obeys the same back-pressure bound as scores
             # traffic: an overloaded tenant sheds load on every door.
@@ -399,9 +472,29 @@ class ServingGateway:
         # waiting caller occupies one backlog slot until its answer lands.
         tenant.backlog += 1
         try:
-            return await asyncio.shield(task)
+            return await self._await_with_deadline(
+                asyncio.shield(task), tenant.tenant_id
+            )
         finally:
             tenant.backlog -= 1
+
+    async def _await_with_deadline(self, awaitable, tenant_id: str):
+        """Await, bounded by ``request_deadline`` when one is configured.
+
+        A miss releases the *caller* with :class:`RequestTimeoutError`;
+        the underlying computation keeps running (shielded runs finish and
+        warm the memo for the retry).
+        """
+        if self.request_deadline is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, self.request_deadline)
+        except asyncio.TimeoutError:
+            self._stats.deadline_misses += 1
+            raise RequestTimeoutError(
+                f"request for tenant {tenant_id!r} missed its "
+                f"{self.request_deadline}s deadline"
+            ) from None
 
     async def _run_top_k(self, tenant: _Tenant, k: int) -> TopKResult:
         loop = asyncio.get_running_loop()
@@ -425,6 +518,7 @@ class ServingGateway:
         if self._closed:
             raise GatewayClosedError("this gateway has been closed")
         stats = self._stats
+        self._check_circuit(tenant)
         if tenant.backlog >= self.max_pending:
             stats.rejected += 1
             raise GatewayOverloadedError(
@@ -436,6 +530,8 @@ class ServingGateway:
         tenant.pending.append(_Request(request, future))
         tenant.backlog += 1
         future.add_done_callback(partial(self._request_done, tenant))
+        self._outstanding.add(future)
+        future.add_done_callback(self._outstanding.discard)
         stats.requests += 1
         stats.per_tenant[tenant_id] = stats.per_tenant.get(tenant_id, 0) + 1
         if len(tenant.pending) >= self.max_batch:
@@ -445,7 +541,7 @@ class ServingGateway:
             task.add_done_callback(self._inflight.discard)
         elif len(tenant.pending) == 1:
             tenant.timer = asyncio.ensure_future(self._window_flush(tenant))
-        return await future
+        return await self._await_with_deadline(future, tenant_id)
 
     def _request_done(self, tenant: _Tenant, future: asyncio.Future) -> None:
         tenant.backlog -= 1
@@ -455,6 +551,48 @@ class ServingGateway:
             self._stats.failed += 1
         else:
             self._stats.answered += 1
+
+    # ------------------------------------------------------------------
+    # Circuit breaker
+    # ------------------------------------------------------------------
+    def _check_circuit(self, tenant: _Tenant) -> None:
+        """Shed the request if the tenant's circuit is open.
+
+        An open circuit whose reset window has elapsed moves to
+        ``half_open``: the request is admitted as the probe, and its
+        batch's outcome decides whether the circuit closes or re-opens.
+        """
+        if tenant.circuit_state != "open":
+            return
+        if time.monotonic() < tenant.circuit_open_until:
+            self._stats.rejected += 1
+            self._stats.circuit_shed += 1
+            raise CircuitOpenError(
+                f"tenant {tenant.tenant_id!r} circuit is open after "
+                f"{tenant.consecutive_failures} consecutive infrastructure "
+                f"failures; shedding load for up to "
+                f"{self.circuit_reset_seconds}s, then probing"
+            )
+        tenant.circuit_state = "half_open"
+
+    def _batch_ok(self, tenant: _Tenant) -> None:
+        """A batch executed on healthy machinery: close/keep the circuit."""
+        tenant.consecutive_failures = 0
+        if tenant.circuit_state != "closed":
+            tenant.circuit_state = "closed"
+
+    def _batch_fault(self, tenant: _Tenant, fault: WorkerFaultError) -> None:
+        """An infrastructure fault escaped a batch (after its retry)."""
+        tenant.consecutive_failures += 1
+        reopen = tenant.circuit_state == "half_open"
+        trip = (
+            tenant.circuit_state == "closed"
+            and tenant.consecutive_failures >= self.circuit_threshold
+        )
+        if reopen or trip:
+            tenant.circuit_state = "open"
+            tenant.circuit_open_until = time.monotonic() + self.circuit_reset_seconds
+            self._stats.circuit_opens += 1
 
     # ------------------------------------------------------------------
     # Batching
@@ -503,7 +641,7 @@ class ServingGateway:
                 executor=self.executor,
             )
             try:
-                answers = await loop.run_in_executor(None, call)
+                answers = await self._execute_batch(loop, call, tenant, len(live))
             except Exception:  # noqa: BLE001 - isolated per request below
                 # One bad request (e.g. an unknown vertex) must not poison
                 # the coalesced batch: fall back to answering each request
@@ -541,6 +679,32 @@ class ServingGateway:
             else:
                 request.future.set_result(answer)
 
+    async def _execute_batch(
+        self, loop, call, tenant: _Tenant, live_count: int
+    ) -> List[Any]:
+        """Run one coalesced pass, retrying once on infrastructure faults.
+
+        A :class:`WorkerFaultError` means the machinery — not any request —
+        failed; the computation is idempotent, so the whole batch retries
+        once (the session/runtime may have respawned the pool meanwhile).
+        A second fault is definitive: every live request fails with it and
+        the tenant's circuit accounting is charged.  Any other exception
+        propagates to the caller's per-request isolation and never touches
+        the circuit.
+        """
+        try:
+            answers = await loop.run_in_executor(None, call)
+        except WorkerFaultError:
+            self._stats.batch_retries += 1
+            try:
+                answers = await loop.run_in_executor(None, call)
+            except WorkerFaultError as fault:
+                self._stats.batch_faults += 1
+                self._batch_fault(tenant, fault)
+                return [fault] * live_count
+        self._batch_ok(tenant)
+        return answers
+
     # ------------------------------------------------------------------
     # Lifecycle and introspection
     # ------------------------------------------------------------------
@@ -555,9 +719,17 @@ class ServingGateway:
                 "parallel": self.parallel,
                 "engine": self.engine,
                 "executor": self.executor,
+                "request_deadline": self.request_deadline,
+                "circuit_threshold": self.circuit_threshold,
+                "circuit_reset_seconds": self.circuit_reset_seconds,
+                "drain_seconds": self.drain_seconds,
             },
             "tenants": {
-                tenant_id: tenant.session.stats().as_dict()
+                tenant_id: {
+                    **tenant.session.stats().as_dict(),
+                    "circuit_state": tenant.circuit_state,
+                    "consecutive_failures": tenant.consecutive_failures,
+                }
                 for tenant_id, tenant in self._tenants.items()
             },
             "store": self._store.stats(),
@@ -579,24 +751,50 @@ class ServingGateway:
 
         Pending requests are *answered* (one final drain flush per tenant)
         rather than failed; new requests raise :class:`GatewayClosedError`.
-        Shared infrastructure passed in by the caller survives — only the
-        gateway's own references are released.
+        The drain is bounded by ``drain_seconds``: work still unanswered
+        when the bound elapses (e.g. because the pool is broken or a
+        worker is wedged) is cancelled and the residual requests fail
+        with a descriptive :class:`GatewayClosedError` — close() cannot
+        hang.  Shared infrastructure passed in by the caller survives —
+        only the gateway's own references are released.
         """
         if self._closed:
             return
         self._closed = True
         for tenant in self._tenants.values():
             if tenant.pending:
-                await self._run_batch(tenant, self._take_batch(tenant), "drain")
-        if self._inflight:
-            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+                task = asyncio.ensure_future(
+                    self._run_batch(tenant, self._take_batch(tenant), "drain")
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+        waiters = list(self._inflight)
         for tenant in self._tenants.values():
-            for task in list(tenant.topk_inflight.values()):
-                try:
-                    await task
-                except Exception:  # pragma: no cover - caller saw it already
-                    pass
-            tenant.session.close()
+            waiters.extend(tenant.topk_inflight.values())
+        if waiters:
+            _, unfinished = await asyncio.wait(waiters, timeout=self.drain_seconds)
+            for task in unfinished:
+                task.cancel()
+            # Retrieve every outcome (including the cancellations we just
+            # forced) so no task logs an unretrieved exception.
+            await asyncio.gather(*waiters, return_exceptions=True)
+        for future in list(self._outstanding):
+            if not future.done():
+                future.set_exception(
+                    GatewayClosedError(
+                        "gateway closed before this request was answered: "
+                        f"the close() drain bound ({self.drain_seconds}s) "
+                        "elapsed or the request's batch was torn down"
+                    )
+                )
+        self._outstanding.clear()
+        for tenant in self._tenants.values():
+            try:
+                tenant.session.close()
+            except Exception:  # noqa: BLE001 - teardown must reach the pool
+                # A tenant whose runtime/pool is broken must not stop the
+                # remaining sessions and the shared pool from closing.
+                pass
         if self._owns_store:
             self._store.close()
         self._pool.release()

@@ -21,6 +21,7 @@ import statistics
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.core.csr_kernels import all_ego_betweenness_csr
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CompactGraph
@@ -92,6 +93,9 @@ def run_serving_benchmark(
     parallel: Optional[int] = 1,
     executor: str = "process",
     seed: int = 7,
+    fault_plan: Optional["faults.FaultPlan"] = None,
+    task_deadline: Optional[float] = None,
+    request_deadline: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Cold per-query baseline vs warm gateway under concurrent async load.
 
@@ -110,6 +114,20 @@ def run_serving_benchmark(
         Gateway configuration (see :class:`ServingGateway`).
     seed:
         RNG seed for the subset slices.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` installed around the
+        *warm* phase (priming included) — the chaos mode of
+        ``repro serve --chaos`` and ``BENCH_chaos.json``.  The cold
+        baseline and the oracles always run fault-free; every answer is
+        still checked bit-identical, so the number reported is the
+        throughput of the *recovered* gateway.  The injected-fault counts
+        are returned under ``"faults"``.
+    task_deadline:
+        Per-task supervision deadline forwarded to every tenant session
+        (``None`` keeps the runtime default) — pair with a plan's
+        ``delay_every`` to exercise the deadline-miss recovery path.
+    request_deadline:
+        Gateway per-request waiting bound (``None`` waits without bound).
 
     Returns
     -------
@@ -149,14 +167,21 @@ def run_serving_benchmark(
     # Warm gateway: shared pool/store, micro-batching, memoised tenants.
     # ------------------------------------------------------------------
     async def drive() -> Dict[str, Any]:
+        gateway_options: Dict[str, Any] = {}
+        if request_deadline is not None:
+            gateway_options["request_deadline"] = request_deadline
+        session_options: Dict[str, Any] = {}
+        if task_deadline is not None:
+            session_options["task_deadline"] = task_deadline
         async with ServingGateway(
             window_seconds=window_seconds,
             max_batch=max_batch,
             parallel=parallel,
             executor=executor,
+            **gateway_options,
         ) as gateway:
             for name, compact in tenants.items():
-                gateway.add_tenant(name, compact)
+                gateway.add_tenant(name, compact, **session_options)
             # Priming pass: one full-map request per tenant pays the pool
             # launch, the payload ship and the first kernel sweep — the
             # steady state a long-lived service runs in.
@@ -181,11 +206,17 @@ def run_serving_benchmark(
                 "stats": gateway.stats(),
             }
 
-    warm = asyncio.run(drive())
+    if fault_plan is not None:
+        # Chaos mode: the plan is live for the whole warm phase — the
+        # priming pass included, so ship corruption hits the real ship.
+        with faults.inject(fault_plan):
+            warm = asyncio.run(drive())
+    else:
+        warm = asyncio.run(drive())
     warm_seconds = warm["seconds"]
     gateway_stats = warm["stats"]
 
-    return {
+    payload = {
         "bench": "serving",
         "unit": "queries per second",
         "tenants": sorted(tenants),
@@ -212,6 +243,10 @@ def run_serving_benchmark(
             cold_seconds / warm_seconds if warm_seconds else float("inf")
         ),
         "gateway": gateway_stats["gateway"],
+        "tenant_stats": gateway_stats["tenants"],
         "store": gateway_stats["store"],
         "pool": gateway_stats["pool"],
     }
+    if fault_plan is not None:
+        payload["faults"] = fault_plan.stats()
+    return payload

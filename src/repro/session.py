@@ -95,8 +95,10 @@ from repro.dynamic.local_update import EgoBetweennessIndex
 from repro.dynamic.stream import UpdateEvent
 from repro.errors import (
     BackendCapabilityError,
+    DegradedModeError,
     InvalidParameterError,
     VertexNotFoundError,
+    WorkerFaultError,
 )
 from repro.graph.csr import CompactGraph
 from repro.graph.dynamic_csr import DynamicCompactGraph
@@ -107,6 +109,8 @@ from repro.parallel.engines import (
     vertex_parallel_ego_betweenness,
 )
 from repro.parallel.runtime import (
+    DEFAULT_MAX_TASK_RETRIES,
+    DEFAULT_TASK_DEADLINE,
     ExecutionRuntime,
     ParallelBackend,
     PayloadKey,
@@ -197,6 +201,14 @@ class SessionStats:
         Per-executor :class:`~repro.parallel.runtime.RuntimeStats` of the
         session's persistent execution runtimes (empty until a parallel
         query creates one).
+    fallbacks:
+        Queries this session answered from the serial kernels after the
+        parallel path failed (graceful degradation — answers stayed
+        bit-identical, only latency degraded).
+    worker_deaths / respawns / task_retries / deadline_misses /
+    integrity_failures:
+        Failure accounting aggregated over the session's runtimes (see
+        :class:`~repro.parallel.runtime.RuntimeStats`).
     last_query:
         The most recent :class:`Query`, or ``None``.
     """
@@ -214,6 +226,12 @@ class SessionStats:
     lazy_maintainer_ks: List[int] = field(default_factory=list)
     overlay_rebuilds: int = 0
     runtimes: Dict[str, RuntimeStats] = field(default_factory=dict)
+    fallbacks: int = 0
+    worker_deaths: int = 0
+    respawns: int = 0
+    task_retries: int = 0
+    deadline_misses: int = 0
+    integrity_failures: int = 0
     last_query: Optional[Query] = None
 
     def as_dict(self) -> Dict[str, Any]:
@@ -231,6 +249,12 @@ class SessionStats:
             "values_reused_on_promotion": self.values_reused_on_promotion,
             "lazy_maintainer_ks": list(self.lazy_maintainer_ks),
             "overlay_rebuilds": self.overlay_rebuilds,
+            "fallbacks": self.fallbacks,
+            "worker_deaths": self.worker_deaths,
+            "respawns": self.respawns,
+            "task_retries": self.task_retries,
+            "deadline_misses": self.deadline_misses,
+            "integrity_failures": self.integrity_failures,
         }
         if self.runtimes:
             payload["runtimes"] = {
@@ -277,6 +301,16 @@ class EgoSession:
         When ``False``, :meth:`apply` on a static ``compact`` / ``hash``
         session raises :class:`BackendCapabilityError` instead of promoting
         (``backend="dynamic"`` always promotes).
+    degraded_fallback:
+        When ``True`` (the default), a parallel query whose execution
+        infrastructure fails beyond repair (worker pool broken, retries
+        exhausted) is re-answered by the serial CSR kernels — bit-identical
+        result, degraded latency — and counted in ``SessionStats.fallbacks``.
+        ``False`` raises :class:`DegradedModeError` instead (the serving
+        gateway's circuit breaker wants the failure signal).
+    task_deadline / max_task_retries:
+        Supervision knobs forwarded to the session's execution runtimes
+        (see :class:`~repro.parallel.runtime.ExecutionRuntime`).
     overlay_options:
         Forwarded to the :class:`DynamicCompactGraph` overlay created at
         promotion (``rebuild_ratio``, ``min_rebuild_deltas``, ...).
@@ -297,6 +331,9 @@ class EgoSession:
         scale: Optional[float] = None,
         auto_promote: bool = True,
         graph_id: Optional[str] = None,
+        degraded_fallback: bool = True,
+        task_deadline: Optional[float] = DEFAULT_TASK_DEADLINE,
+        max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
         **overlay_options,
     ) -> None:
         source = self._coerce_source(source, scale)
@@ -307,6 +344,10 @@ class EgoSession:
         # tenants naming the same graph_id assert they hold the same graph).
         self.graph_id = graph_id or f"session-{next(_GRAPH_IDS)}"
         self._auto_promote = auto_promote
+        self._degraded_fallback = degraded_fallback
+        self._task_deadline = task_deadline
+        self._max_task_retries = max_task_retries
+        self._fallbacks = 0
         if overlay_options and self.backend == "hash":
             raise TypeError(
                 "overlay options are only valid with the 'compact' and "
@@ -488,10 +529,32 @@ class EgoSession:
         runtime = self._runtimes.get(key)
         if runtime is None or runtime.closed:
             runtime = ExecutionRuntime(
-                max_workers=max_workers, executor=key, pool=pool, store=store
+                max_workers=max_workers,
+                executor=key,
+                pool=pool,
+                store=store,
+                task_deadline=self._task_deadline,
+                max_task_retries=self._max_task_retries,
             )
             self._runtimes[key] = runtime
         return runtime
+
+    def _degraded(self, error: WorkerFaultError, describe: str, recompute):
+        """Serve a query from the serial kernels after a worker fault.
+
+        The degraded path: ``recompute`` re-answers with the in-process
+        serial kernels, which are bit-identical to every parallel path by
+        construction — only latency degrades.  With ``degraded_fallback``
+        disabled, the infrastructure failure escapes as
+        :class:`DegradedModeError` instead.
+        """
+        if not self._degraded_fallback:
+            raise DegradedModeError(
+                f"parallel execution failed for {describe} and this session "
+                f"was opened with degraded_fallback=False: {error}"
+            ) from error
+        self._fallbacks += 1
+        return recompute()
 
     def runtime_stats(self) -> Dict[str, RuntimeStats]:
         """Per-executor :class:`RuntimeStats` of the runtimes created so far.
@@ -707,9 +770,18 @@ class EgoSession:
             return result
         compact = self._current_compact()
         runtime = self.runtime(executor, max_workers=self._pool_size(num_workers))
-        id_entries, _ = runtime.execute_top_k(
-            compact, k, num_workers=num_workers, payload_key=self._payload_key()
-        )
+        try:
+            id_entries, _ = runtime.execute_top_k(
+                compact, k, num_workers=num_workers, payload_key=self._payload_key()
+            )
+        except WorkerFaultError as error:
+            result = self._degraded(
+                error,
+                f"top_k(k={k}, parallel={num_workers})",
+                lambda: self._ranked_top_k(k, self._all_scores(), start=start),
+            )
+            self._topk_cache[k] = list(result.entries)
+            return result
         labels = compact.labels
         # Re-rank after mapping ids back to labels: retention happened on
         # ids (== the canonical offer order), the final tie order follows
@@ -924,14 +996,21 @@ class EgoSession:
                 runtime = self.runtime(
                     executor, max_workers=self._pool_size(parallel)
                 )
-                id_scores, _ = runtime.execute(
-                    compact,
-                    ids=ids,
-                    num_workers=parallel,
-                    payload_key=self._payload_key(),
-                )
-                labels = compact.labels
-                source = {labels[i]: score for i, score in id_scores.items()}
+                try:
+                    id_scores, _ = runtime.execute(
+                        compact,
+                        ids=ids,
+                        num_workers=parallel,
+                        payload_key=self._payload_key(),
+                    )
+                    labels = compact.labels
+                    source = {labels[i]: score for i, score in id_scores.items()}
+                except WorkerFaultError as error:
+                    source = self._degraded(
+                        error,
+                        f"scores_batch(parallel={parallel})",
+                        lambda: all_ego_betweenness_csr(compact, targets),
+                    )
             else:
                 source = all_ego_betweenness_csr(self._current_compact(), targets)
         try:
@@ -991,18 +1070,37 @@ class EgoSession:
             return run_engine(
                 self._current_hash_graph(), num_workers, backend=executor, graph_backend="hash"
             )
-        return run_engine(
-            self._current_compact(),
-            num_workers,
-            backend=executor,
-            graph_backend="compact",
-            # Size a freshly created pool to the request (capped at the CPU
-            # count) rather than forking cpu_count() workers for a 2-worker
-            # query; an existing runtime is reused as-is.
-            runtime=self.runtime(executor, max_workers=self._pool_size(num_workers)),
-            schedule=schedule,
-            payload_key=self._payload_key(),
-        )
+        try:
+            return run_engine(
+                self._current_compact(),
+                num_workers,
+                backend=executor,
+                graph_backend="compact",
+                # Size a freshly created pool to the request (capped at the CPU
+                # count) rather than forking cpu_count() workers for a 2-worker
+                # query; an existing runtime is reused as-is.
+                runtime=self.runtime(executor, max_workers=self._pool_size(num_workers)),
+                schedule=schedule,
+                payload_key=self._payload_key(),
+            )
+        except WorkerFaultError as error:
+            # The serial engine run is in-process (no pool, no transport)
+            # and bit-identical to every parallel execution by construction.
+            return self._degraded(
+                error,
+                f"parallel {engine} engine run ({num_workers} workers)",
+                lambda: run_engine(
+                    self._current_compact(),
+                    num_workers,
+                    backend="serial",
+                    graph_backend="compact",
+                    runtime=self.runtime(
+                        "serial", max_workers=self._pool_size(num_workers)
+                    ),
+                    schedule=schedule,
+                    payload_key=self._payload_key(),
+                ),
+            )
 
     @staticmethod
     def _pool_size(num_workers: int) -> int:
@@ -1254,6 +1352,9 @@ class EgoSession:
             values_cached = (
                 self._values is not None and self._values_version == self._current_version()
             )
+        runtimes = {
+            name: replace(stats) for name, stats in self.runtime_stats().items()
+        }
         return SessionStats(
             backend=self.backend,
             state=self._state,
@@ -1269,9 +1370,15 @@ class EgoSession:
             overlay_rebuilds=self._dyn.rebuilds if self._dyn is not None else 0,
             # Copies, like every other SessionStats field — the snapshot
             # must not mutate as later queries tick the live counters.
-            runtimes={
-                name: replace(stats) for name, stats in self.runtime_stats().items()
-            },
+            runtimes=runtimes,
+            fallbacks=self._fallbacks,
+            worker_deaths=sum(s.worker_deaths for s in runtimes.values()),
+            respawns=sum(s.respawns for s in runtimes.values()),
+            task_retries=sum(s.task_retries for s in runtimes.values()),
+            deadline_misses=sum(s.deadline_misses for s in runtimes.values()),
+            integrity_failures=sum(
+                s.integrity_failures for s in runtimes.values()
+            ),
             last_query=self._last_query,
         )
 

@@ -1,0 +1,438 @@
+"""Chaos suite: fault injection against the supervised serving plane.
+
+Every test drives real faults — worker kills (``os._exit``), stragglers,
+kernel raises, torn payload headers, broken pools — through the public
+execution paths and asserts the two recovery invariants:
+
+* **Bit-identity**: every answer equals the serial CSR kernel oracle,
+  whatever failed along the way.
+* **No leaks**: no shared-memory segment survives a chaotic batch.
+
+Process-pool tests are marked ``parallel`` as well as ``chaos``; the
+dedicated CI chaos job re-runs the ``chaos`` marker under pytest-timeout
+so a recovery hang fails fast instead of wedging the suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro import faults
+from repro.core.csr_kernels import all_ego_betweenness_csr
+from repro.errors import (
+    CircuitOpenError,
+    DegradedModeError,
+    GatewayClosedError,
+    PayloadEvictedError,
+    PoolStateError,
+    RequestTimeoutError,
+    WorkerCrashError,
+)
+from repro.graph.generators import erdos_renyi_graph
+from repro.parallel import runtime as runtime_module
+from repro.parallel.runtime import ExecutionRuntime, PayloadStore, WorkerPool
+from repro.serving import ServingGateway, run_serving_benchmark
+from repro.session import EgoSession
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def compact():
+    return erdos_renyi_graph(90, 0.12, seed=11).to_compact()
+
+
+@pytest.fixture(scope="module")
+def oracle(compact):
+    return all_ego_betweenness_csr(compact)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    faults.clear()
+
+
+def _chunks(compact, n=6):
+    ids = list(range(compact.num_vertices))
+    size = max(1, len(ids) // n)
+    return [ids[i : i + size] for i in range(0, len(ids), size)]
+
+
+@pytest.mark.parallel
+class TestSupervisedRuntimeRecovery:
+    def test_worker_kill_recovers_bit_identical(self, compact, oracle):
+        plan = faults.FaultPlan(kill_every=4)
+        with ExecutionRuntime(max_workers=2, executor="process") as runtime:
+            with faults.inject(plan):
+                scores, _ = runtime.execute(compact, chunks=_chunks(compact))
+            labels = compact.labels
+            assert {labels[i]: s for i, s in scores.items()} == oracle
+            stats = runtime.stats()
+            assert stats.worker_deaths >= 1
+            assert stats.task_retries >= 1
+        assert plan.stats()["kills"] >= 1
+
+    def test_straggler_misses_deadline_and_recovers(self, compact, oracle):
+        plan = faults.FaultPlan(delay_every=3, delay_seconds=0.6)
+        with ExecutionRuntime(
+            max_workers=2, executor="process", task_deadline=0.15
+        ) as runtime:
+            with faults.inject(plan):
+                scores, _ = runtime.execute(compact, chunks=_chunks(compact))
+            labels = compact.labels
+            assert {labels[i]: s for i, s in scores.items()} == oracle
+            assert runtime.stats().deadline_misses >= 1
+
+    def test_injected_raise_is_retried(self, compact, oracle):
+        plan = faults.FaultPlan(raise_every=3)
+        with ExecutionRuntime(max_workers=2, executor="process") as runtime:
+            with faults.inject(plan):
+                scores, _ = runtime.execute(compact, chunks=_chunks(compact))
+            labels = compact.labels
+            assert {labels[i]: s for i, s in scores.items()} == oracle
+            assert runtime.stats().task_retries >= 1
+
+    def test_corrupt_ship_is_detected_and_reshipped(self, compact, oracle):
+        plan = faults.FaultPlan(corrupt_ships=1)
+        with ExecutionRuntime(max_workers=2, executor="process") as runtime:
+            with faults.inject(plan):
+                scores, _ = runtime.execute(compact, chunks=_chunks(compact))
+            labels = compact.labels
+            assert {labels[i]: s for i, s in scores.items()} == oracle
+            stats = runtime.stats()
+            assert stats.integrity_failures >= 1
+            # The torn segment was unlinked and the graph shipped again.
+            assert stats.payload_ships >= 2
+
+    def test_poison_chunk_is_quarantined_and_computed_serially(self, compact, oracle):
+        # Every submission faults and the retry budget is zero, so every
+        # chunk lands in quarantine — and the answers still match.
+        plan = faults.FaultPlan(raise_every=1)
+        with ExecutionRuntime(
+            max_workers=2, executor="process", max_task_retries=0
+        ) as runtime:
+            with faults.inject(plan):
+                scores, _ = runtime.execute(compact, chunks=_chunks(compact))
+            labels = compact.labels
+            assert {labels[i]: s for i, s in scores.items()} == oracle
+            assert runtime.stats().quarantined_tasks >= 1
+
+    def test_top_k_recovers_from_kills(self, compact):
+        with ExecutionRuntime(max_workers=2, executor="serial") as serial_runtime:
+            expected, _ = serial_runtime.execute_top_k(compact, 5, num_workers=4)
+        plan = faults.FaultPlan(kill_every=5)
+        with ExecutionRuntime(max_workers=2, executor="process") as runtime:
+            with faults.inject(plan):
+                result, _ = runtime.execute_top_k(compact, 5, num_workers=4)
+        assert result == expected
+
+    def test_respawn_revives_a_terminated_pool(self, compact, oracle):
+        with ExecutionRuntime(max_workers=2, executor="process") as runtime:
+            scores, _ = runtime.execute(compact, chunks=_chunks(compact))
+            # Tear the mp.Pool down out-of-band: every submit now fails and
+            # the supervisor must respawn before resubmitting.
+            runtime.pool._state["pool"].terminate()
+            scores, _ = runtime.execute(compact, chunks=_chunks(compact))
+            labels = compact.labels
+            assert {labels[i]: s for i, s in scores.items()} == oracle
+            assert runtime.stats().respawns >= 1
+            assert runtime.pool.respawns >= 1
+
+    def test_no_segment_leaks_after_chaos(self, compact, oracle):
+        plan = faults.FaultPlan(kill_every=3, corrupt_ships=1)
+        with ExecutionRuntime(max_workers=2, executor="process") as runtime:
+            with faults.inject(plan):
+                scores, _ = runtime.execute(compact, chunks=_chunks(compact))
+            labels = compact.labels
+            assert {labels[i]: s for i, s in scores.items()} == oracle
+        assert runtime_module._LIVE_SEGMENTS == {}
+
+
+@pytest.mark.parallel
+class TestFailFastStates:
+    def test_submit_on_never_started_pool_names_the_state(self):
+        pool = WorkerPool(2)
+        with pytest.raises(PoolStateError, match="'new'"):
+            pool.submit(min, (1, 2))
+
+    def test_submit_on_closed_pool_names_the_state(self):
+        pool = WorkerPool(2)
+        pool.ensure_started()
+        pool.close()
+        with pytest.raises(PoolStateError, match="'closed'"):
+            pool.submit(min, (1, 2))
+
+    def test_acquire_on_evicted_key_names_key_and_residents(self, compact):
+        store = PayloadStore()
+        try:
+            store.ship(compact, key=("tenant-a", 1))
+            with pytest.raises(PayloadEvictedError, match="tenant-b"):
+                store.acquire(("tenant-b", 1))
+            # A KeyError subclass, so mapping-style handlers keep working.
+            with pytest.raises(KeyError):
+                store.acquire(("tenant-b", 1))
+        finally:
+            store.close()
+
+
+@pytest.mark.parallel
+class TestSessionDegradedMode:
+    def _break_pool(self, session, workers=2):
+        """Make the session's process pool fail every submit AND respawn.
+
+        Simulates the terminal infrastructure failure (e.g. fork refused
+        under memory pressure) where supervision cannot self-heal and the
+        session's degraded-mode switch is the last line of defence.
+        """
+        from repro.errors import PoolBrokenError
+
+        runtime = session.runtime("process", max_workers=workers)
+        runtime.pool.ensure_started()
+
+        def broken_submit(task, args):
+            raise PoolBrokenError("worker pool torn down by test")
+
+        def broken_respawn():
+            raise PoolBrokenError("respawn failed: fork refused")
+
+        runtime.pool.submit = broken_submit
+        runtime.pool.respawn = broken_respawn
+
+    def test_broken_parallel_plane_falls_back_to_serial(self, compact, oracle):
+        with EgoSession(compact) as session:
+            self._break_pool(session)
+            scores = session.scores(parallel=2, executor="process")
+            assert scores == oracle
+            stats = session.stats()
+            assert stats.fallbacks >= 1
+
+    def test_fallback_disabled_raises_degraded_mode(self, compact):
+        with EgoSession(compact, degraded_fallback=False) as session:
+            self._break_pool(session)
+            with pytest.raises(DegradedModeError):
+                session.scores(parallel=2, executor="process")
+
+    def test_top_k_falls_back_bit_identical(self, compact):
+        # The oracle runs in its own session — a shared one would memoise
+        # the ranking and the parallel path would never execute.
+        with EgoSession(compact) as reference:
+            expected = reference.top_k(5, algorithm="naive")
+        with EgoSession(compact) as session:
+            self._break_pool(session)
+            result = session.top_k(5, parallel=2, executor="process")
+            assert result.entries == expected.entries
+            assert session.stats().fallbacks >= 1
+
+    def test_scores_batch_falls_back_bit_identical(self, compact, oracle):
+        labels = compact.labels
+        subset = list(labels[:7])
+        with EgoSession(compact) as session:
+            self._break_pool(session)
+            answers = session.scores_batch(
+                [subset, None], parallel=2, executor="process"
+            )
+            assert answers[0] == {v: oracle[v] for v in subset}
+            assert answers[1] == oracle
+
+    def test_session_stats_aggregate_runtime_failures(self, compact):
+        # parallel=2 submits exactly two chunk tasks: the second draws the
+        # kill, its resubmission (ordinal 3) runs clean.
+        plan = faults.FaultPlan(kill_every=2)
+        with EgoSession(compact) as session:
+            with faults.inject(plan):
+                session.scores(parallel=2, executor="process")
+            stats = session.stats()
+            assert stats.worker_deaths >= 1
+            assert stats.task_retries >= 1
+            payload = stats.as_dict()
+            for field in (
+                "fallbacks",
+                "worker_deaths",
+                "respawns",
+                "task_retries",
+                "deadline_misses",
+            ):
+                assert field in payload
+
+
+@pytest.mark.serving
+class TestGatewayResilience:
+    def test_request_deadline_times_out_the_caller(self, compact):
+        async def scenario():
+            async with ServingGateway(
+                window_seconds=0.001, request_deadline=0.05
+            ) as gateway:
+                session = gateway.add_tenant("t", compact)
+                original = session.scores_batch
+
+                def slow(*args, **kwargs):
+                    time.sleep(0.4)
+                    return original(*args, **kwargs)
+
+                session.scores_batch = slow
+                with pytest.raises(RequestTimeoutError, match="deadline"):
+                    await gateway.scores("t")
+                return gateway.stats()["gateway"]
+
+        stats = asyncio.run(scenario())
+        assert stats["deadline_misses"] == 1
+
+    def test_batch_retries_once_on_worker_fault(self, compact, oracle):
+        async def scenario():
+            async with ServingGateway(window_seconds=0.001) as gateway:
+                session = gateway.add_tenant("t", compact)
+                original = session.scores_batch
+                calls = {"n": 0}
+
+                def flaky(*args, **kwargs):
+                    calls["n"] += 1
+                    if calls["n"] == 1:
+                        raise WorkerCrashError("worker died mid-batch")
+                    return original(*args, **kwargs)
+
+                session.scores_batch = flaky
+                answer = await gateway.scores("t")
+                return answer, gateway.stats()["gateway"]
+
+        answer, stats = asyncio.run(scenario())
+        assert answer == oracle
+        assert stats["batch_retries"] == 1
+        assert stats["batch_faults"] == 0
+        assert stats["answered"] == 1
+
+    def test_circuit_opens_sheds_and_recovers_half_open(self, compact, oracle):
+        async def scenario():
+            async with ServingGateway(
+                window_seconds=0.001,
+                circuit_threshold=2,
+                circuit_reset_seconds=0.1,
+            ) as gateway:
+                session = gateway.add_tenant("t", compact)
+                original = session.scores_batch
+
+                def broken(*args, **kwargs):
+                    raise WorkerCrashError("pool is gone")
+
+                session.scores_batch = broken
+                # Two consecutive infrastructure failures trip the circuit.
+                for _ in range(2):
+                    with pytest.raises(WorkerCrashError):
+                        await gateway.scores("t")
+                assert gateway.stats()["tenants"]["t"]["circuit_state"] == "open"
+                # While open: fail fast, no batch runs.
+                batches_before = gateway.stats()["gateway"]["batches"]
+                with pytest.raises(CircuitOpenError):
+                    await gateway.scores("t")
+                assert gateway.stats()["gateway"]["batches"] == batches_before
+                # After the reset window a half-open probe (on a healed
+                # session) closes the circuit again.
+                await asyncio.sleep(0.15)
+                session.scores_batch = original
+                answer = await gateway.scores("t")
+                stats = gateway.stats()
+                return answer, stats
+
+        answer, stats = asyncio.run(scenario())
+        assert answer == oracle
+        assert stats["tenants"]["t"]["circuit_state"] == "closed"
+        assert stats["gateway"]["circuit_opens"] == 1
+        assert stats["gateway"]["circuit_shed"] == 1
+
+    def test_failed_probe_reopens_the_circuit(self, compact):
+        async def scenario():
+            async with ServingGateway(
+                window_seconds=0.001,
+                circuit_threshold=1,
+                circuit_reset_seconds=0.05,
+            ) as gateway:
+                session = gateway.add_tenant("t", compact)
+
+                def broken(*args, **kwargs):
+                    raise WorkerCrashError("still broken")
+
+                session.scores_batch = broken
+                with pytest.raises(WorkerCrashError):
+                    await gateway.scores("t")
+                await asyncio.sleep(0.1)
+                # The half-open probe fails: straight back to open.
+                with pytest.raises(WorkerCrashError):
+                    await gateway.scores("t")
+                with pytest.raises(CircuitOpenError):
+                    await gateway.scores("t")
+                return gateway.stats()["gateway"]
+
+        stats = asyncio.run(scenario())
+        assert stats["circuit_opens"] == 2
+
+    def test_close_drain_is_bounded_and_fails_residuals(self, compact):
+        async def scenario():
+            gateway = ServingGateway(
+                window_seconds=0.001, drain_seconds=0.1
+            )
+            session = gateway.add_tenant("t", compact)
+
+            def wedged(*args, **kwargs):
+                time.sleep(1.0)
+                raise WorkerCrashError("wedged pool")
+
+            session.scores_batch = wedged
+            request = asyncio.ensure_future(gateway.scores("t"))
+            await asyncio.sleep(0.05)  # let the batch claim the request
+            begin = time.perf_counter()
+            await gateway.close()
+            close_seconds = time.perf_counter() - begin
+            with pytest.raises(GatewayClosedError, match="drain bound"):
+                await request
+            return close_seconds
+
+        close_seconds = asyncio.run(scenario())
+        assert close_seconds < 0.8  # bounded by drain_seconds, not the wedge
+
+    def test_double_close_is_idempotent(self, compact):
+        async def scenario():
+            gateway = ServingGateway(window_seconds=0.001)
+            gateway.add_tenant("t", compact)
+            await gateway.scores("t")
+            await gateway.close()
+            await gateway.close()
+            return gateway.closed
+
+        assert asyncio.run(scenario()) is True
+
+
+@pytest.mark.parallel
+@pytest.mark.serving
+@pytest.mark.slow
+class TestChaosEndToEnd:
+    def test_chaotic_serving_benchmark_stays_bit_identical(self):
+        graphs = {
+            "alpha": erdos_renyi_graph(70, 0.12, seed=5),
+            "beta": erdos_renyi_graph(60, 0.15, seed=6),
+        }
+        plan = faults.FaultPlan(
+            kill_every=7,
+            delay_every=5,
+            delay_seconds=0.5,
+            raise_every=11,
+            corrupt_ships=1,
+        )
+        payload = run_serving_benchmark(
+            graphs,
+            clients=6,
+            requests_per_client=2,
+            subset_every=1,  # every request slices → every batch hits the pool
+            parallel=2,
+            executor="process",
+            task_deadline=0.25,
+            fault_plan=plan,
+        )
+        assert payload["bit_identical"] is True
+        assert payload["faults"]["kills"] >= 1
+        assert payload["faults"]["corruptions"] == 1
+        recovered = payload["tenant_stats"]
+        assert sum(t["worker_deaths"] for t in recovered.values()) >= 1
+        assert runtime_module._LIVE_SEGMENTS == {}

@@ -1,0 +1,166 @@
+"""Unit tests for the fault-injection harness (:mod:`repro.faults`).
+
+These tests never touch a worker pool: they pin the deterministic draw
+schedule, the plan registry semantics, and the payload integrity header
+the chaos suite (``tests/test_chaos.py``) relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.errors import (
+    InjectedFaultError,
+    InvalidParameterError,
+    PayloadIntegrityError,
+)
+from repro.graph.generators import erdos_renyi_graph
+
+
+class TestFaultPlanDraws:
+    def test_no_pattern_draws_nothing(self):
+        plan = faults.FaultPlan()
+        assert [plan.draw_task_fault() for _ in range(10)] == [None] * 10
+        assert plan.stats()["tasks_seen"] == 10
+
+    def test_kill_every_n_is_deterministic(self):
+        plan = faults.FaultPlan(kill_every=3)
+        draws = [plan.draw_task_fault() for _ in range(9)]
+        assert draws == [None, None, ("kill",)] * 3
+        assert plan.stats()["kills"] == 3
+
+    def test_delay_ships_the_duration(self):
+        plan = faults.FaultPlan(delay_every=2, delay_seconds=0.25)
+        assert plan.draw_task_fault() is None
+        assert plan.draw_task_fault() == ("delay", 0.25)
+
+    def test_raise_carries_the_task_ordinal(self):
+        plan = faults.FaultPlan(raise_every=1)
+        fault = plan.draw_task_fault()
+        assert fault is not None and fault[0] == "raise"
+        assert "#1" in fault[1]
+
+    def test_collision_priority_kill_beats_raise_beats_delay(self):
+        plan = faults.FaultPlan(kill_every=2, raise_every=2, delay_every=2)
+        assert plan.draw_task_fault() is None
+        assert plan.draw_task_fault() == ("kill",)
+        plan = faults.FaultPlan(raise_every=2, delay_every=2)
+        plan.draw_task_fault()
+        assert plan.draw_task_fault()[0] == "raise"
+
+    def test_corrupt_ships_hits_only_the_first_c(self):
+        plan = faults.FaultPlan(corrupt_ships=2)
+        assert [plan.draw_ship_corruption() for _ in range(4)] == [
+            True,
+            True,
+            False,
+            False,
+        ]
+        assert plan.stats()["corruptions"] == 2
+
+    def test_reset_restarts_the_schedule(self):
+        plan = faults.FaultPlan(kill_every=2)
+        plan.draw_task_fault(), plan.draw_task_fault()
+        plan.reset()
+        assert plan.stats()["tasks_seen"] == 0
+        assert plan.draw_task_fault() is None
+        assert plan.draw_task_fault() == ("kill",)
+
+    def test_negative_parameters_are_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            faults.FaultPlan(kill_every=-1)
+        with pytest.raises(InvalidParameterError):
+            faults.FaultPlan(delay_seconds=-0.1)
+
+
+class TestPlanRegistry:
+    def test_inactive_by_default(self):
+        assert faults.active() is None
+        assert faults.draw_task_fault() is None
+        assert faults.draw_ship_corruption() is False
+
+    def test_inject_installs_and_restores(self):
+        plan = faults.FaultPlan(raise_every=1)
+        with faults.inject(plan) as active:
+            assert active is plan
+            assert faults.active() is plan
+            assert faults.draw_task_fault() == ("raise", "injected fault on task #1")
+        assert faults.active() is None
+
+    def test_inject_nests(self):
+        outer, inner = faults.FaultPlan(kill_every=1), faults.FaultPlan(delay_every=1)
+        with faults.inject(outer):
+            with faults.inject(inner):
+                assert faults.active() is inner
+            assert faults.active() is outer
+        assert faults.active() is None
+
+    def test_install_and_clear(self):
+        plan = faults.install(faults.FaultPlan())
+        try:
+            assert faults.active() is plan
+        finally:
+            faults.clear()
+        assert faults.active() is None
+
+    def test_install_rejects_non_plans(self):
+        with pytest.raises(InvalidParameterError):
+            faults.install("chaos")
+
+
+class TestPerform:
+    def test_none_is_a_no_op(self):
+        faults.perform(None)
+
+    def test_delay_sleeps(self):
+        import time
+
+        begin = time.perf_counter()
+        faults.perform(("delay", 0.01))
+        assert time.perf_counter() - begin >= 0.01
+
+    def test_raise_raises_injected_fault(self):
+        with pytest.raises(InjectedFaultError, match="boom"):
+            faults.perform(("raise", "boom"))
+
+    def test_unknown_action_is_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            faults.perform(("meltdown",))
+
+
+class TestPayloadIntegrityHeader:
+    """The header `corrupt_ships` flips must actually guard worker attach."""
+
+    def _payload(self):
+        from repro.parallel import runtime as runtime_module
+
+        compact = erdos_renyi_graph(40, 0.2, seed=3).to_compact()
+        return runtime_module, runtime_module._ShippedPayload(compact)
+
+    def test_intact_segment_attaches_and_scores(self):
+        runtime_module, payload = self._payload()
+        try:
+            attached = runtime_module._AttachedGraph(payload.meta)
+            assert attached.kernel is not None
+            attached.close()
+        finally:
+            payload.close()
+
+    def test_corrupt_header_is_rejected_on_attach(self):
+        runtime_module, payload = self._payload()
+        try:
+            payload.corrupt_header()
+            with pytest.raises(PayloadIntegrityError, match="checksum"):
+                runtime_module._AttachedGraph(payload.meta)
+        finally:
+            payload.close()
+
+    def test_wrong_lengths_are_rejected_on_attach(self):
+        runtime_module, payload = self._payload()
+        name, ptr_len, idx_len = payload.meta
+        try:
+            with pytest.raises(PayloadIntegrityError, match="header mismatch"):
+                runtime_module._AttachedGraph((name, ptr_len + 1, idx_len))
+        finally:
+            payload.close()

@@ -268,3 +268,60 @@ class TestTeardownSafety:
         for name in names:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
+
+    @pytest.mark.parallel
+    @pytest.mark.chaos
+    def test_segments_swept_when_workers_die_mid_batch(self, tenant_graphs):
+        from multiprocessing import shared_memory
+
+        from repro import faults
+        from repro.parallel import runtime as runtime_module
+
+        compact = tenant_graphs["alpha"].to_compact()
+        runtime = ExecutionRuntime(executor="process", max_workers=2)
+        with faults.inject(faults.FaultPlan(kill_every=2)):
+            runtime.execute(compact, num_workers=2)
+        name = runtime._entry.payload.shm.name
+        runtime.close()
+        # The batch lost a worker mid-flight, yet close() left no segment
+        # behind — neither tracked nor reachable by name.
+        assert name not in runtime_module._LIVE_SEGMENTS
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    @pytest.mark.parallel
+    def test_double_close_runtime_is_idempotent(self, tenant_graphs):
+        compact = tenant_graphs["alpha"].to_compact()
+        runtime = ExecutionRuntime(executor="process", max_workers=2)
+        runtime.execute(compact, num_workers=2)
+        runtime.close()
+        runtime.close()
+        with pytest.raises(InvalidParameterError):
+            runtime.execute(compact, num_workers=2)
+
+    @pytest.mark.parallel
+    def test_shared_pool_revives_after_broken_pool_retired(self, tenant_graphs):
+        from repro.parallel.runtime import shared_worker_pool
+
+        first = shared_worker_pool(2)
+        first.ensure_started()
+        # Break the shared pool's processes out-of-band, then retire it.
+        first._state["pool"].terminate()
+        first.close()
+        second = shared_worker_pool(2)
+        try:
+            assert second is not first
+            # The revived shared pool actually serves work.
+            compact = tenant_graphs["beta"].to_compact()
+            with ExecutionRuntime(
+                executor="process", max_workers=2, pool=second
+            ) as runtime:
+                scores, _ = runtime.execute(compact, num_workers=2)
+            from repro.core.csr_kernels import all_ego_betweenness_csr
+
+            labels = compact.labels
+            assert {
+                labels[i]: s for i, s in scores.items()
+            } == all_ego_betweenness_csr(compact)
+        finally:
+            second.close()
