@@ -11,8 +11,10 @@ runtime, plus the runtime's ship/pool accounting) and ``BENCH_serving.json``
 clients, cold per-query baseline vs warm gateway) and ``BENCH_chaos.json``
 (warm gateway qps/p95 with faults injected — one worker killed per N tasks
 plus one torn payload ship — next to the fault-free run, so CI records how
-much throughput the supervision layer retains) so every CI run records
-the perf trajectory of the repository.  Pure standard library — runnable
+much throughput the supervision layer retains) and ``BENCH_durability.json``
+(per-update apply latency with the write-ahead log off/interval/always plus
+the recovery replay rate — the durability tax and how fast a crash heals)
+so every CI run records the perf trajectory of the repository.  Pure standard library — runnable
 as::
 
     PYTHONPATH=src python benchmarks/smoke.py --scale 0.1 --out bench-artifacts
@@ -301,6 +303,89 @@ def bench_chaos(scale: float, clients: int, workers: int, kill_every: int = 100)
     }
 
 
+def bench_durability(scale: float, updates: int, seed: int) -> dict:
+    """Durability tax and recovery speed on the DBLP stand-in.
+
+    Applies the same update stream four ways — non-durable, write-ahead
+    logged under ``fsync="interval"`` and ``fsync="always"``, and finally
+    replayed by :func:`repro.durability.recover` from the interval run's
+    directory — so CI records both sides of the durability trade:
+
+    * ``throughput_retention_interval`` (durable-interval throughput as a
+      fraction of non-durable; the acceptance gate holds it at >= 0.5) and
+      the same ratio for ``always`` (the fsync-per-append price, reported
+      but not gated — it is hardware, not code);
+    * ``replay_events_per_s`` (recovery speed; gated at >= 10k events/s).
+    """
+    import tempfile
+
+    from repro.durability import recover
+    from repro.datasets.registry import load_dataset
+    from repro.dynamic.stream import apply_stream, generate_update_stream
+    from repro.session import EgoSession
+
+    graph = load_dataset("dblp", scale=scale)
+    stream = generate_update_stream(graph, updates, seed=seed)
+    backends: dict = {}
+
+    session = EgoSession(graph)
+    start = time.perf_counter()
+    applied = apply_stream(session, stream)
+    elapsed = time.perf_counter() - start
+    backends["apply"] = {"mean_s": elapsed / max(applied, 1), "seconds": elapsed}
+
+    replay_stats: dict = {}
+    for policy in ("interval", "always"):
+        with tempfile.TemporaryDirectory() as tmp:
+            durable = EgoSession(graph, durability=tmp, fsync=policy)
+            start = time.perf_counter()
+            applied = apply_stream(durable, stream)
+            elapsed = time.perf_counter() - start
+            durable.close()
+            backends[f"apply_durable_{policy}"] = {
+                "mean_s": elapsed / max(applied, 1),
+                "seconds": elapsed,
+            }
+            if policy == "interval":
+                start = time.perf_counter()
+                _, report = recover(tmp, resume=False)
+                recover_elapsed = time.perf_counter() - start
+                events = report.replayed_events + report.skipped_events
+                backends["recover"] = {
+                    "mean_s": recover_elapsed / max(events, 1),
+                    "seconds": recover_elapsed,
+                }
+                replay_stats = {
+                    "replayed_events": report.replayed_events,
+                    "skipped_events": report.skipped_events,
+                    "replay_events_per_s": events / recover_elapsed
+                    if recover_elapsed
+                    else float("inf"),
+                    "recovery_seconds": report.elapsed_seconds,
+                }
+
+    apply_mean = backends["apply"]["mean_s"]
+    return {
+        "bench": "durability",
+        "unit": "seconds per update",
+        "dataset": "dblp",
+        "scale": scale,
+        "updates": updates,
+        "backends": backends,
+        "throughput_retention_interval": (
+            apply_mean / backends["apply_durable_interval"]["mean_s"]
+        ),
+        "throughput_retention_always": (
+            apply_mean / backends["apply_durable_always"]["mean_s"]
+        ),
+        **replay_stats,
+        "speedup_interval_vs_always": (
+            backends["apply_durable_always"]["mean_s"]
+            / backends["apply_durable_interval"]["mean_s"]
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="benchmark smoke runs -> JSON artifacts")
     parser.add_argument("--scale", type=float, default=0.1, help="dataset scale (default 0.1)")
@@ -346,6 +431,10 @@ def main(argv=None) -> int:
             bench_chaos(
                 args.scale, args.clients, args.workers, kill_every=args.chaos_kill_every
             ),
+        ),
+        (
+            "BENCH_durability.json",
+            bench_durability(args.scale, max(args.updates * 5, 500), args.seed),
         ),
     ):
         payload["environment"] = env

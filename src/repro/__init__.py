@@ -18,6 +18,10 @@ A from-scratch reproduction of the paper's full system:
 * the async multi-tenant serving layer: a micro-batching gateway that
   coalesces concurrent requests into shared runtime passes
   (:class:`repro.serving.ServingGateway`) — :mod:`repro.serving`;
+* the durability plane: a CRC-framed write-ahead log for the update
+  stream, self-verifying CSR checkpoints and checkpoint+replay crash
+  recovery (:class:`repro.durability.WriteAheadLog`,
+  :func:`repro.durability.recover`) — :mod:`repro.durability`;
 * the Brandes betweenness baseline (TopBW) — :mod:`repro.baselines`;
 * synthetic dataset stand-ins and the experiment harness reproducing every
   table and figure of the evaluation — :mod:`repro.datasets`,
@@ -45,6 +49,12 @@ Quickstart
 """
 
 from repro.baselines import top_k_betweenness
+from repro.durability import (
+    CheckpointStore,
+    DurabilityManager,
+    RecoveryReport,
+    WriteAheadLog,
+)
 from repro.core import (
     SearchStats,
     TopKResult,
@@ -71,7 +81,7 @@ from repro.parallel import (
 from repro.serving import GatewayStats, ServingGateway
 from repro.session import EgoSession, Query, SessionStats
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -101,5 +111,9 @@ __all__ = [
     "RuntimeStats",
     "ServingGateway",
     "GatewayStats",
+    "WriteAheadLog",
+    "CheckpointStore",
+    "DurabilityManager",
+    "RecoveryReport",
     "top_k_betweenness",
 ]

@@ -27,6 +27,13 @@ Subcommands
     clients over several tenant graphs sharing one worker pool, and report
     qps / latency percentiles against the pre-gateway one-session-per-query
     baseline (the multi-tenant serving scenario).
+``recover``
+    Rebuild a session from a durability directory (checkpoint + WAL tail
+    replay) and report what was recovered; ``--verify-only`` runs the
+    fsck-style read-only check instead.
+``checkpoint``
+    Force a checkpoint on a durability directory: recover the session,
+    write a fresh snapshot and prune the now-covered WAL segments.
 ``experiment``
     Run one of the paper-reproduction experiments and print its report.
 ``datasets``
@@ -238,7 +245,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="gateway per-request waiting bound in seconds (default: none)",
     )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help=(
+            "run every tenant durably: write-ahead log + checkpoints under "
+            "<wal-dir>/<tenant>; recover later with 'repro recover'"
+        ),
+    )
     _add_json_argument(serve)
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="rebuild a session from a durability directory and report it",
+    )
+    recover.add_argument(
+        "--dir",
+        required=True,
+        dest="directory",
+        help="durability directory (the EgoSession(durability=...) root)",
+    )
+    recover.add_argument(
+        "--verify-only",
+        action="store_true",
+        help=(
+            "fsck mode: validate every checkpoint and WAL record without "
+            "repairing, replaying or building a session"
+        ),
+    )
+    recover.add_argument(
+        "-k",
+        type=int,
+        default=0,
+        help="also print the top-k ego-betweenness of the recovered graph",
+    )
+    _add_json_argument(recover)
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="force a checkpoint on a durability directory and prune its WAL",
+    )
+    checkpoint.add_argument(
+        "--dir",
+        required=True,
+        dest="directory",
+        help="durability directory (the EgoSession(durability=...) root)",
+    )
+    _add_json_argument(checkpoint)
 
     experiment = subparsers.add_parser("experiment", help="run a reproduction experiment")
     experiment.add_argument("experiment_id", choices=sorted(EXPERIMENTS), help="experiment id")
@@ -573,6 +626,7 @@ def _run_serve(args: argparse.Namespace) -> None:
         fault_plan=fault_plan,
         task_deadline=args.task_deadline,
         request_deadline=args.request_deadline,
+        durability_root=args.wal_dir,
     )
     payload["command"] = "serve"
     if args.json:
@@ -625,6 +679,23 @@ def _run_serve(args: argparse.Namespace) -> None:
             "fallbacks",
         )
     }
+    if payload.get("durability_root"):
+        durable = {
+            tenant_id: (stats.get("durability") or {})
+            for tenant_id, stats in tenant_stats.items()
+        }
+        appends = sum(
+            d.get("wal", {}).get("appends", 0) for d in durable.values()
+        )
+        checkpoints = sum(
+            d.get("checkpoints", {}).get("written_by_session", 0)
+            for d in durable.values()
+        )
+        print(
+            f"durability: {len(durable)} durable tenants under "
+            f"{payload['durability_root']} ({appends} WAL appends, "
+            f"{checkpoints} checkpoints)"
+        )
     if "faults" in payload:
         injected = payload["faults"]
         print(
@@ -632,6 +703,21 @@ def _run_serve(args: argparse.Namespace) -> None:
             f"{injected['delays']} stragglers, {injected['raises']} raises, "
             f"{injected['corruptions']} corrupt ships"
         )
+        summary = payload.get("fault_summary", {})
+        drawn = summary.get("drawn", {})
+        performed = summary.get("performed", {})
+        if drawn:
+            pairs = ", ".join(
+                f"{kind} {performed.get(kind, 0)}/{count}"
+                for kind, count in sorted(drawn.items())
+                if count
+            )
+            if pairs:
+                print(
+                    f"chaos summary (performed/drawn): {pairs} "
+                    "(worker-side kills count as drawn; the recovery "
+                    "counters above are their witness)"
+                )
     if any(recovered.values()) or gateway["batch_retries"] or gateway["circuit_opens"]:
         print(
             f"recovery: {recovered['worker_deaths']} worker deaths, "
@@ -643,6 +729,105 @@ def _run_serve(args: argparse.Namespace) -> None:
             f"{gateway['circuit_opens']} circuit opens, "
             f"{gateway['deadline_misses']} request deadline misses"
         )
+
+
+def _run_recover(args: argparse.Namespace) -> None:
+    """Recover (or fsck) a durability directory and report what happened."""
+    from repro.durability import recover as durability_recover
+    from repro.durability import verify as durability_verify
+
+    if args.verify_only:
+        report = durability_verify(args.directory)
+        session = None
+    else:
+        # resume=False: inspection does not re-open the WAL for writing.
+        session, report = durability_recover(args.directory, resume=False)
+
+    ranked = []
+    if session is not None and args.k > 0:
+        result = session.top_k(args.k)
+        ranked = [
+            {"rank": rank + 1, "vertex": vertex, "ego_betweenness": score}
+            for rank, (vertex, score) in enumerate(result.entries)
+        ]
+
+    if args.json:
+        payload: Dict[str, Any] = {"command": "recover", "report": report.as_dict()}
+        if ranked:
+            payload["top_k"] = ranked
+        if session is not None:
+            payload["session"] = session.stats().as_dict()
+        _emit_json(payload)
+        return
+
+    mode = "fsck" if report.verify_only else "recovery"
+    verdict = "ok" if report.ok else "PROBLEMS FOUND"
+    print(f"{mode} of {report.directory}: {verdict}")
+    rows = [
+        {
+            "checkpoint_seq": report.checkpoint_sequence,
+            "wal_last_seq": report.wal_last_sequence,
+            "replayed": report.replayed_events,
+            "skipped": report.skipped_events,
+            "torn_bytes": report.torn_bytes_dropped,
+            "segments": report.segments_scanned,
+            "elapsed_s": round(report.elapsed_seconds, 4),
+        }
+    ]
+    print(format_table(rows, title=f"{mode.capitalize()} report"))
+    if report.checkpoint_path:
+        print(f"checkpoint: {report.checkpoint_path}")
+    if report.invalid_checkpoints:
+        for path in report.invalid_checkpoints:
+            print(f"invalid checkpoint skipped: {path}")
+    for error in report.wal_errors:
+        print(f"WAL error: {error}")
+    if session is not None:
+        print(
+            f"recovered graph: {report.num_vertices} vertices, "
+            f"{report.num_edges} edges"
+            + (", memoised values restored" if report.values_restored else "")
+        )
+    if ranked:
+        rounded = [
+            {**entry, "ego_betweenness": round(entry["ego_betweenness"], 4)}
+            for entry in ranked
+        ]
+        print(format_table(rounded, title=f"Top-{args.k} after recovery"))
+
+
+def _run_checkpoint(args: argparse.Namespace) -> None:
+    """Force a checkpoint: recover, snapshot, prune the covered WAL."""
+    from repro.durability import recover as durability_recover
+
+    session, report = durability_recover(args.directory)
+    try:
+        # Warm the values first so the snapshot carries them: the next
+        # recover with an empty WAL tail then restores the memo instead of
+        # recomputing from scratch.
+        session.scores()
+        path = str(session.checkpoint())
+        stats = session.stats().as_dict()
+    finally:
+        session.close()
+    if args.json:
+        _emit_json(
+            {
+                "command": "checkpoint",
+                "checkpoint_path": path,
+                "report": report.as_dict(),
+                "session": stats,
+            }
+        )
+        return
+    durability = stats.get("durability") or {}
+    wal = durability.get("wal", {})
+    print(f"checkpoint written: {path}")
+    print(
+        f"covers sequence {wal.get('last_sequence', report.wal_last_sequence)} "
+        f"({report.replayed_events} events replayed from the WAL tail; "
+        f"{wal.get('segments', 0)} segment(s) remain after pruning)"
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -660,6 +845,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_bench_throughput(args)
         elif args.command == "serve":
             _run_serve(args)
+        elif args.command == "recover":
+            _run_recover(args)
+        elif args.command == "checkpoint":
+            _run_checkpoint(args)
         elif args.command == "experiment":
             kwargs = {} if args.backend is None else {"backend": args.backend}
             result = run_experiment(args.experiment_id, scale=args.scale, **kwargs)

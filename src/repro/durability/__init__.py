@@ -1,0 +1,59 @@
+"""Durability plane: write-ahead logging, checkpoints, crash recovery.
+
+PR 6 made the serving plane survive *worker* crashes; this package makes
+the system survive *process* death.  The pieces compose in the classic
+database shape:
+
+* :class:`~repro.durability.wal.WriteAheadLog` — length-prefixed,
+  CRC32-framed records of every update event, appended **before** the
+  in-memory mutation (write-ahead discipline), with segment rotation and
+  an ``always | interval | never`` fsync policy.
+* :class:`~repro.durability.checkpoint.CheckpointStore` — atomic
+  temp-write + rename snapshots of the CSR arrays (+ version + memoised
+  values), each self-verifying via a magic + lengths + checksum header,
+  with retention of the last N.
+* :func:`~repro.durability.recovery.recover` — newest valid checkpoint +
+  WAL tail replay through the existing ``apply_stream`` path, returning a
+  :class:`~repro.durability.recovery.RecoveryReport`;
+  :func:`~repro.durability.recovery.verify` is the read-only fsck mode.
+* :class:`~repro.durability.manager.DurabilityManager` — the per-session
+  bundle ``EgoSession(durability=...)`` attaches.
+
+Quickstart::
+
+    from repro import EgoSession
+
+    session = EgoSession("dblp", durability="state/dblp", fsync="always")
+    session.apply(events)          # WAL append -> mutate -> ack
+    session.checkpoint()           # bound the replay tail
+    session.close()
+
+    # ... process dies; later ...
+    session = EgoSession.recover("state/dblp")
+    session.recovery_report.replayed_events
+"""
+
+from repro.durability.checkpoint import CheckpointStore
+from repro.durability.manager import DEFAULT_CHECKPOINT_EVERY, DurabilityManager
+from repro.durability.recovery import RecoveryReport, recover, verify
+from repro.durability.wal import (
+    FSYNC_POLICIES,
+    WalRecord,
+    WriteAheadLog,
+    encode_record,
+    scan_buffer,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DurabilityManager",
+    "FSYNC_POLICIES",
+    "RecoveryReport",
+    "WalRecord",
+    "WriteAheadLog",
+    "encode_record",
+    "recover",
+    "scan_buffer",
+    "verify",
+]

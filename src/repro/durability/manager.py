@@ -1,0 +1,145 @@
+"""The per-session durability plane: one WAL + one checkpoint store.
+
+:class:`DurabilityManager` is what ``EgoSession(durability=...)`` attaches:
+it owns the directory layout (``<root>/wal/`` segments,
+``<root>/checkpoints/`` snapshots), enforces the write-ahead contract
+(`log_event` before the in-memory mutation, checkpoint only after a WAL
+sync), drives the auto-checkpoint cadence, and prunes WAL segments a
+published checkpoint made redundant.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.dynamic.stream import UpdateEvent
+from repro.errors import InvalidParameterError
+
+from repro.durability.checkpoint import CheckpointStore
+from repro.durability.wal import (
+    DEFAULT_FSYNC_INTERVAL,
+    DEFAULT_SEGMENT_BYTES,
+    WriteAheadLog,
+)
+
+__all__ = ["DurabilityManager", "DEFAULT_CHECKPOINT_EVERY"]
+
+#: Auto-checkpoint after this many logged events (0 disables — checkpoints
+#: then happen only via an explicit ``session.checkpoint()`` call, beyond
+#: the baseline written when durability is enabled).
+DEFAULT_CHECKPOINT_EVERY = 10_000
+
+
+class DurabilityManager:
+    """Bundles a :class:`WriteAheadLog` and a :class:`CheckpointStore`.
+
+    Parameters
+    ----------
+    directory:
+        Root of the durability state; ``wal/`` and ``checkpoints/`` are
+        created under it.
+    fsync / fsync_interval / segment_bytes:
+        Forwarded to the :class:`WriteAheadLog`.
+    checkpoint_every:
+        Auto-checkpoint cadence in logged events (0 = manual only).
+    retain_checkpoints:
+        How many checkpoints the store keeps.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        *,
+        fsync: str = "interval",
+        fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        retain_checkpoints: int = 3,
+        _wal: Optional[WriteAheadLog] = None,
+        _store: Optional[CheckpointStore] = None,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise InvalidParameterError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self.directory = Path(directory)
+        self.checkpoint_every = int(checkpoint_every)
+        self.wal = _wal if _wal is not None else WriteAheadLog(
+            self.directory / "wal",
+            fsync=fsync,
+            fsync_interval=fsync_interval,
+            segment_bytes=segment_bytes,
+        )
+        self.store = _store if _store is not None else CheckpointStore(
+            self.directory / "checkpoints", retain=retain_checkpoints
+        )
+        self._events_since_checkpoint = 0
+        self._checkpoints_written = 0
+
+    # ------------------------------------------------------------------
+    # State probes
+    # ------------------------------------------------------------------
+    @property
+    def has_history(self) -> bool:
+        """True when the directory already holds records or checkpoints."""
+        return self.wal.last_sequence > 0 or bool(self.store.list())
+
+    @property
+    def closed(self) -> bool:
+        return self.wal.closed
+
+    # ------------------------------------------------------------------
+    # The write-ahead contract
+    # ------------------------------------------------------------------
+    def log_event(self, event: UpdateEvent) -> int:
+        """Make one event durable *before* the caller mutates state."""
+        sequence = self.wal.append(event)
+        self._events_since_checkpoint += 1
+        return sequence
+
+    def should_checkpoint(self) -> bool:
+        return (
+            self.checkpoint_every > 0
+            and self._events_since_checkpoint >= self.checkpoint_every
+        )
+
+    def write_checkpoint(self, payload: Dict[str, Any]) -> Path:
+        """Sync the WAL, publish a checkpoint at its head, prune the log.
+
+        The sync-first ordering is the checkpoint's consistency proof: a
+        checkpoint naming ``last_sequence = s`` implies every record
+        ``<= s`` is on stable storage, so pruning the segments it covers
+        can never lose an event the checkpoint does not already contain.
+        """
+        self.wal.sync()
+        sequence = self.wal.last_sequence
+        path = self.store.write(payload, sequence=sequence)
+        self.wal.prune(sequence)
+        self._events_since_checkpoint = 0
+        self._checkpoints_written += 1
+        return path
+
+    def close(self) -> None:
+        """Final sync + close of the WAL (idempotent)."""
+        self.wal.close()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        wal_stats = self.wal.stats()
+        return {
+            "directory": str(self.directory),
+            "wal": wal_stats,
+            "checkpoints": {
+                **self.store.stats(),
+                "written_by_session": self._checkpoints_written,
+                "events_since_checkpoint": self._events_since_checkpoint,
+                "checkpoint_every": self.checkpoint_every,
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DurabilityManager(directory={str(self.directory)!r})"

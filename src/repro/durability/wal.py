@@ -1,0 +1,520 @@
+"""Write-ahead log for dynamic graph update events.
+
+The dynamic update stream (the paper's Section-IV workload) *is* the
+system's state: a session that dies loses every acknowledged ``apply()``
+unless the events were made durable first.  :class:`WriteAheadLog` is that
+durability primitive — an append-only, segmented log of
+:class:`~repro.dynamic.stream.UpdateEvent` records with the classic
+write-ahead discipline: the caller appends **before** mutating in-memory
+state and acknowledges only after the append returned.
+
+Record framing
+--------------
+Each record is length-prefixed and CRC-framed::
+
+    [u32 body length][u32 crc32(body)] [body]
+    body = [u64 sequence][f64 timestamp][u8 op] [pickle((u, v))]
+
+The CRC covers the whole body (sequence and timestamp included), so a
+flipped bit anywhere in a record is detected.  Vertex labels go through
+``pickle`` because the graph layer accepts arbitrary hashable labels
+(ints, strings, tuples) — the framing round-trips whatever ``apply()``
+accepted.
+
+Torn tails vs corruption
+------------------------
+A crash mid-append leaves a *prefix* of the final record on disk (the
+header and body are written with one ``write`` call, and the kernel
+appends a prefix of the buffer on a torn write).  Replay distinguishes the
+two failure shapes precisely:
+
+* **Torn tail** — the last segment ends in an incomplete record (fewer
+  than 8 header bytes, or fewer body bytes than the header promises).
+  This is the expected crash artefact: replay returns the clean prefix and
+  :meth:`WriteAheadLog.open <WriteAheadLog>` truncates the file so new
+  appends continue from the last durable record.
+* **Corruption** — a *complete* record whose CRC does not match, an
+  impossible length word, or a torn record that is not at the very end of
+  the log.  Pure truncation can never produce these (the CRC precedes the
+  body it covers), so they mean bit rot or an overwritten region:
+  :class:`~repro.errors.WalCorruptionError` is raised with the segment
+  path, byte offset and reason — never garbage events.
+
+Segments rotate at ``segment_bytes``; each file is named by the sequence
+number of its first record (``wal-00000000000000000001.log``), so a
+checkpoint at sequence ``s`` lets :meth:`WriteAheadLog.prune` drop every
+segment whose records are all ``<= s`` without reading them.
+
+fsync policy
+------------
+``"always"`` fsyncs every append (zero acknowledged-update loss even on
+power failure), ``"interval"`` fsyncs at most every ``fsync_interval``
+seconds (bounded loss window, near-non-durable throughput) and ``"never"``
+leaves syncing to the OS (flushes to the page cache only).  All three
+survive a *process* crash for flushed records; the policy chooses the
+window lost to a *host* crash.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.dynamic.stream import UpdateEvent
+from repro.errors import DurabilityError, InvalidParameterError, WalCorruptionError
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalRecord",
+    "WriteAheadLog",
+    "encode_record",
+    "scan_buffer",
+]
+
+#: Accepted values of the ``fsync`` policy knob.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+#: First bytes of every segment file (magic + format version).
+SEGMENT_MAGIC = b"EGOWAL01"
+
+#: ``[u32 body length][u32 crc32(body)]`` — one per record.
+_RECORD_HEADER = struct.Struct("<II")
+
+#: ``[u64 sequence][f64 timestamp][u8 op]`` — the fixed body prefix.
+_BODY_PREFIX = struct.Struct("<Qdb")
+
+#: Hard sanity cap on a single record body.  A header claiming more than
+#: this is corruption, not a large record — one update event is a few
+#: dozen bytes.
+MAX_RECORD_BYTES = 1 << 26
+
+_OP_CODES = {"insert": 1, "delete": 2}
+_OP_NAMES = {code: name for name, code in _OP_CODES.items()}
+
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+DEFAULT_FSYNC_INTERVAL = 0.05
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable log record: a sequenced, timestamped update event."""
+
+    sequence: int
+    timestamp: float
+    event: UpdateEvent
+
+
+def encode_record(sequence: int, timestamp: float, event: UpdateEvent) -> bytes:
+    """Frame one event as a wire record (header + CRC-covered body)."""
+    op = _OP_CODES.get(event.operation)
+    if op is None:  # pragma: no cover - UpdateEvent validates operations
+        raise InvalidParameterError(f"unknown operation {event.operation!r}")
+    body = _BODY_PREFIX.pack(int(sequence), float(timestamp), op) + pickle.dumps(
+        (event.u, event.v), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    return _RECORD_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def _decode_body(body: bytes, path: str, offset: int) -> WalRecord:
+    if len(body) < _BODY_PREFIX.size + 1:
+        raise WalCorruptionError(
+            path, offset, f"record body of {len(body)} bytes is too short"
+        )
+    sequence, timestamp, op = _BODY_PREFIX.unpack_from(body)
+    name = _OP_NAMES.get(op)
+    if name is None:
+        raise WalCorruptionError(path, offset, f"unknown operation code {op}")
+    try:
+        u, v = pickle.loads(body[_BODY_PREFIX.size :])
+    except Exception as exc:
+        raise WalCorruptionError(
+            path, offset, f"vertex payload failed to unpickle: {exc}"
+        ) from exc
+    return WalRecord(sequence=sequence, timestamp=timestamp, event=UpdateEvent(name, u, v))
+
+
+def scan_buffer(
+    data: bytes, *, path: str = "<buffer>", base_offset: int = 0
+) -> Tuple[List[WalRecord], int, int]:
+    """Decode a run of framed records from ``data``.
+
+    Returns ``(records, clean_bytes, torn_bytes)``: the decoded clean
+    prefix, how many bytes of ``data`` it spans, and how many trailing
+    bytes belong to a torn (incomplete) final record.  Raises
+    :class:`WalCorruptionError` for a complete-but-invalid record —
+    truncating ``data`` at any byte offset can only shrink the clean
+    prefix, never change or corrupt it (the framing tests enforce this
+    property at every offset).
+    """
+    records: List[WalRecord] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        remaining = total - offset
+        if remaining < _RECORD_HEADER.size:
+            return records, offset, remaining  # torn header
+        length, crc = _RECORD_HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            raise WalCorruptionError(
+                path,
+                base_offset + offset,
+                f"record claims {length} body bytes (cap {MAX_RECORD_BYTES}) — "
+                "the length word is not a prefix of any valid record",
+            )
+        body_start = offset + _RECORD_HEADER.size
+        if total - body_start < length:
+            return records, offset, remaining  # torn body
+        body = data[body_start : body_start + length]
+        if zlib.crc32(body) != crc:
+            raise WalCorruptionError(
+                path,
+                base_offset + offset,
+                "CRC mismatch on a complete record (bit rot or overwrite; "
+                "a torn write cannot produce this — the CRC precedes the "
+                "body it covers)",
+            )
+        records.append(_decode_body(body, path, base_offset + offset))
+        offset = body_start + length
+    return records, offset, 0
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush directory metadata (new files / renames) where supported."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. directories on some FS
+        pass
+    finally:
+        os.close(fd)
+
+
+def _segment_path(directory: Path, first_sequence: int) -> Path:
+    return directory / f"wal-{first_sequence:020d}.log"
+
+
+def _segment_first_sequence(path: Path) -> int:
+    stem = path.stem  # "wal-<seq>"
+    try:
+        return int(stem.split("-", 1)[1])
+    except (IndexError, ValueError):
+        raise DurabilityError(
+            f"{path} does not look like a WAL segment (expected "
+            "wal-<sequence>.log)"
+        ) from None
+
+
+class WriteAheadLog:
+    """A segmented, CRC-framed, append-only log of update events.
+
+    Opening a directory scans the existing segments: the final segment's
+    torn tail (if any) is truncated so appends continue cleanly after the
+    last durable record, and the next sequence number picks up where the
+    log left off.  A fresh directory starts at sequence 1.
+
+    Parameters
+    ----------
+    directory:
+        Where the segment files live (created if missing).
+    fsync:
+        ``"always"`` | ``"interval"`` | ``"never"`` — see the module
+        docstring for the trade-off.
+    fsync_interval:
+        Maximum seconds between fsyncs under the ``"interval"`` policy.
+    segment_bytes:
+        Rotate to a new segment file once the active one exceeds this.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        *,
+        fsync: str = "interval",
+        fsync_interval: float = DEFAULT_FSYNC_INTERVAL,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    ) -> None:
+        fsync = str(fsync).lower()
+        if fsync not in FSYNC_POLICIES:
+            raise InvalidParameterError(
+                f"unknown fsync policy {fsync!r}; use one of {FSYNC_POLICIES} "
+                "('always' = zero-loss, 'interval' = bounded window, "
+                "'never' = OS page cache only)"
+            )
+        if fsync_interval < 0:
+            raise InvalidParameterError(
+                f"fsync_interval must be >= 0, got {fsync_interval}"
+            )
+        if segment_bytes < 1:
+            raise InvalidParameterError(
+                f"segment_bytes must be >= 1, got {segment_bytes}"
+            )
+        self.directory = Path(directory)
+        self.fsync_policy = fsync
+        self.fsync_interval = float(fsync_interval)
+        self.segment_bytes = int(segment_bytes)
+        self._lock = threading.Lock()
+        self._handle: Optional[io.BufferedWriter] = None
+        self._closed = False
+        self._last_sync = 0.0
+        self._appends = 0
+        self._syncs = 0
+        self._rotations = 0
+        self._bytes_written = 0
+        self._torn_bytes_dropped = 0
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        segments = self.segments()
+        if not segments:
+            self._last_sequence = 0
+            self._open_segment(first_sequence=1)
+        else:
+            tail = segments[-1]
+            raw_bytes = tail.stat().st_size
+            if raw_bytes < len(SEGMENT_MAGIC):
+                # Torn inside the segment's own magic: no durable record
+                # ever made it in.  Restart the segment from scratch.
+                records: List[WalRecord] = []
+                torn_bytes = raw_bytes
+                with open(tail, "r+b") as handle:
+                    handle.truncate(0)
+                    handle.write(SEGMENT_MAGIC)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            else:
+                records, clean_bytes, torn_bytes = self._scan_segment(tail)
+                if torn_bytes:
+                    # The crash artefact: drop the incomplete final record
+                    # so the next append does not interleave with its
+                    # remains.
+                    with open(tail, "r+b") as handle:
+                        handle.truncate(len(SEGMENT_MAGIC) + clean_bytes)
+            self._torn_bytes_dropped += torn_bytes
+            if records:
+                self._last_sequence = records[-1].sequence
+            else:
+                self._last_sequence = _segment_first_sequence(tail) - 1
+            self._handle = open(tail, "ab")
+            self._segment_path = tail
+
+    # ------------------------------------------------------------------
+    # Segment plumbing
+    # ------------------------------------------------------------------
+    def segments(self) -> List[Path]:
+        """The segment files, oldest first."""
+        return sorted(self.directory.glob("wal-*.log"))
+
+    def _scan_segment(self, path: Path) -> Tuple[List[WalRecord], int, int]:
+        data = path.read_bytes()
+        if len(data) < len(SEGMENT_MAGIC):
+            # A segment torn inside its own magic: no records yet.
+            return [], 0, len(data)
+        if data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+            raise WalCorruptionError(
+                str(path), 0, f"bad segment magic {data[:8]!r}"
+            )
+        return scan_buffer(
+            data[len(SEGMENT_MAGIC) :],
+            path=str(path),
+            base_offset=len(SEGMENT_MAGIC),
+        )
+
+    def _open_segment(self, first_sequence: int) -> None:
+        path = _segment_path(self.directory, first_sequence)
+        handle = open(path, "ab")
+        if handle.tell() == 0:
+            handle.write(SEGMENT_MAGIC)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle = handle
+        self._segment_path = path
+        _fsync_directory(self.directory)
+
+    def _rotate_locked(self) -> None:
+        # Everything in the finished segment becomes durable before the
+        # log moves on — rotation is a natural sync point.
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._rotations += 1
+        self._open_segment(first_sequence=self._last_sequence + 1)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the newest appended record (0 when empty)."""
+        return self._last_sequence
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def append(self, event: UpdateEvent, *, timestamp: Optional[float] = None) -> int:
+        """Append one event; return its sequence number.
+
+        When the append returns, the record is at least in the OS page
+        cache (flushed); under ``fsync="always"`` it is on stable storage.
+        Consults the active :mod:`repro.faults` plan for crash-point
+        injection (torn-write truncation, record corruption, hard exit) —
+        the chaos hooks that let tests kill the process mid-protocol.
+        """
+        from repro import faults
+
+        with self._lock:
+            if self._closed:
+                raise DurabilityError(
+                    "write-ahead log is closed (the owning session was "
+                    "closed); recover the directory to resume appending"
+                )
+            sequence = self._last_sequence + 1
+            record = encode_record(
+                sequence, time.time() if timestamp is None else timestamp, event
+            )
+            fault = faults.draw_wal_append_fault()
+            if fault is not None and fault[0] == "corrupt":
+                # Flip one body byte; the stored CRC no longer matches, so
+                # replay must detect (not deliver) this record.
+                corrupt = bytearray(record)
+                corrupt[-1] ^= 0xFF
+                record = bytes(corrupt)
+                faults.note_performed("wal_corruptions")
+            if fault is not None and fault[0] == "crash":
+                keep = fault[1]
+                torn = record if keep < 0 else record[: min(keep, len(record))]
+                if torn:
+                    self._handle.write(torn)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                faults.note_performed("wal_crashes")
+                os._exit(faults.KILL_EXIT_CODE)
+            self._handle.write(record)
+            self._handle.flush()
+            self._last_sequence = sequence
+            self._appends += 1
+            self._bytes_written += len(record)
+            if self.fsync_policy == "always":
+                os.fsync(self._handle.fileno())
+                self._syncs += 1
+            elif self.fsync_policy == "interval":
+                now = time.monotonic()
+                if now - self._last_sync >= self.fsync_interval:
+                    os.fsync(self._handle.fileno())
+                    self._syncs += 1
+                    self._last_sync = now
+            if self._handle.tell() >= self.segment_bytes:
+                self._rotate_locked()
+            return sequence
+
+    def sync(self) -> None:
+        """Force everything appended so far onto stable storage."""
+        with self._lock:
+            if self._closed or self._handle is None:
+                return
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._syncs += 1
+            self._last_sync = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Replay and maintenance
+    # ------------------------------------------------------------------
+    def replay(self, after_sequence: int = 0) -> Iterator[WalRecord]:
+        """Yield every durable record with ``sequence > after_sequence``.
+
+        Records are yielded in sequence order across segments.  A torn
+        tail on the **final** segment is silently ignored (it is the
+        expected crash artefact — and was already truncated if this log
+        object opened the directory); a torn tail on any earlier segment,
+        or a corrupt record anywhere, raises
+        :class:`~repro.errors.WalCorruptionError`.
+        """
+        with self._lock:
+            if self._handle is not None and not self._closed:
+                self._handle.flush()
+        segments = self.segments()
+        for position, path in enumerate(segments):
+            records, clean_bytes, torn_bytes = self._scan_segment(path)
+            if torn_bytes and position != len(segments) - 1:
+                raise WalCorruptionError(
+                    str(path),
+                    len(SEGMENT_MAGIC) + clean_bytes,
+                    "torn record in a non-final segment (rotation only "
+                    "happens after a clean sync, so this is corruption)",
+                )
+            for record in records:
+                if record.sequence > after_sequence:
+                    yield record
+
+    def prune(self, upto_sequence: int) -> int:
+        """Delete whole segments whose records are all ``<= upto_sequence``.
+
+        Called after a checkpoint at ``upto_sequence`` makes the prefix
+        redundant.  The active segment is never deleted.  Returns the
+        number of segments removed.
+        """
+        with self._lock:
+            segments = self.segments()
+            removed = 0
+            for path, successor in zip(segments, segments[1:]):
+                # ``path`` spans [first, successor_first - 1].
+                if _segment_first_sequence(successor) - 1 <= upto_sequence:
+                    path.unlink()
+                    removed += 1
+                else:
+                    break
+            if removed:
+                _fsync_directory(self.directory)
+            return removed
+
+    def close(self) -> None:
+        """Sync and close the active segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._syncs += 1
+                self._handle.close()
+                self._handle = None
+            self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Counters for :class:`~repro.session.SessionStats` / ``--json``."""
+        return {
+            "last_sequence": self._last_sequence,
+            "appends": self._appends,
+            "syncs": self._syncs,
+            "rotations": self._rotations,
+            "bytes_written": self._bytes_written,
+            "torn_bytes_dropped": self._torn_bytes_dropped,
+            "segments": len(self.segments()),
+            "fsync_policy": self.fsync_policy,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog(directory={str(self.directory)!r}, "
+            f"fsync={self.fsync_policy!r}, last_sequence={self._last_sequence})"
+        )

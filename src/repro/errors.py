@@ -228,6 +228,69 @@ class DatasetError(ReproError):
     """Raised when a named dataset cannot be located or generated."""
 
 
+class DurabilityError(ReproError, RuntimeError):
+    """Base class for durability-plane failures (WAL, checkpoints, recovery).
+
+    Everything under this class concerns the *persistence machinery* — the
+    write-ahead log, the checkpoint store, and the recovery path — never the
+    query results themselves.
+    """
+
+
+class WalCorruptionError(DurabilityError):
+    """Raised when the write-ahead log contains a corrupt record.
+
+    A *torn tail* (an interrupted final write) is **not** corruption — replay
+    silently truncates it, because a crash mid-append is exactly the event the
+    log exists to survive.  This error means a record that was fully written
+    fails its CRC, carries an impossible length, or sits *before* later valid
+    data — bit rot or an overwritten region, which recovery must refuse to
+    replay rather than guess at.  The message always carries the segment path,
+    the byte offset of the bad record, and the reason.
+    """
+
+    def __init__(self, path, offset: int, reason: str) -> None:
+        super().__init__(path, offset, reason)
+        self.path = str(path)
+        self.offset = int(offset)
+        self.reason = reason
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"corrupt WAL record in {self.path!r} at byte offset "
+            f"{self.offset}: {self.reason}"
+        )
+
+
+class CheckpointCorruptionError(DurabilityError):
+    """Raised when a checkpoint file fails its self-verification.
+
+    Every checkpoint carries a ``(magic, payload length, checksum)`` header
+    written *before* an atomic rename publishes the file; a mismatch means
+    the file was corrupted after publication (or is not a checkpoint at
+    all).  ``CheckpointStore.latest()`` skips such files and falls back to
+    the newest valid one; this error only escapes from a direct ``load``.
+    """
+
+    def __init__(self, path, reason: str) -> None:
+        super().__init__(path, reason)
+        self.path = str(path)
+        self.reason = reason
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"corrupt checkpoint {self.path!r}: {self.reason}"
+
+
+class RecoveryError(DurabilityError):
+    """Raised when a durability directory cannot be recovered into a session.
+
+    Examples: the directory holds no valid checkpoint (so there is no base
+    state to replay onto), or durability was requested on a directory that
+    already contains a history (which must go through ``recover()`` instead
+    of being silently overwritten).
+    """
+
+
 class GraphFormatError(ReproError, ValueError):
     """Raised when parsing an edge-list / SNAP file fails."""
 

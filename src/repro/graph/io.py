@@ -10,6 +10,7 @@ the synthetic stand-ins from :mod:`repro.datasets`.
 from __future__ import annotations
 
 import os
+import tempfile
 from typing import Callable, Iterable, Iterator, List, Optional, TextIO, Tuple, Union
 
 from repro.errors import GraphFormatError
@@ -100,26 +101,47 @@ def write_edge_list(
 ) -> None:
     """Write ``graph`` as a plain edge list (one canonical edge per line).
 
+    When ``destination`` is a path, the write is **crash-safe**: the lines
+    go to a temporary file in the destination's directory, which is
+    flushed, fsynced and atomically renamed over the target only once it
+    is complete.  An interrupted export (crash, ``kill -9``, full disk)
+    therefore either leaves the previous file untouched or publishes the
+    whole new one — never a truncated dataset.  An open file handle is
+    written through directly (the caller owns its lifecycle).
+
     Parameters
     ----------
     header:
         Optional comment text written as ``# <header>`` on the first line.
     """
-    close_after = False
     if hasattr(destination, "write"):
-        handle = destination  # type: ignore[assignment]
-    else:
-        handle = open(os.fspath(destination), "w", encoding="utf-8")
-        close_after = True
+        _write_edge_lines(destination, graph, header)  # type: ignore[arg-type]
+        return
+    target = os.fspath(destination)
+    directory = os.path.dirname(target) or "."
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{os.path.basename(target)}.", suffix=".tmp", dir=directory
+    )
     try:
-        if header is not None:
-            handle.write(f"# {header}\n")
-        handle.write(f"# vertices {graph.num_vertices} edges {graph.num_edges}\n")
-        for u, v in graph.edges():
-            handle.write(f"{u}\t{v}\n")
-    finally:
-        if close_after:
-            handle.close()
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            _write_edge_lines(handle, graph, header)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _write_edge_lines(handle: TextIO, graph: Graph, header: Optional[str]) -> None:
+    if header is not None:
+        handle.write(f"# {header}\n")
+    handle.write(f"# vertices {graph.num_vertices} edges {graph.num_edges}\n")
+    for u, v in graph.edges():
+        handle.write(f"{u}\t{v}\n")
 
 
 def relabel_to_integers(graph: Graph) -> Tuple[Graph, dict]:

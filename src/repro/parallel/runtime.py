@@ -69,6 +69,7 @@ from __future__ import annotations
 import atexit
 import threading
 import time
+import warnings
 import zlib
 from array import array
 from dataclasses import dataclass, field
@@ -326,8 +327,19 @@ def _unlink_segment(name: str) -> None:
 
 
 @atexit.register
-def _sweep_segments() -> None:  # pragma: no cover - exercised at exit
+def _sweep_segments() -> None:
     for name in list(_LIVE_SEGMENTS):
+        # A segment reaching the atexit sweep means some runtime / payload
+        # store was never closed — the warning names it so leaked-segment
+        # bugs surface in test output instead of passing silently.
+        warnings.warn(
+            f"shared-memory segment {name!r} was still live at interpreter "
+            "exit and had to be unlinked by the atexit sweep; close the "
+            "owning ExecutionRuntime/PayloadStore (or use it as a context "
+            "manager) to release transport segments deterministically",
+            ResourceWarning,
+            stacklevel=2,
+        )
         _unlink_segment(name)
 
 
@@ -1294,6 +1306,7 @@ class ExecutionRuntime:
                 # Chaos hook: a "torn" ship — workers will detect the bad
                 # checksum on attach and the batch re-ships cleanly.
                 entry.payload.corrupt_header()
+                _faults.note_performed("corruptions")
         self._stats.payload_bytes = entry.nbytes
         if self._estimates_for != entry.key:
             self._estimates = None

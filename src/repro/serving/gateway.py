@@ -46,6 +46,7 @@ Examples
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass, field
 from functools import partial
@@ -57,6 +58,7 @@ from repro.errors import (
     GatewayClosedError,
     GatewayOverloadedError,
     InvalidParameterError,
+    RecoveryError,
     RequestTimeoutError,
     UnknownTenantError,
     WorkerFaultError,
@@ -272,6 +274,7 @@ class ServingGateway:
         circuit_threshold: int = 5,
         circuit_reset_seconds: float = 1.0,
         drain_seconds: float = 5.0,
+        durability_root: Optional[str] = None,
     ) -> None:
         if window_seconds < 0:
             raise InvalidParameterError("window_seconds must be >= 0")
@@ -297,6 +300,7 @@ class ServingGateway:
         self.circuit_threshold = circuit_threshold
         self.circuit_reset_seconds = circuit_reset_seconds
         self.drain_seconds = drain_seconds
+        self.durability_root = durability_root
         self._owns_pool = pool is None
         self._pool = (pool or WorkerPool(max_workers, keep_alive=True)).acquire()
         self._owns_store = store is None
@@ -330,6 +334,15 @@ class ServingGateway:
         store the session keeps its unique auto id — name tenants'
         ``graph_id=`` explicitly there to opt into same-graph payload
         dedup across gateways.
+
+        On a gateway constructed with ``durability_root=``, every tenant
+        built here (not adopted sessions — they own their lifecycle) is
+        **durable by default**: its session gets
+        ``durability=<root>/<tenant_id>``, so acknowledged ``apply()``
+        traffic survives gateway-process death and
+        :meth:`recover_tenant` restores it.  Pass ``durability=None``
+        explicitly to opt a tenant out, or ``durability=<dir>`` to place
+        one elsewhere.
         """
         if self._closed:
             raise GatewayClosedError("cannot add a tenant to a closed gateway")
@@ -346,6 +359,10 @@ class ServingGateway:
                 # session keeps its unique auto id, and same-graph dedup
                 # stays the caller's explicit graph_id= opt-in.
                 session_options.setdefault("graph_id", tenant_id)
+            if self.durability_root is not None:
+                session_options.setdefault(
+                    "durability", os.path.join(self.durability_root, tenant_id)
+                )
             session = EgoSession(source, backend=backend, scale=scale, **session_options)
         if self.parallel is not None:
             # Install the session's runtime for the gateway's executor now,
@@ -379,6 +396,31 @@ class ServingGateway:
     def tenant(self, tenant_id: str) -> EgoSession:
         """The registered session for ``tenant_id``."""
         return self._require(tenant_id).session
+
+    def recover_tenant(self, tenant_id: str, directory: Optional[str] = None, **kwargs) -> EgoSession:
+        """Restore a durable tenant from its durability directory.
+
+        ``directory`` defaults to ``<durability_root>/<tenant_id>`` — the
+        layout :meth:`add_tenant` uses on a durable gateway.  The
+        recovered session (newest checkpoint + WAL tail replay, log
+        re-attached) is registered exactly like an adopted session;
+        keyword arguments go to :meth:`EgoSession.recover`.  Raises
+        :class:`~repro.errors.RecoveryError` when no directory can be
+        derived or it holds no valid checkpoint.
+        """
+        if directory is None:
+            if self.durability_root is None:
+                raise RecoveryError(
+                    f"cannot derive a durability directory for tenant "
+                    f"{tenant_id!r}: this gateway has no durability_root "
+                    "and no directory= was given"
+                )
+            directory = os.path.join(self.durability_root, tenant_id)
+        kwargs.setdefault("graph_id", tenant_id if self._owns_store else None)
+        if kwargs.get("graph_id") is None:
+            kwargs.pop("graph_id", None)
+        session = EgoSession.recover(directory, **kwargs)
+        return self.add_tenant(tenant_id, session)
 
     def tenants(self) -> List[str]:
         """The registered tenant ids."""

@@ -96,6 +96,7 @@ def run_serving_benchmark(
     fault_plan: Optional["faults.FaultPlan"] = None,
     task_deadline: Optional[float] = None,
     request_deadline: Optional[float] = None,
+    durability_root: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Cold per-query baseline vs warm gateway under concurrent async load.
 
@@ -121,13 +122,21 @@ def run_serving_benchmark(
         baseline and the oracles always run fault-free; every answer is
         still checked bit-identical, so the number reported is the
         throughput of the *recovered* gateway.  The injected-fault counts
-        are returned under ``"faults"``.
+        are returned under ``"faults"``, and the drawn-vs-performed
+        breakdown (:meth:`~repro.faults.FaultPlan.summary`) under
+        ``"fault_summary"``.
     task_deadline:
         Per-task supervision deadline forwarded to every tenant session
         (``None`` keeps the runtime default) — pair with a plan's
         ``delay_every`` to exercise the deadline-miss recovery path.
     request_deadline:
         Gateway per-request waiting bound (``None`` waits without bound).
+    durability_root:
+        Optional directory handed to the gateway as its ``durability_root``
+        (``repro serve --wal-dir``): every tenant then runs durable —
+        write-ahead logged and checkpointed under
+        ``<durability_root>/<tenant_id>`` — and the payload reports the
+        per-tenant durability counters alongside the serving numbers.
 
     Returns
     -------
@@ -178,6 +187,7 @@ def run_serving_benchmark(
             max_batch=max_batch,
             parallel=parallel,
             executor=executor,
+            durability_root=durability_root,
             **gateway_options,
         ) as gateway:
             for name, compact in tenants.items():
@@ -247,6 +257,15 @@ def run_serving_benchmark(
         "store": gateway_stats["store"],
         "pool": gateway_stats["pool"],
     }
+    if durability_root is not None:
+        # Durable tenants: the per-tenant durability counters already ride
+        # along in tenant_stats; this key records where the WALs live.
+        payload["durability_root"] = durability_root
     if fault_plan is not None:
         payload["faults"] = fault_plan.stats()
+        # Drawn vs performed, per fault kind — which injections actually
+        # fired (worker-side actions appear as drawn; the supervision
+        # counters above are their witness).  Part of the
+        # ``repro serve --chaos --json`` contract.
+        payload["fault_summary"] = fault_plan.summary()
     return payload

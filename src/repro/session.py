@@ -96,7 +96,9 @@ from repro.dynamic.stream import UpdateEvent
 from repro.errors import (
     BackendCapabilityError,
     DegradedModeError,
+    DurabilityError,
     InvalidParameterError,
+    RecoveryError,
     VertexNotFoundError,
     WorkerFaultError,
 )
@@ -142,7 +144,8 @@ class Query:
     ----------
     kind:
         ``"top_k"``, ``"score"``, ``"scores"``, ``"scores_batch"``,
-        ``"parallel_scores"``, ``"maintained_top_k"`` or ``"apply"``.
+        ``"parallel_scores"``, ``"maintained_top_k"``, ``"apply"`` or
+        ``"checkpoint"``.
     state:
         Session state (``"static"`` / ``"dynamic"``) when the query ran.
     elapsed_seconds:
@@ -209,6 +212,11 @@ class SessionStats:
     integrity_failures:
         Failure accounting aggregated over the session's runtimes (see
         :class:`~repro.parallel.runtime.RuntimeStats`).
+    durability:
+        ``None`` for an in-memory session; otherwise the durability-plane
+        counters (WAL appends/syncs/segments, checkpoints written,
+        events since the last checkpoint) of the attached
+        :class:`~repro.durability.manager.DurabilityManager`.
     last_query:
         The most recent :class:`Query`, or ``None``.
     """
@@ -232,6 +240,7 @@ class SessionStats:
     task_retries: int = 0
     deadline_misses: int = 0
     integrity_failures: int = 0
+    durability: Optional[Dict[str, Any]] = None
     last_query: Optional[Query] = None
 
     def as_dict(self) -> Dict[str, Any]:
@@ -260,6 +269,8 @@ class SessionStats:
             payload["runtimes"] = {
                 name: stats.as_dict() for name, stats in self.runtimes.items()
             }
+        if self.durability is not None:
+            payload["durability"] = dict(self.durability)
         if self.last_query is not None:
             payload["last_query"] = {
                 key: value
@@ -311,6 +322,25 @@ class EgoSession:
     task_deadline / max_task_retries:
         Supervision knobs forwarded to the session's execution runtimes
         (see :class:`~repro.parallel.runtime.ExecutionRuntime`).
+    durability:
+        ``None`` (the default) keeps the session purely in-memory.  A
+        directory path enables the durability plane on a **fresh**
+        directory: every :meth:`apply` event is appended to a write-ahead
+        log *before* the in-memory mutation and acknowledged only after
+        (so an acknowledged update is never lost to process death), a
+        baseline checkpoint is written immediately, and
+        :meth:`checkpoint` / the ``checkpoint_every`` cadence bound the
+        recovery replay tail.  A directory that already holds a history
+        raises :class:`~repro.errors.RecoveryError` — reopen it with
+        :meth:`EgoSession.recover` instead of silently forking the log.
+        An existing :class:`~repro.durability.manager.DurabilityManager`
+        is attached as-is.
+    fsync / fsync_interval / segment_bytes / checkpoint_every /
+    retain_checkpoints:
+        Durability-plane knobs (see
+        :class:`~repro.durability.wal.WriteAheadLog` and
+        :class:`~repro.durability.manager.DurabilityManager`); only valid
+        together with ``durability=``.
     overlay_options:
         Forwarded to the :class:`DynamicCompactGraph` overlay created at
         promotion (``rebuild_ratio``, ``min_rebuild_deltas``, ...).
@@ -334,6 +364,12 @@ class EgoSession:
         degraded_fallback: bool = True,
         task_deadline: Optional[float] = DEFAULT_TASK_DEADLINE,
         max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
+        durability=None,
+        fsync: Optional[str] = None,
+        fsync_interval: Optional[float] = None,
+        segment_bytes: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        retain_checkpoints: Optional[int] = None,
         **overlay_options,
     ) -> None:
         source = self._coerce_source(source, scale)
@@ -396,6 +432,39 @@ class EgoSession:
         self._topk_cache: Dict[int, List] = {}
         self._topk_cache_version: Optional[int] = None
 
+        # Durability plane (None = purely in-memory).  Set by the
+        # durability= argument here, or by recover() re-attaching the plane
+        # of an existing directory after replay.
+        self._durability = None
+        #: The :class:`~repro.durability.recovery.RecoveryReport` of the
+        #: recovery that produced this session, or ``None``.
+        self.recovery_report = None
+        durability_knobs = {
+            "fsync": fsync,
+            "fsync_interval": fsync_interval,
+            "segment_bytes": segment_bytes,
+            "checkpoint_every": checkpoint_every,
+            "retain_checkpoints": retain_checkpoints,
+        }
+        if durability is None:
+            given = [name for name, value in durability_knobs.items() if value is not None]
+            if given:
+                raise InvalidParameterError(
+                    f"{', '.join(given)} configure the durability plane and "
+                    "require durability=<directory> (or a DurabilityManager)"
+                )
+        else:
+            from repro.durability.manager import DurabilityManager
+
+            if isinstance(durability, DurabilityManager):
+                manager = durability
+            else:
+                manager = DurabilityManager(
+                    durability,
+                    **{k: v for k, v in durability_knobs.items() if v is not None},
+                )
+            self._attach_durability(manager, write_baseline=True)
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
@@ -432,6 +501,24 @@ class EgoSession:
         from repro.graph.io import read_edge_list
 
         return cls(read_edge_list(path), **kwargs)
+
+    @classmethod
+    def recover(cls, directory, **kwargs) -> "EgoSession":
+        """Restore a session from a durability directory.
+
+        Loads the newest valid checkpoint, replays the WAL tail past it
+        (truncating a torn tail — the crash artefact), and by default
+        re-attaches the durability plane so :meth:`apply` continues the
+        same log.  The :class:`~repro.durability.recovery.RecoveryReport`
+        is available as ``session.recovery_report``.  Keyword arguments
+        are those of :func:`repro.durability.recovery.recover`
+        (``resume=``, ``restore_values=``, ``backend=``, the fsync knobs,
+        plus any :class:`EgoSession` constructor options).
+        """
+        from repro.durability.recovery import recover as _recover
+
+        session, _report = _recover(directory, **kwargs)
+        return session
 
     # ------------------------------------------------------------------
     # Internal state accessors
@@ -567,13 +654,19 @@ class EgoSession:
     def close(self) -> None:
         """Shut down the session's execution runtimes (pools + transport).
 
-        Idempotent; the session remains usable — the next parallel query
-        simply starts a fresh runtime.  Sessions also work as context
-        managers: ``with EgoSession(...) as session: ...``.
+        Idempotent; the session remains usable for queries — the next
+        parallel query simply starts a fresh runtime.  A durable session's
+        WAL is synced and closed too, so ``close()`` is the clean-shutdown
+        fence: after it, :meth:`apply` raises
+        :class:`~repro.errors.DurabilityError` (recover the directory to
+        resume the log).  Sessions also work as context managers:
+        ``with EgoSession(...) as session: ...``.
         """
         for runtime in self._runtimes.values():
             runtime.close()
         self._runtimes.clear()
+        if self._durability is not None:
+            self._durability.close()
 
     def __enter__(self) -> "EgoSession":
         return self
@@ -1120,14 +1213,26 @@ class EgoSession:
         mutates the session's topology, incrementally patches the exact
         index *if it exists* (it is only built when full values are
         demanded), and is forwarded to every attached lazy maintainer.
+
+        On a durable session each event follows the **write-ahead
+        discipline**: it is appended to the WAL *before* any in-memory
+        mutation, and the call returns (the acknowledgement) only after.
+        A crash at any point therefore loses no acknowledged update —
+        recovery replays the log tail — and an event that raises out of
+        the mutation (e.g. inserting an existing edge) was logged but not
+        applied, which replay reproduces by skipping it identically.
         """
         start = time.perf_counter()
         coerced = self._coerce_events(events)
         self._promote()
+        durability = self._durability
         index = self._index
         maintainers = list(self._lazy.items())
         count = 0
         for event in coerced:
+            if durability is not None:
+                # Write-ahead: durable before visible.
+                durability.log_event(event)
             inserting = event.operation == "insert"
             if index is not None:
                 # The index adopts the session topology, so its update IS
@@ -1156,6 +1261,8 @@ class EgoSession:
             count += 1
         self._update_events += count
         self._record("apply", start, events=count)
+        if durability is not None and durability.should_checkpoint():
+            self.checkpoint()
         return count
 
     def insert_edge(self, u: Vertex, v: Vertex) -> int:
@@ -1293,6 +1400,95 @@ class EgoSession:
                 maintainer.rebuild()
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        """Whether a durability plane (WAL + checkpoints) is attached."""
+        return self._durability is not None
+
+    def _attach_durability(self, manager, *, write_baseline: bool) -> None:
+        """Attach a durability plane to this session.
+
+        ``write_baseline=True`` (the ``durability=`` constructor path)
+        requires a *fresh* directory and immediately publishes a baseline
+        checkpoint of the current state, so the directory is recoverable
+        from its very first moment.  ``write_baseline=False`` is the
+        recovery path re-attaching an existing history after replay.
+        """
+        if write_baseline and manager.has_history:
+            manager.close()
+            raise RecoveryError(
+                f"durability directory {str(manager.directory)!r} already "
+                "holds a WAL/checkpoint history; opening a fresh session on "
+                "it would fork the log.  Use EgoSession.recover"
+                "(directory) to restore that history, or point durability= "
+                "at an empty directory"
+            )
+        self._durability = manager
+        if write_baseline:
+            self.checkpoint()
+
+    def _restore_values(self, values: Dict[Vertex, float]) -> None:
+        """Adopt checkpointed memoised values (recovery, empty-tail only).
+
+        The map is re-ordered into the session's canonical vertex order so
+        every consumer (naive ranking included) behaves exactly as if the
+        session had computed the memo itself.  A map that does not cover
+        every vertex is ignored — recomputation is always correct.
+        """
+        order = self._canonical_vertices()
+        try:
+            restored = {v: values[v] for v in order}
+        except KeyError:
+            return
+        self._values = restored
+        self._values_version = self._current_version()
+
+    def checkpoint(self):
+        """Publish an atomic checkpoint of the current state; return its path.
+
+        The checkpoint carries the CSR arrays of :meth:`snapshot`, the
+        session identity (graph id, backend, topology version) and —
+        when the session holds them — the memoised all-vertex values, all
+        framed with a self-verifying magic + lengths + checksum header.
+        The WAL is synced first and its now-redundant segments pruned, so
+        a checkpoint both bounds recovery time and bounds disk growth.
+        Requires ``durability=``; raises
+        :class:`~repro.errors.DurabilityError` otherwise.
+        """
+        start = time.perf_counter()
+        if self._durability is None:
+            raise DurabilityError(
+                "this session has no durability plane; open it with "
+                "EgoSession(source, durability=<directory>) or restore one "
+                "with EgoSession.recover(<directory>)"
+            )
+        snapshot = self.snapshot()
+        values: Optional[Dict[Vertex, float]] = None
+        if self._state == "dynamic":
+            if self._index is not None:
+                values = self._index.scores()
+        elif self._values is not None and self._values_version == self._current_version():
+            values = dict(self._values)
+        payload = {
+            "graph_id": self.graph_id,
+            "backend": self.backend,
+            "session_version": self._current_version(),
+            "update_events": self._update_events,
+            "created_at": time.time(),
+            "labels": list(snapshot.labels),
+            "indptr": list(snapshot.indptr),
+            "indices": list(snapshot.indices),
+            "num_vertices": snapshot.num_vertices,
+            "num_edges": snapshot.num_edges,
+            "values": values,
+        }
+        path = self._durability.write_checkpoint(payload)
+        self._record("checkpoint", start)
+        return path
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def snapshot(self) -> CompactGraph:
@@ -1378,6 +1574,9 @@ class EgoSession:
             deadline_misses=sum(s.deadline_misses for s in runtimes.values()),
             integrity_failures=sum(
                 s.integrity_failures for s in runtimes.values()
+            ),
+            durability=(
+                self._durability.stats() if self._durability is not None else None
             ),
             last_query=self._last_query,
         )

@@ -159,3 +159,39 @@ class TestGenerators:
             cycle_graph(2)
         with pytest.raises(InvalidParameterError):
             overlapping_cliques_graph(0)
+
+
+class TestAtomicWrite:
+    """``write_edge_list`` to a path is all-or-nothing (PR 7)."""
+
+    class _ExplodingGraph:
+        """Looks like a Graph but dies partway through ``edges()``."""
+
+        num_vertices = 3
+        num_edges = 3
+
+        def edges(self):
+            yield (0, 1)
+            raise RuntimeError("disk full, say")
+
+    def test_interrupted_write_leaves_the_previous_file_untouched(self, tmp_path):
+        target = tmp_path / "graph.txt"
+        target.write_text("# the precious previous export\n0\t1\n")
+        before = target.read_text()
+        with pytest.raises(RuntimeError):
+            write_edge_list(self._ExplodingGraph(), target)
+        assert target.read_text() == before
+        # And no temp-file litter either.
+        assert [p.name for p in tmp_path.iterdir()] == ["graph.txt"]
+
+    def test_interrupted_write_creates_nothing_when_no_previous_file(self, tmp_path):
+        target = tmp_path / "fresh.txt"
+        with pytest.raises(RuntimeError):
+            write_edge_list(self._ExplodingGraph(), target)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_open_handles_are_written_through_directly(self, tmp_path):
+        g = erdos_renyi_graph(10, 0.3, seed=2)
+        buffer = io.StringIO()
+        write_edge_list(g, buffer, header="stream")
+        assert buffer.getvalue().startswith("# stream\n")

@@ -1,0 +1,241 @@
+"""Crash drills: kill the process at every durability protocol point.
+
+Each drill runs a child process that applies a deterministic update stream
+to a durable session while a :class:`~repro.faults.FaultPlan` is armed to
+hard-kill it (``os._exit``) at a chosen protocol point — mid-append with a
+torn record, mid-append after the full record, or mid-checkpoint between
+the durable temp write and the atomic rename.  The child prints ``ACK n``
+after every acknowledged ``apply()``; the parent then recovers the
+directory and asserts the two load-bearing guarantees:
+
+* **zero acked loss** (``fsync="always"``): every acknowledged event is in
+  the recovered state — recovery may additionally include the one in-flight
+  event whose full record hit the disk before the kill, never fewer;
+* **bit identity**: the recovered session's ``scores()`` equal an oracle
+  that applied the same durable prefix and never crashed.
+
+The drills are real ``kill``-grade crashes (``os._exit`` skips every
+``finally``/``atexit``), so they also double as leak checks: the parent
+asserts no shared-memory segments survive the child.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.durability import recover
+from repro.dynamic.stream import apply_stream, generate_update_stream
+from repro.faults import KILL_EXIT_CODE
+from repro.graph.generators import barabasi_albert_graph
+from repro.session import EgoSession
+
+pytestmark = pytest.mark.chaos
+
+GRAPH_SEED = 7
+STREAM_SEED = 13
+STREAM_LENGTH = 40
+
+CHILD_SCRIPT = """
+import sys
+
+from repro import faults
+from repro.dynamic.stream import generate_update_stream
+from repro.graph.generators import barabasi_albert_graph
+from repro.session import EgoSession
+
+directory = sys.argv[1]
+plan = faults.FaultPlan(
+    crash_on_append_every={crash_on_append_every},
+    torn_write_bytes={torn_write_bytes},
+    corrupt_record_every={corrupt_record_every},
+    crash_on_checkpoint_every={crash_on_checkpoint_every},
+)
+graph = barabasi_albert_graph(80, 3, seed={graph_seed})
+stream = generate_update_stream(graph, {stream_length}, seed={stream_seed})
+with faults.inject(plan):
+    session = EgoSession(
+        graph,
+        durability=directory,
+        fsync="always",
+        checkpoint_every={checkpoint_every},
+    )
+    for i, event in enumerate(stream, start=1):
+        session.apply(event)
+        print(f"ACK {{i}}", flush=True)
+    session.close()
+print("CLEAN EXIT", flush=True)
+"""
+
+
+def _run_child(tmp_path: Path, **plan) -> subprocess.CompletedProcess:
+    plan.setdefault("crash_on_append_every", 0)
+    plan.setdefault("torn_write_bytes", -1)
+    plan.setdefault("corrupt_record_every", 0)
+    plan.setdefault("crash_on_checkpoint_every", 0)
+    plan.setdefault("checkpoint_every", 10_000)
+    script = CHILD_SCRIPT.format(
+        graph_seed=GRAPH_SEED,
+        stream_length=STREAM_LENGTH,
+        stream_seed=STREAM_SEED,
+        **plan,
+    )
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    shm_before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+    result = subprocess.run(
+        [sys.executable, "-c", script, str(tmp_path / "durable")],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    if os.path.isdir("/dev/shm"):
+        leaked = set(os.listdir("/dev/shm")) - shm_before
+        assert not leaked, f"child leaked shared-memory segments: {leaked}"
+    return result
+
+
+def _acked(result: subprocess.CompletedProcess) -> int:
+    acks = [
+        int(line.split()[1])
+        for line in result.stdout.splitlines()
+        if line.startswith("ACK ")
+    ]
+    assert acks == list(range(1, len(acks) + 1)), "ACKs must be gapless"
+    return len(acks)
+
+
+def _oracle_scores(prefix_length: int):
+    """Scores of a never-crashed session that applied the same prefix."""
+    graph = barabasi_albert_graph(80, 3, seed=GRAPH_SEED)
+    stream = generate_update_stream(graph, STREAM_LENGTH, seed=STREAM_SEED)
+    session = EgoSession(graph)
+    apply_stream(session, stream[:prefix_length])
+    return session.scores()
+
+
+def _assert_recovery(tmp_path: Path, acked: int) -> None:
+    session, report = recover(tmp_path / "durable", resume=False)
+    durable = report.checkpoint_sequence + report.replayed_events + report.skipped_events
+    # Zero acked loss under fsync="always" — and at most the one in-flight
+    # record whose bytes were already durable when the kill landed.
+    assert durable >= acked, f"lost acked updates: durable={durable} acked={acked}"
+    assert durable <= acked + 1
+    assert session.scores() == _oracle_scores(durable)
+
+
+class TestCrashMidAppend:
+    def test_torn_write_zero_bytes(self, tmp_path):
+        """Killed before any byte of the record: recovery == acked state."""
+        result = _run_child(tmp_path, crash_on_append_every=17, torn_write_bytes=0)
+        assert result.returncode == KILL_EXIT_CODE, result.stderr
+        acked = _acked(result)
+        assert acked == 16
+        _assert_recovery(tmp_path, acked)
+
+    def test_torn_write_mid_record(self, tmp_path):
+        """Killed with 7 bytes of the record on disk: the tail is torn."""
+        result = _run_child(tmp_path, crash_on_append_every=17, torn_write_bytes=7)
+        assert result.returncode == KILL_EXIT_CODE, result.stderr
+        acked = _acked(result)
+        _assert_recovery(tmp_path, acked)
+        # The torn prefix was truncated away on recovery.
+        _, report = recover(tmp_path / "durable", resume=False)
+        assert report.replayed_events == acked
+
+    def test_crash_after_full_record_before_ack(self, tmp_path):
+        """Killed between the durable append and the ack: the event is
+        allowed (not required) to survive — here it must, the bytes were
+        fsynced."""
+        result = _run_child(tmp_path, crash_on_append_every=17, torn_write_bytes=-1)
+        assert result.returncode == KILL_EXIT_CODE, result.stderr
+        acked = _acked(result)
+        _, report = recover(tmp_path / "durable", resume=False)
+        assert report.replayed_events == acked + 1
+        _assert_recovery(tmp_path, acked)
+
+    def test_every_crash_point_recovers_bit_identical(self, tmp_path):
+        """Sweep the crash point across the stream (coarse grid)."""
+        for ordinal, crash_at in enumerate((1, 5, 23, 40)):
+            directory = tmp_path / f"drill-{ordinal}"
+            directory.mkdir()
+            result = _run_child(
+                directory, crash_on_append_every=crash_at, torn_write_bytes=3
+            )
+            assert result.returncode == KILL_EXIT_CODE, result.stderr
+            acked = _acked(result)
+            assert acked == crash_at - 1
+            _assert_recovery(directory, acked)
+
+
+class TestCrashMidCheckpoint:
+    def test_crash_between_temp_write_and_rename(self, tmp_path):
+        """The checkpoint rename is the commit point: a kill right before
+        it leaves the previous checkpoint intact and the full WAL behind —
+        recovery replays everything and loses nothing."""
+        # Draw 2: the baseline checkpoint (attach) survives, the first
+        # cadence checkpoint (after event 10) dies pre-rename.
+        result = _run_child(
+            tmp_path, crash_on_checkpoint_every=2, checkpoint_every=10
+        )
+        assert result.returncode == KILL_EXIT_CODE, result.stderr
+        acked = _acked(result)
+        assert acked == 9  # event 10's apply never returned
+        _assert_recovery(tmp_path, acked)
+        # The interrupted temp file is ignored by recovery and the
+        # surviving checkpoint is the baseline.
+        _, report = recover(tmp_path / "durable", resume=False)
+        assert report.checkpoint_sequence == 0
+        assert report.replayed_events == 10  # event 10 was durable pre-crash
+
+    def test_resume_after_checkpoint_crash_then_clean_run(self, tmp_path):
+        result = _run_child(
+            tmp_path, crash_on_checkpoint_every=2, checkpoint_every=10
+        )
+        assert result.returncode == KILL_EXIT_CODE, result.stderr
+        # Recover with resume and drive a fresh checkpoint through: the
+        # plane is fully functional after the crash.
+        session, report = recover(tmp_path / "durable")
+        try:
+            path = session.checkpoint()
+            assert Path(path).exists()
+        finally:
+            session.close()
+        session, report = recover(tmp_path / "durable", resume=False)
+        assert report.replayed_events == 0
+        assert report.checkpoint_sequence == 10
+
+
+class TestCorruptRecordInjection:
+    def test_corrupt_append_is_caught_on_replay(self, tmp_path):
+        """A corrupt-record injection (bit flip before the write) is the
+        bit-rot stand-in: the run completes, replay refuses the record."""
+        from repro.errors import WalCorruptionError
+
+        result = _run_child(tmp_path, corrupt_record_every=20)
+        assert result.returncode == 0, result.stderr
+        assert "CLEAN EXIT" in result.stdout
+        with pytest.raises(WalCorruptionError):
+            recover(tmp_path / "durable", resume=False)
+
+
+class TestCleanRunControl:
+    def test_no_faults_clean_exit_and_exact_recovery(self, tmp_path):
+        result = _run_child(tmp_path)
+        assert result.returncode == 0, result.stderr
+        acked = _acked(result)
+        assert acked == STREAM_LENGTH
+        session, report = recover(tmp_path / "durable", resume=False)
+        durable = (
+            report.checkpoint_sequence
+            + report.replayed_events
+            + report.skipped_events
+        )
+        assert durable == STREAM_LENGTH
+        assert session.scores() == _oracle_scores(STREAM_LENGTH)

@@ -164,3 +164,88 @@ class TestPayloadIntegrityHeader:
                 runtime_module._AttachedGraph((name, ptr_len + 1, idx_len))
         finally:
             payload.close()
+
+
+class TestDurabilityCrashPoints:
+    """Draw schedules for the WAL/checkpoint crash points (PR 7)."""
+
+    def test_wal_crash_draw_schedule(self):
+        plan = faults.FaultPlan(crash_on_append_every=3, torn_write_bytes=7)
+        draws = [plan.draw_wal_append_fault() for _ in range(6)]
+        assert draws == [None, None, ("crash", 7), None, None, ("crash", 7)]
+        assert plan.stats()["wal_crashes"] == 2
+        assert plan.stats()["appends_seen"] == 6
+
+    def test_corrupt_record_draw_schedule(self):
+        plan = faults.FaultPlan(corrupt_record_every=2)
+        draws = [plan.draw_wal_append_fault() for _ in range(4)]
+        assert draws == [None, ("corrupt",), None, ("corrupt",)]
+
+    def test_crash_beats_corrupt_on_collision(self):
+        plan = faults.FaultPlan(crash_on_append_every=2, corrupt_record_every=2)
+        plan.draw_wal_append_fault()
+        assert plan.draw_wal_append_fault() == ("crash", -1)
+
+    def test_checkpoint_crash_draw_schedule(self):
+        plan = faults.FaultPlan(crash_on_checkpoint_every=2)
+        draws = [plan.draw_checkpoint_crash() for _ in range(4)]
+        assert draws == [False, True, False, True]
+        assert plan.stats()["checkpoint_crashes"] == 2
+
+    def test_negative_parameters_are_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            faults.FaultPlan(crash_on_append_every=-1)
+        with pytest.raises(InvalidParameterError):
+            faults.FaultPlan(torn_write_bytes=-2)
+        with pytest.raises(InvalidParameterError):
+            faults.FaultPlan(crash_on_checkpoint_every=-1)
+
+    def test_module_level_draws_need_an_active_plan(self):
+        assert faults.draw_wal_append_fault() is None
+        assert faults.draw_checkpoint_crash() is False
+        plan = faults.FaultPlan(crash_on_append_every=1)
+        with faults.inject(plan):
+            assert faults.draw_wal_append_fault() == ("crash", -1)
+
+
+class TestDrawnVsPerformedSummary:
+    def test_summary_shape(self):
+        plan = faults.FaultPlan()
+        summary = plan.summary()
+        assert set(summary) == {"drawn", "performed", "seen"}
+        assert set(summary["drawn"]) == set(summary["performed"])
+        assert summary["seen"] == {
+            "tasks": 0,
+            "ships": 0,
+            "wal_appends": 0,
+            "checkpoints": 0,
+        }
+
+    def test_perform_ticks_the_performed_column(self):
+        plan = faults.FaultPlan(delay_every=1, delay_seconds=0.0)
+        with faults.inject(plan):
+            faults.perform(plan.draw_task_fault())
+        summary = plan.summary()
+        assert summary["drawn"]["delays"] == 1
+        assert summary["performed"]["delays"] == 1
+
+    def test_worker_side_kills_are_drawn_only(self):
+        plan = faults.FaultPlan(kill_every=1)
+        plan.draw_task_fault()  # parent draws; the worker would execute
+        summary = plan.summary()
+        assert summary["drawn"]["kills"] == 1
+        assert summary["performed"]["kills"] == 0
+
+    def test_note_performed_rejects_unknown_kinds(self):
+        plan = faults.FaultPlan()
+        with pytest.raises(InvalidParameterError):
+            plan.note_performed("meltdown")
+
+    def test_reset_zeroes_both_columns(self):
+        plan = faults.FaultPlan(corrupt_ships=1)
+        plan.draw_ship_corruption()
+        plan.note_performed("corruptions")
+        plan.reset()
+        summary = plan.summary()
+        assert not any(summary["drawn"].values())
+        assert not any(summary["performed"].values())

@@ -428,3 +428,37 @@ class TestProcessRuntime:
             assert entries == expected
             assert batch.kind == "top_k"
             assert runtime.stats().payload_ships == 1
+
+
+class TestAtexitSweepWarning:
+    """The atexit sweep names every leaked segment in a ResourceWarning."""
+
+    class _FakeSegment:
+        def __init__(self):
+            self.closed = self.unlinked = False
+
+        def close(self):
+            self.closed = True
+
+        def unlink(self):
+            self.unlinked = True
+
+    def test_sweep_warns_and_unlinks_each_leaked_segment(self):
+        from repro.parallel import runtime as runtime_module
+
+        fake = self._FakeSegment()
+        runtime_module._LIVE_SEGMENTS["psm_test_leak"] = fake
+        try:
+            with pytest.warns(ResourceWarning, match="psm_test_leak"):
+                runtime_module._sweep_segments()
+        finally:
+            runtime_module._LIVE_SEGMENTS.pop("psm_test_leak", None)
+        assert fake.closed and fake.unlinked
+        assert "psm_test_leak" not in runtime_module._LIVE_SEGMENTS
+
+    def test_sweep_is_silent_with_nothing_leaked(self, recwarn):
+        from repro.parallel import runtime as runtime_module
+
+        assert not runtime_module._LIVE_SEGMENTS  # tier-1 leaves none behind
+        runtime_module._sweep_segments()
+        assert not [w for w in recwarn.list if w.category is ResourceWarning]

@@ -1,0 +1,261 @@
+"""WAL framing and segment tests (:mod:`repro.durability.wal`).
+
+The load-bearing property is the *truncation dichotomy*: cutting a log at
+any byte offset yields either a clean prefix of the appended records or a
+precise :class:`WalCorruptionError` — never garbage events, never a record
+that was not appended.  ``test_truncate_at_every_byte_offset`` checks it
+exhaustively; the hypothesis round-trip pins the framing itself for
+arbitrary vertex labels.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.durability.wal import (
+    SEGMENT_MAGIC,
+    WalRecord,
+    WriteAheadLog,
+    encode_record,
+    scan_buffer,
+)
+from repro.dynamic.stream import UpdateEvent
+from repro.errors import DurabilityError, InvalidParameterError, WalCorruptionError
+
+vertex_labels = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=12),
+    st.tuples(st.integers(min_value=0, max_value=999), st.text(max_size=4)),
+)
+
+events = st.builds(
+    UpdateEvent,
+    operation=st.sampled_from(["insert", "delete"]),
+    u=vertex_labels,
+    v=vertex_labels,
+)
+
+
+def _stream(n, start=0):
+    """A deterministic little insert/delete stream on integer vertices."""
+    ops = ("insert", "delete")
+    return [
+        UpdateEvent(ops[i % 2], i + start, i + start + 1) for i in range(n)
+    ]
+
+
+class TestFraming:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sequence=st.integers(min_value=1, max_value=2**50),
+        timestamp=st.floats(allow_nan=False, allow_infinity=False, width=32),
+        event=events,
+    )
+    def test_encode_decode_round_trip(self, sequence, timestamp, event):
+        wire = encode_record(sequence, timestamp, event)
+        records, clean, torn = scan_buffer(wire)
+        assert torn == 0 and clean == len(wire)
+        [record] = records
+        assert record.sequence == sequence
+        assert record.event.operation == event.operation
+        assert record.event.edge == event.edge
+        assert record.timestamp == pytest.approx(timestamp)
+
+    @settings(max_examples=30, deadline=None)
+    @given(events=st.lists(events, min_size=1, max_size=8))
+    def test_concatenated_records_decode_in_order(self, events):
+        wire = b"".join(
+            encode_record(i + 1, float(i), event) for i, event in enumerate(events)
+        )
+        records, clean, torn = scan_buffer(wire)
+        assert torn == 0 and clean == len(wire)
+        assert [r.sequence for r in records] == list(range(1, len(events) + 1))
+        assert [r.event.edge for r in records] == [e.edge for e in events]
+
+    def test_truncate_at_every_byte_offset(self):
+        """Truncation anywhere => clean prefix or WalCorruptionError."""
+        stream = _stream(6)
+        wire = b"".join(
+            encode_record(i + 1, float(i), event) for i, event in enumerate(stream)
+        )
+        boundaries = []
+        offset = 0
+        for i, event in enumerate(stream):
+            offset += len(encode_record(i + 1, float(i), event))
+            boundaries.append(offset)
+        for cut in range(len(wire) + 1):
+            records, clean, torn = scan_buffer(wire[:cut])
+            # Only whole appended records come back, in order, and the
+            # bookkeeping tiles the cut exactly.
+            complete = sum(1 for b in boundaries if b <= cut)
+            assert len(records) == complete
+            assert [r.event.edge for r in records] == [
+                e.edge for e in stream[:complete]
+            ]
+            assert clean == (boundaries[complete - 1] if complete else 0)
+            assert clean + torn == cut
+
+    def test_bit_flip_in_any_body_byte_is_corruption(self):
+        wire = encode_record(1, 0.0, UpdateEvent("insert", 1, 2))
+        for position in range(8, len(wire)):  # every body byte
+            mutated = bytearray(wire)
+            mutated[position] ^= 0x01
+            with pytest.raises(WalCorruptionError):
+                scan_buffer(bytes(mutated))
+
+    def test_insane_length_word_is_corruption_not_torn(self):
+        wire = bytearray(encode_record(1, 0.0, UpdateEvent("insert", 1, 2)))
+        wire[0:4] = (2**31).to_bytes(4, "little")  # > MAX_RECORD_BYTES
+        with pytest.raises(WalCorruptionError) as excinfo:
+            scan_buffer(bytes(wire))
+        assert "length word" in str(excinfo.value)
+
+    def test_corruption_error_carries_path_and_offset(self):
+        good = encode_record(1, 0.0, UpdateEvent("insert", 1, 2))
+        bad = bytearray(encode_record(2, 0.0, UpdateEvent("delete", 1, 2)))
+        bad[-1] ^= 0xFF
+        with pytest.raises(WalCorruptionError) as excinfo:
+            scan_buffer(good + bytes(bad), path="seg.log", base_offset=8)
+        assert excinfo.value.path == "seg.log"
+        assert excinfo.value.offset == 8 + len(good)
+        assert "seg.log" in str(excinfo.value)
+
+
+class TestWriteAheadLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            stream = _stream(10)
+            for event in stream:
+                wal.append(event)
+            assert wal.last_sequence == 10
+            replayed = list(wal.replay())
+            assert [r.event.edge for r in replayed] == [e.edge for e in stream]
+            assert [r.sequence for r in replayed] == list(range(1, 11))
+
+    def test_reopen_continues_the_sequence(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for event in _stream(5):
+                wal.append(event)
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.last_sequence == 5
+            wal.append(UpdateEvent("insert", 99, 100))
+            assert wal.last_sequence == 6
+            assert len(list(wal.replay(after_sequence=5))) == 1
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for event in _stream(4):
+                wal.append(event)
+            [segment] = wal.segments()
+        size = segment.stat().st_size
+        with open(segment, "r+b") as handle:
+            handle.truncate(size - 3)  # tear the final record
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.last_sequence == 3
+            assert wal.stats()["torn_bytes_dropped"] > 0
+            assert len(list(wal.replay())) == 3
+            # Appends continue cleanly after the repair.
+            wal.append(UpdateEvent("insert", 50, 51))
+            assert len(list(wal.replay())) == 4
+
+    def test_tail_torn_inside_magic_restarts_the_segment(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for event in _stream(3):
+                wal.append(event)
+        # Simulate a rotation torn inside the new segment's own magic.
+        torn = tmp_path / "wal-00000000000000000004.log"
+        torn.write_bytes(SEGMENT_MAGIC[:3])
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.last_sequence == 3
+            assert torn.stat().st_size == len(SEGMENT_MAGIC)
+            wal.append(UpdateEvent("insert", 7, 8))
+            assert [r.sequence for r in wal.replay()] == [1, 2, 3, 4]
+
+    def test_mid_log_corruption_raises_on_replay(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for event in _stream(5):
+                wal.append(event)
+            [segment] = wal.segments()
+            wal.sync()
+            data = bytearray(segment.read_bytes())
+            data[len(SEGMENT_MAGIC) + 10] ^= 0xFF  # inside the first record
+            segment.write_bytes(bytes(data))
+            with pytest.raises(WalCorruptionError):
+                list(wal.replay())
+
+    def test_rotation_and_prune(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_bytes=1) as wal:
+            # segment_bytes=1: every append rotates — one record per file.
+            for event in _stream(6):
+                wal.append(event)
+            assert len(wal.segments()) >= 6
+            assert wal.stats()["rotations"] >= 5
+            assert [r.sequence for r in wal.replay()] == list(range(1, 7))
+            removed = wal.prune(upto_sequence=4)
+            assert removed >= 3
+            # Everything after the checkpoint survives the prune.
+            assert [r.sequence for r in wal.replay(after_sequence=4)] == [5, 6]
+
+    def test_prune_never_deletes_the_active_segment(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for event in _stream(4):
+                wal.append(event)
+            assert wal.prune(upto_sequence=999) == 0
+            assert len(wal.segments()) == 1
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.close()
+        with pytest.raises(DurabilityError):
+            wal.append(UpdateEvent("insert", 0, 1))
+        wal.close()  # idempotent
+
+    def test_fsync_policy_validation(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+        with pytest.raises(InvalidParameterError):
+            WriteAheadLog(tmp_path, fsync_interval=-1)
+        with pytest.raises(InvalidParameterError):
+            WriteAheadLog(tmp_path, segment_bytes=0)
+
+    def test_fsync_always_syncs_every_append(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="always") as wal:
+            for event in _stream(3):
+                wal.append(event)
+            assert wal.stats()["syncs"] >= 3
+
+    def test_fsync_never_leaves_syncing_to_rotation(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            for event in _stream(3):
+                wal.append(event)
+            assert wal.stats()["syncs"] == 0
+
+    def test_truncating_a_live_log_file_at_every_offset(self, tmp_path):
+        """The dichotomy holds for real files, not just buffers."""
+        with WriteAheadLog(tmp_path) as wal:
+            for event in _stream(3):
+                wal.append(event)
+            [segment] = wal.segments()
+        full = segment.read_bytes()
+        for cut in range(len(SEGMENT_MAGIC), len(full) + 1):
+            segment.write_bytes(full[:cut])
+            reopened = WriteAheadLog(tmp_path)
+            try:
+                records = list(reopened.replay())
+                # Clean prefix only: sequences are 1..n with no gaps.
+                assert [r.sequence for r in records] == list(
+                    range(1, len(records) + 1)
+                )
+            finally:
+                reopened.close()
+        # Cuts inside the magic itself: the reopen restarts the segment.
+        segment.write_bytes(full[:4])
+        reopened = WriteAheadLog(tmp_path)
+        try:
+            assert list(reopened.replay()) == []
+        finally:
+            reopened.close()
