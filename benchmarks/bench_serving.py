@@ -16,12 +16,11 @@ dedicated CI serving job can run it with only ``pytest`` installed::
 
 from __future__ import annotations
 
-import json
-
 import pytest
 
 from benchmarks.conftest import save_report
 from repro.serving import run_serving_benchmark
+from repro.serving.metrics import bench_json
 
 CLIENTS = 64
 
@@ -36,7 +35,7 @@ def test_serving_gateway_acceptance(livejournal_graph, dblp_graph, results_dir):
         parallel=1,
         executor="process",
     )
-    save_report(results_dir, "serving", json.dumps(payload, indent=2, sort_keys=True))
+    save_report(results_dir, "serving", bench_json(payload))
 
     # Every cold and warm answer was checked against the serial kernel
     # oracle inside the load generator.
@@ -82,9 +81,7 @@ def test_serving_gateway_chaos_acceptance(livejournal_graph, dblp_graph, results
     save_report(
         results_dir,
         "serving_chaos",
-        json.dumps(
-            {"fault_free": baseline, "chaos": chaotic}, indent=2, sort_keys=True
-        ),
+        bench_json({"fault_free": baseline, "chaos": chaotic}),
     )
 
     # Bit-identity held through worker kills and the torn payload ship.

@@ -14,10 +14,17 @@ plus one torn payload ship — next to the fault-free run, so CI records how
 much throughput the supervision layer retains) and ``BENCH_durability.json``
 (per-update apply latency with the write-ahead log off/interval/always plus
 the recovery replay rate — the durability tax and how fast a crash heals)
+and ``BENCH_net.json`` (the wire-level SLO harness: open-loop p50/p95/p99,
+goodput and shed rate through a real loopback socket, plus the fraction of
+in-process gateway throughput the network front door retains)
 so every CI run records the perf trajectory of the repository.  Pure standard library — runnable
 as::
 
     PYTHONPATH=src python benchmarks/smoke.py --scale 0.1 --out bench-artifacts
+
+Artifact writing and the per-bench console line go through
+:mod:`repro.serving.metrics` — the canonical bench-JSON shape is validated
+before anything is written.
 
 The numbers are smoke-level (single process, few repetitions): they catch
 order-of-magnitude regressions and backend inversions, not percent-level
@@ -27,7 +34,6 @@ drift.
 from __future__ import annotations
 
 import argparse
-import json
 import platform
 import statistics
 import sys
@@ -386,6 +392,25 @@ def bench_durability(scale: float, updates: int, seed: int) -> dict:
     }
 
 
+def bench_net(scale: float, rate: float, concurrency: int) -> dict:
+    """Wire-level SLO numbers: open-loop percentiles + throughput retention.
+
+    One tenant (the DBLP stand-in) served over a real loopback socket by
+    the network front door vs the same gateway called in-process; the
+    harness checks every answer bit-identical before reporting.
+    """
+    from repro.datasets.registry import load_dataset
+    from repro.net import run_slo_benchmark
+
+    return run_slo_benchmark(
+        {"dblp": load_dataset("dblp", scale=scale)},
+        rate=rate,
+        duration_seconds=0.5,
+        deadline_ms=250.0,
+        concurrency=concurrency,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="benchmark smoke runs -> JSON artifacts")
     parser.add_argument("--scale", type=float, default=0.1, help="dataset scale (default 0.1)")
@@ -412,9 +437,17 @@ def main(argv=None) -> int:
         help="chaos bench: kill one worker per N pool tasks (default 100)",
     )
     parser.add_argument(
+        "--slo-rate",
+        type=float,
+        default=200.0,
+        help="net bench: open-loop arrival rate in requests/s (default 200)",
+    )
+    parser.add_argument(
         "--out", default="benchmarks/results", help="output directory for the JSON artifacts"
     )
     args = parser.parse_args(argv)
+
+    from repro.serving.metrics import bench_summary_line, write_bench_artifact
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -436,16 +469,10 @@ def main(argv=None) -> int:
             "BENCH_durability.json",
             bench_durability(args.scale, max(args.updates * 5, 500), args.seed),
         ),
+        ("BENCH_net.json", bench_net(args.scale, args.slo_rate, concurrency=8)),
     ):
-        payload["environment"] = env
-        path = out_dir / name
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
-        summary = {
-            backend: round(values["mean_s"] * 1e6, 1)
-            for backend, values in payload["backends"].items()
-        }
-        speedup_key = next(key for key in payload if key.startswith("speedup_"))
-        print(f"{name}: mean us/op {summary} ({payload[speedup_key]:.2f}x)")
+        write_bench_artifact(out_dir, name, payload, environment=env)
+        print(bench_summary_line(name, payload))
     return 0
 
 

@@ -78,10 +78,11 @@ from repro.parallel import (
     shared_worker_pool,
     vertex_parallel_ego_betweenness,
 )
+from repro.net import EgoClient, EgoServer, ServerStats, run_slo_benchmark
 from repro.serving import GatewayStats, ServingGateway
 from repro.session import EgoSession, Query, SessionStats
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -111,6 +112,10 @@ __all__ = [
     "RuntimeStats",
     "ServingGateway",
     "GatewayStats",
+    "EgoServer",
+    "ServerStats",
+    "EgoClient",
+    "run_slo_benchmark",
     "WriteAheadLog",
     "CheckpointStore",
     "DurabilityManager",

@@ -26,7 +26,15 @@ Subcommands
     Drive the async micro-batching gateway with a fleet of concurrent
     clients over several tenant graphs sharing one worker pool, and report
     qps / latency percentiles against the pre-gateway one-session-per-query
-    baseline (the multi-tenant serving scenario).
+    baseline (the multi-tenant serving scenario).  With ``--http HOST:PORT``
+    it serves the tenants over the network instead — native frames, HTTP
+    (``/healthz``, ``/metrics``, ``POST /v1/query``) and WebSocket on one
+    port, until SIGTERM/SIGINT drains it cleanly.
+``bench-slo``
+    Open-loop SLO load harness: Poisson arrivals at a target rate through
+    the wire protocol vs the in-process gateway, reporting p50/p95/p99
+    latency, goodput inside the deadline, shed rate, and the wire path's
+    throughput retention.
 ``recover``
     Rebuild a session from a durability directory (checkpoint + WAL tail
     replay) and report what was recovered; ``--verify-only`` runs the
@@ -253,7 +261,122 @@ def build_parser() -> argparse.ArgumentParser:
             "<wal-dir>/<tenant>; recover later with 'repro recover'"
         ),
     )
+    serve.add_argument(
+        "--http",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve the tenants over the network instead of benchmarking: "
+            "bind an EgoServer (native frames + HTTP /healthz, /metrics, "
+            "POST /v1/query + WebSocket /ws on one port) and run until "
+            "SIGTERM/SIGINT drains it (PORT 0 picks a free port)"
+        ),
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=256,
+        help="network mode: admission cap on open connections (default 256)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help=(
+            "network mode: admission cap on in-flight requests per tenant "
+            "(default 256)"
+        ),
+    )
+    serve.add_argument(
+        "--result-cache",
+        type=int,
+        default=64,
+        help=(
+            "network mode: per-tenant hot-key result LRU entries in the "
+            "gateway (0 disables; default 64)"
+        ),
+    )
+    serve.add_argument(
+        "--encoded-cache",
+        type=int,
+        default=128,
+        help=(
+            "network mode: serialised-response cache entries in the server "
+            "(0 disables; default 128)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        help="network mode: bound on the SIGTERM/SIGINT drain (default 5)",
+    )
     _add_json_argument(serve)
+
+    bench_slo = subparsers.add_parser(
+        "bench-slo",
+        help=(
+            "open-loop SLO load harness: Poisson arrivals through the wire "
+            "vs in-process, p50/p95/p99 + goodput + shed rate"
+        ),
+    )
+    bench_slo.add_argument(
+        "--datasets",
+        default="dblp,livejournal",
+        help="comma-separated registry datasets, one tenant each",
+    )
+    bench_slo.add_argument(
+        "--scale", type=float, default=0.1, help="scale factor for the tenant datasets"
+    )
+    bench_slo.add_argument(
+        "--rate",
+        type=float,
+        default=400.0,
+        help="open-loop target arrival rate, requests/second (default 400)",
+    )
+    bench_slo.add_argument(
+        "--duration",
+        type=float,
+        default=1.0,
+        help="seconds per phase (open-loop and closed-loop; default 1)",
+    )
+    bench_slo.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=100.0,
+        help="the SLO budget per request in milliseconds (default 100)",
+    )
+    bench_slo.add_argument(
+        "--concurrency",
+        type=int,
+        default=16,
+        help="closed-loop saturation workers (default 16)",
+    )
+    bench_slo.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.75,
+        help="fraction of requests hitting a tenant's hot full-map key",
+    )
+    bench_slo.add_argument(
+        "--transports",
+        default="gateway,net",
+        help="comma-separated transports to measure: gateway, net",
+    )
+    bench_slo.add_argument(
+        "--result-cache",
+        type=int,
+        default=64,
+        help="net transport: gateway hot-key result LRU entries (0 disables)",
+    )
+    bench_slo.add_argument(
+        "--encoded-cache",
+        type=int,
+        default=128,
+        help="net transport: server serialised-response cache entries",
+    )
+    bench_slo.add_argument("--seed", type=int, default=7, help="workload RNG seed")
+    _add_json_argument(bench_slo)
 
     recover = subparsers.add_parser(
         "recover",
@@ -590,10 +713,7 @@ def _run_bench_throughput(args: argparse.Namespace) -> None:
     )
 
 
-def _run_serve(args: argparse.Namespace) -> None:
-    """Drive the serving gateway with a synthetic concurrent workload."""
-    from repro.serving import run_serving_benchmark
-
+def _load_tenant_graphs(args: argparse.Namespace) -> Dict[str, Any]:
     names = [name.strip() for name in args.datasets.split(",") if name.strip()]
     known = set(dataset_names())
     unknown = [name for name in names if name not in known]
@@ -602,7 +722,136 @@ def _run_serve(args: argparse.Namespace) -> None:
             f"unknown dataset(s) {', '.join(sorted(unknown))}; "
             f"choose from {', '.join(sorted(known))}"
         )
-    graphs = {name: load_dataset(name, scale=args.scale) for name in names}
+    return {name: load_dataset(name, scale=args.scale) for name in names}
+
+
+def _run_serve_http(args: argparse.Namespace) -> None:
+    """Network mode: bind an EgoServer and run until a signal drains it."""
+    import asyncio
+
+    from repro.net import EgoServer
+    from repro.serving import ServingGateway
+
+    graphs = _load_tenant_graphs(args)
+    host, _, port_text = args.http.partition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text or "0")
+    except ValueError:
+        raise ReproError(f"malformed --http address {args.http!r}; use HOST:PORT")
+
+    async def run() -> Dict[str, Any]:
+        gateway = ServingGateway(
+            window_seconds=args.window_ms / 1e3,
+            max_batch=args.max_batch,
+            parallel=args.workers or None,
+            executor=args.executor,
+            request_deadline=args.request_deadline,
+            durability_root=args.wal_dir,
+            result_cache_size=args.result_cache,
+        )
+        session_options: Dict[str, Any] = {}
+        if args.task_deadline is not None:
+            session_options["task_deadline"] = args.task_deadline
+        for name, graph in graphs.items():
+            gateway.add_tenant(name, graph, **session_options)
+        server = EgoServer(
+            gateway,
+            host=host,
+            port=port,
+            max_connections=args.max_connections,
+            max_inflight_per_tenant=args.max_inflight,
+            encoded_cache_size=args.encoded_cache,
+            drain_seconds=args.drain_seconds,
+        )
+        await server.start()
+        server.install_signal_handlers()
+        print(
+            f"serving {len(graphs)} tenants on {server.host}:{server.port} "
+            "(native frames + HTTP /healthz /metrics /v1/query + WebSocket "
+            "/ws; SIGTERM or Ctrl-C drains)",
+            flush=True,
+        )
+        await server.serve_forever()
+        return server.stats.as_dict()
+
+    summary = asyncio.run(run())
+    if args.json:
+        _emit_json({"command": "serve", "mode": "http", "server": summary})
+        return
+    print(
+        f"drained: {summary['requests']} requests "
+        f"({summary['answered']} answered, {summary['errors']} errors, "
+        f"{summary['shed']} shed, {summary['cancelled']} cancelled) over "
+        f"{summary['connections']} connections; no segments leaked"
+    )
+
+
+def _run_bench_slo(args: argparse.Namespace) -> None:
+    """Open-loop SLO harness: wire transport vs in-process gateway."""
+    from repro.net.slo import run_slo_benchmark
+
+    graphs = _load_tenant_graphs(args)
+    transports = tuple(
+        name.strip() for name in args.transports.split(",") if name.strip()
+    )
+    payload = run_slo_benchmark(
+        graphs,
+        rate=args.rate,
+        duration_seconds=args.duration,
+        deadline_ms=args.deadline_ms,
+        concurrency=args.concurrency,
+        hot_fraction=args.hot_fraction,
+        transports=transports,
+        result_cache_size=args.result_cache,
+        encoded_cache_size=args.encoded_cache,
+        seed=args.seed,
+    )
+    payload["command"] = "bench-slo"
+    if args.json:
+        _emit_json(payload)
+        return
+    rows = []
+    for name, backend in payload["backends"].items():
+        open_loop = backend["open_loop"]
+        rows.append(
+            {
+                "transport": name,
+                "closed_qps": round(backend["qps"], 1),
+                "p50_ms": round(open_loop["p50_ms"], 3),
+                "p95_ms": round(open_loop["p95_ms"], 3),
+                "p99_ms": round(open_loop["p99_ms"], 3),
+                "goodput_qps": round(open_loop["goodput_qps"], 1),
+                "shed_rate": round(open_loop["shed_rate"], 4),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Open-loop SLO @ {payload['rate']:g}/s for "
+                f"{payload['duration_seconds']:g}s, deadline "
+                f"{payload['deadline_ms']:g}ms over "
+                f"{len(payload['tenants'])} tenants"
+            ),
+        )
+    )
+    retention = payload.get("retention_net_vs_gateway")
+    if retention is not None:
+        print(
+            f"wire throughput retention: {retention:.2f}x of the in-process "
+            "gateway (answers bit-identical to the serial kernels)"
+        )
+
+
+def _run_serve(args: argparse.Namespace) -> None:
+    """Drive the serving gateway with a synthetic concurrent workload."""
+    from repro.serving import run_serving_benchmark
+
+    if args.http is not None:
+        _run_serve_http(args)
+        return
+    graphs = _load_tenant_graphs(args)
     fault_plan = None
     if args.chaos:
         from repro import faults
@@ -845,6 +1094,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_bench_throughput(args)
         elif args.command == "serve":
             _run_serve(args)
+        elif args.command == "bench-slo":
+            _run_bench_slo(args)
         elif args.command == "recover":
             _run_recover(args)
         elif args.command == "checkpoint":

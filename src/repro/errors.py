@@ -213,6 +213,39 @@ class CircuitOpenError(GatewayOverloadedError):
     """
 
 
+class NetworkError(ReproError):
+    """Base class for network-edge failures (wire protocol, server, client)."""
+
+
+class ProtocolError(NetworkError, ValueError):
+    """Raised when a wire frame or message violates the protocol.
+
+    Covers malformed frames (bad length word, oversized frame, non-JSON
+    payload), messages missing required fields, labels that cannot be
+    represented on the wire, and protocol-version handshake mismatches.
+    The connection that produced it is not trustworthy and is closed.
+    """
+
+
+class RemoteError(NetworkError, RuntimeError):
+    """A server-side failure whose exception type has no local mapping.
+
+    The wire protocol ships errors as ``(type, message)``; when the type
+    names a class the client build does not know (or one that cannot be
+    reconstructed from its message alone), the client raises this instead,
+    with the original type name and message preserved in the text.
+    """
+
+
+class ClientConnectionError(NetworkError, ConnectionError):
+    """Raised when the client cannot reach (or lost) the server.
+
+    Idempotent reads are retried on a fresh pooled connection before this
+    escapes; mutations (``apply``) are never retried — a lost acknowledgement
+    must surface, not be replayed.
+    """
+
+
 class UnknownTenantError(GatewayError, KeyError):
     """Raised when a request names a tenant the gateway does not serve."""
 

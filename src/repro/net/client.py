@@ -1,0 +1,391 @@
+"""``EgoClient``: the pooled async client for the native wire protocol.
+
+A client owns a small pool of TCP connections to one :class:`EgoServer`
+(each opened lazily and greeted with the protocol-version handshake) and
+multiplexes requests over them.  Its answers are **bit-identical** to
+calling the session/gateway in-process: the wire codecs round-trip vertex
+labels and float scores exactly.
+
+Retry semantics
+---------------
+Reads (``scores`` / ``score`` / ``top_k`` / ``stats`` / ``ping``) are
+idempotent: on a *connection* failure (the server died mid-request, the
+pool handed out a stale socket) they are retried on a fresh connection up
+to ``retries`` times.  ``apply`` is a mutation and is **never** retried —
+a torn connection leaves it :class:`~repro.errors.ClientConnectionError`
+with the ambiguity stated, exactly once applied or not at all; the caller
+decides (the server's WAL makes re-asking safe to reason about via
+``version``).  Server-side *errors* (a typed error frame) are never
+retried at all — they are deterministic answers, re-raised as their
+original :mod:`repro.errors` class.
+
+Examples
+--------
+::
+
+    async with EgoClient(host, port) as client:
+        scores = await client.scores("tenant-a")
+        ranking = await client.top_k("tenant-a", k=10)
+        async for answer in client.stream_scores("tenant-a", queries):
+            ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ClientConnectionError, InvalidParameterError, ProtocolError
+from repro.net.protocol import (
+    check_hello,
+    decode_entries,
+    decode_error,
+    decode_scores,
+    encode_label,
+    hello_message,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["EgoClient"]
+
+
+class _PooledConnection:
+    """One open, handshaken connection with a demux loop for pipelining."""
+
+    __slots__ = ("reader", "writer", "pending", "streams", "next_id", "broken", "_demux")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.pending: Dict[int, asyncio.Future] = {}
+        self.streams: Dict[int, asyncio.Queue] = {}
+        self.next_id = 0
+        self.broken = False
+        self._demux: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        self._demux = asyncio.ensure_future(self._demux_loop())
+
+    def allocate_id(self) -> int:
+        self.next_id += 1
+        return self.next_id
+
+    async def _demux_loop(self) -> None:
+        """Route response frames to the request that asked for them."""
+        error: Optional[Exception] = None
+        try:
+            while True:
+                message = await read_frame(self.reader)
+                if message is None:
+                    error = ClientConnectionError("server closed the connection")
+                    break
+                request_id = message.get("id")
+                queue = self.streams.get(request_id)
+                if queue is not None:
+                    queue.put_nowait(message)
+                    continue
+                future = self.pending.pop(request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+                # An unknown id is a response to an abandoned request —
+                # dropped silently (the caller already gave up on it).
+        except (ProtocolError, ConnectionError, OSError) as failure:
+            error = ClientConnectionError(f"connection failed mid-read: {failure}")
+        except asyncio.CancelledError:
+            error = ClientConnectionError("client connection closed")
+        finally:
+            self.broken = True
+            failure = error or ClientConnectionError("connection torn down")
+            for future in self.pending.values():
+                if not future.done():
+                    future.set_exception(failure)
+            self.pending.clear()
+            for queue in self.streams.values():
+                queue.put_nowait(failure)
+            self.streams.clear()
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = self.allocate_id()
+        message = {"id": request_id, **message}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.pending[request_id] = future
+        try:
+            await write_frame(self.writer, message)
+        except (ConnectionError, OSError) as failure:
+            self.broken = True
+            self.pending.pop(request_id, None)
+            raise ClientConnectionError(f"connection failed mid-write: {failure}") from None
+        try:
+            return await future
+        finally:
+            self.pending.pop(request_id, None)
+
+    async def close(self) -> None:
+        self.broken = True
+        if self._demux is not None and not self._demux.done():
+            self._demux.cancel()
+            try:
+                await self._demux
+            except asyncio.CancelledError:
+                pass
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except Exception:  # noqa: BLE001 - peer may already be gone
+            pass
+
+
+class EgoClient:
+    """Async client for one :class:`~repro.net.server.EgoServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The server's bind address.
+    pool_size:
+        Maximum open connections.  Concurrent requests multiplex over
+        pooled connections (each connection pipelines by correlation id);
+        a burst beyond the pool opens nothing extra — it queues on the
+        pool's round-robin.
+    retries:
+        How many times an **idempotent read** is re-sent on a fresh
+        connection after a :class:`ClientConnectionError`.  Mutations
+        (:meth:`apply`) are never retried.
+    connect_timeout:
+        Bound on opening + handshaking one connection.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 4,
+        retries: int = 2,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        if pool_size < 1:
+            raise InvalidParameterError("pool_size must be positive")
+        if retries < 0:
+            raise InvalidParameterError("retries must be >= 0")
+        if connect_timeout <= 0:
+            raise InvalidParameterError("connect_timeout must be positive")
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.retries = retries
+        self.connect_timeout = connect_timeout
+        self._pool: List[_PooledConnection] = []
+        self._rotation = 0
+        self._pool_lock = asyncio.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Pooling
+    # ------------------------------------------------------------------
+    async def _connect(self) -> _PooledConnection:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.connect_timeout
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as failure:
+            raise ClientConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {failure!r}"
+            ) from None
+        try:
+            await asyncio.wait_for(
+                write_frame(writer, hello_message()), self.connect_timeout
+            )
+            greeting = await asyncio.wait_for(read_frame(reader), self.connect_timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError) as failure:
+            writer.close()
+            raise ClientConnectionError(f"handshake failed: {failure!r}") from None
+        if greeting is None:
+            writer.close()
+            raise ClientConnectionError("server closed during the handshake")
+        if not greeting.get("ok"):
+            writer.close()
+            raise decode_error(greeting.get("error", {}))
+        check_hello({"op": "hello", "protocol": greeting.get("protocol")})
+        connection = _PooledConnection(reader, writer)
+        connection.start()
+        return connection
+
+    async def _checkout(self) -> _PooledConnection:
+        """A healthy pooled connection (round-robin), opening lazily."""
+        if self._closed:
+            raise ClientConnectionError("this client has been closed")
+        async with self._pool_lock:
+            self._pool = [c for c in self._pool if not c.broken]
+            if len(self._pool) < self.pool_size:
+                connection = await self._connect()
+                self._pool.append(connection)
+                return connection
+            self._rotation = (self._rotation + 1) % len(self._pool)
+            return self._pool[self._rotation]
+
+    async def close(self) -> None:
+        """Close every pooled connection; the client is unusable after."""
+        self._closed = True
+        async with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for connection in pool:
+            await connection.close()
+
+    async def __aenter__(self) -> "EgoClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Request core
+    # ------------------------------------------------------------------
+    async def _call(
+        self, message: Dict[str, Any], *, idempotent: bool
+    ) -> Dict[str, Any]:
+        """Send one request; unwrap the response; retry reads on torn pipes."""
+        attempts = self.retries + 1 if idempotent else 1
+        failure: Optional[Exception] = None
+        for _ in range(attempts):
+            try:
+                connection = await self._checkout()
+                response = await connection.request(message)
+            except ClientConnectionError as error:
+                failure = error
+                continue
+            if response.get("ok"):
+                return response
+            raise decode_error(response.get("error", {}))
+        assert failure is not None
+        raise failure
+
+    @staticmethod
+    def _with_deadline(
+        message: Dict[str, Any], deadline_ms: Optional[float]
+    ) -> Dict[str, Any]:
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return message
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def ping(self) -> bool:
+        """Round-trip one frame; ``True`` when the server answers."""
+        response = await self._call({"op": "ping"}, idempotent=True)
+        return response.get("result") == "pong"
+
+    async def scores(
+        self,
+        tenant: str,
+        vertices: Optional[Iterable[Any]] = None,
+        *,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[Any, float]:
+        """Exact ego-betweenness map of a tenant (or a vertex subset)."""
+        message: Dict[str, Any] = {"op": "scores", "tenant": tenant}
+        if vertices is not None:
+            message["vertices"] = [encode_label(v) for v in vertices]
+        response = await self._call(
+            self._with_deadline(message, deadline_ms), idempotent=True
+        )
+        return decode_scores(response["result"])
+
+    async def score(
+        self, tenant: str, vertex: Any, *, deadline_ms: Optional[float] = None
+    ) -> float:
+        """Exact ego-betweenness of one vertex."""
+        message = {"op": "score", "tenant": tenant, "vertex": encode_label(vertex)}
+        response = await self._call(
+            self._with_deadline(message, deadline_ms), idempotent=True
+        )
+        return response["result"]
+
+    async def top_k(
+        self, tenant: str, k: int, *, deadline_ms: Optional[float] = None
+    ) -> List[Tuple[Any, float]]:
+        """The tenant's ranked top-k ``(vertex, score)`` entries."""
+        message = {"op": "top_k", "tenant": tenant, "k": k}
+        response = await self._call(
+            self._with_deadline(message, deadline_ms), idempotent=True
+        )
+        return decode_entries(response["result"]["entries"])
+
+    async def apply(self, tenant: str, events: Iterable) -> Dict[str, int]:
+        """Apply edge updates; returns ``{"applied": n, "version": v}``.
+
+        **Never retried**: a :class:`ClientConnectionError` here means the
+        mutation's fate is unknown — check the tenant's ``version`` (in
+        :meth:`stats`) before re-sending.
+        """
+        encoded = []
+        for event in events:
+            kind, u, v = event
+            encoded.append([kind, encode_label(u), encode_label(v)])
+        response = await self._call(
+            {"op": "apply", "tenant": tenant, "events": encoded}, idempotent=False
+        )
+        return response["result"]
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's full metrics tree (server + gateway + tenants)."""
+        response = await self._call({"op": "stats"}, idempotent=True)
+        return response["result"]
+
+    async def stream_scores(
+        self,
+        tenant: str,
+        queries: Iterable[Optional[Iterable[Any]]],
+    ) -> AsyncIterator[Dict[Any, float]]:
+        """Submit many scores queries; yield answers in request order.
+
+        Abandoning the iterator early closes its connection, which makes
+        the server cancel every unanswered request out of its micro-batch
+        — the wire equivalent of the gateway's ``stream()`` early-exit.
+        """
+        encoded_queries = [
+            None if query is None else [encode_label(v) for v in query]
+            for query in queries
+        ]
+        # A dedicated connection: abandoning the stream must be able to
+        # kill it without poisoning pooled traffic.
+        connection = await self._connect()
+        request_id = connection.allocate_id()
+        queue: asyncio.Queue = asyncio.Queue()
+        connection.streams[request_id] = queue
+        try:
+            await write_frame(
+                connection.writer,
+                {
+                    "id": request_id,
+                    "op": "stream",
+                    "tenant": tenant,
+                    "queries": encoded_queries,
+                },
+            )
+            expected = 0
+            while True:
+                item = await queue.get()
+                if isinstance(item, Exception):
+                    raise item
+                if item.get("done"):
+                    return
+                if not item.get("ok"):
+                    raise decode_error(item.get("error", {}))
+                if item.get("seq") != expected:
+                    raise ProtocolError(
+                        f"stream frames out of order: expected seq {expected}, "
+                        f"got {item.get('seq')!r}"
+                    )
+                expected += 1
+                yield decode_scores(item["result"])
+        finally:
+            await connection.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EgoClient({self.host}:{self.port}, pool={len(self._pool)}/"
+            f"{self.pool_size}, closed={self._closed})"
+        )

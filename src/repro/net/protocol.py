@@ -1,0 +1,449 @@
+"""The wire protocol: length-prefixed JSON frames + typed error mapping.
+
+Frame layout
+------------
+Every native-protocol message is one *frame*::
+
+    [u32 big-endian payload length][payload: UTF-8 JSON object]
+
+A length word larger than ``MAX_FRAME_BYTES`` (or a payload that is not a
+JSON object) is a :class:`~repro.errors.ProtocolError` — the connection
+that produced it cannot be resynchronised and is closed.
+
+Handshake
+---------
+The first message on every connection (native or WebSocket) must be::
+
+    {"op": "hello", "protocol": 1}
+
+The server answers ``{"ok": true, "protocol": 1, "server": ...}`` when the
+version matches and an error frame (then EOF) when it does not, so an old
+client fails with one precise exception instead of undefined behaviour
+mid-stream.
+
+Messages
+--------
+Requests are JSON objects with ``id`` (caller-chosen correlation id),
+``op`` (``scores`` | ``score`` | ``top_k`` | ``apply`` | ``stream`` |
+``stats`` | ``ping``), usually ``tenant``, an optional ``deadline_ms``
+(per-request waiting budget, measured from server receipt) and the
+op-specific fields.  Responses echo the ``id`` with either
+``{"ok": true, "result": ...}`` or ``{"ok": false, "error": {"type":
+..., "message": ...}}``.  Stream responses carry ``seq`` per item and a
+final ``{"done": true}`` frame.
+
+Labels on the wire
+------------------
+Vertex labels in this code base are ints, strings, floats or (nested)
+tuples of those.  JSON has no tuple, so tuples travel as
+``{"t": [...]}`` objects and everything else as itself; score maps travel
+as parallel ``{"v": [label, ...], "s": [score, ...]}`` arrays (a JSON
+object per map would force string keys and lose the int/str distinction;
+per-entry pairs would cost a container allocation per vertex on the
+decode hot path).  Ranked top-k entries, always small, stay
+``[[label, score], ...]`` pair lists.  Floats round-trip bit-exactly:
+``json`` emits ``repr``-style shortest round-trip literals.
+
+>>> decode_label(encode_label((1, ("a", 2)))) == (1, ("a", 2))
+True
+>>> decode_scores(encode_scores({3: 1.5, "x": 0.25})) == {3: 1.5, "x": 0.25}
+True
+
+Typed errors
+------------
+:func:`encode_error` ships any exception as ``(type, message)``;
+:func:`decode_error` rebuilds the *same* :mod:`repro.errors` class when it
+can (the whole hierarchy is registered by introspection), and falls back
+to :class:`~repro.errors.RemoteError` — original type name preserved in
+the message — when the class is unknown or needs structured arguments the
+wire did not carry.
+
+>>> from repro.errors import GatewayOverloadedError
+>>> error = decode_error(encode_error(GatewayOverloadedError("shed")))
+>>> type(error).__name__, str(error)
+('GatewayOverloadedError', 'shed')
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import struct
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro import errors as _errors
+from repro.errors import ProtocolError, RemoteError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "encode_raw_frame",
+    "decode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "encode_label",
+    "decode_label",
+    "encode_scores",
+    "decode_scores",
+    "encode_entries",
+    "decode_entries",
+    "encode_error",
+    "decode_error",
+    "hello_message",
+    "check_hello",
+    "websocket_accept_key",
+    "ws_encode_message",
+    "ws_read_message",
+]
+
+#: Bumped on any incompatible change to the frame or message layout.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload: large enough for a full score map
+#: of a multi-million-vertex graph, small enough that a corrupt length
+#: word cannot make the server allocate the moon.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """Serialise one message to its wire frame (length prefix + JSON)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol bound"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def encode_raw_frame(payload: bytes) -> bytes:
+    """Frame an already-serialised JSON payload (length prefix + bytes).
+
+    The fast path for the server's encoded-response cache: a cached
+    response body is spliced into a frame without re-serialising it.
+    """
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol bound"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> Dict[str, Any]:
+    """Parse one complete frame (prefix included); inverse of encode_frame."""
+    if len(data) < _LENGTH.size:
+        raise ProtocolError("truncated frame: no length prefix")
+    (length,) = _LENGTH.unpack_from(data)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    if len(data) != _LENGTH.size + length:
+        raise ProtocolError(
+            f"frame length word says {length} payload bytes, got "
+            f"{len(data) - _LENGTH.size}"
+        )
+    return _decode_payload(data[_LENGTH.size :])
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse one frame payload (the JSON object, prefix already stripped)."""
+    return _decode_payload(payload)
+
+
+def _decode_payload(payload: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF *inside* a frame raises :class:`ProtocolError` — a peer that dies
+    mid-frame is indistinguishable from a torn write and must not be
+    silently treated as a clean close.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame length prefix") from None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > max_bytes:
+        raise ProtocolError(f"frame length {length} exceeds {max_bytes}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed inside a frame payload") from None
+    return _decode_payload(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+    """Write one frame and drain the transport buffer."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Label / score codecs
+# ----------------------------------------------------------------------
+
+
+def encode_label(label: Any) -> Any:
+    """Encode one vertex label for JSON transport (tuples become objects)."""
+    if isinstance(label, tuple):
+        return {"t": [encode_label(item) for item in label]}
+    if label is None or isinstance(label, (bool, int, float, str)):
+        return label
+    raise ProtocolError(
+        f"vertex label of type {type(label).__name__} cannot travel on the "
+        "wire (supported: int, float, str, bool, None, nested tuples)"
+    )
+
+
+def decode_label(obj: Any) -> Any:
+    """Inverse of :func:`encode_label`."""
+    if isinstance(obj, dict):
+        if set(obj) == {"t"} and isinstance(obj["t"], list):
+            return tuple(decode_label(item) for item in obj["t"])
+        raise ProtocolError(f"malformed label object {obj!r}")
+    if isinstance(obj, list):
+        raise ProtocolError("bare JSON arrays are not valid vertex labels")
+    return obj
+
+
+# Exact-type scalar set for the codec fast paths below: a full score map
+# is thousands of entries, so the per-entry cost is the wire path's hot
+# loop (label subclasses and tuples take the slow, validating path).
+_SCALAR_LABEL_TYPES = frozenset((int, float, str, bool, type(None)))
+
+
+def encode_scores(scores: Dict[Any, float]) -> Dict[str, list]:
+    """Encode a ``{vertex: score}`` map as parallel ``{"v": ..., "s": ...}``
+    label/score arrays.
+
+    Two flat arrays instead of per-entry pairs: the JSON for a full score
+    map parses in one pass with no per-entry container, and the decoder's
+    common case (all-scalar labels) is a single C-speed ``dict(zip(...))``.
+    """
+    scalars = _SCALAR_LABEL_TYPES
+    return {
+        "v": [
+            vertex if type(vertex) in scalars else encode_label(vertex)
+            for vertex in scores
+        ],
+        "s": list(scores.values()),
+    }
+
+
+def decode_scores(encoded: Any) -> Dict[Any, float]:
+    """Inverse of :func:`encode_scores`."""
+    if (
+        not isinstance(encoded, dict)
+        or encoded.keys() != {"v", "s"}
+        or not isinstance(encoded["v"], list)
+        or not isinstance(encoded["s"], list)
+        or len(encoded["v"]) != len(encoded["s"])
+    ):
+        raise ProtocolError("malformed score map on the wire")
+    try:
+        # All-scalar labels (the overwhelmingly common case): one C pass.
+        # A tuple label arrives as an (unhashable) {"t": ...} object and
+        # drops to the per-label decode below.
+        return dict(zip(encoded["v"], encoded["s"]))
+    except TypeError:
+        return {
+            decode_label(label): score
+            for label, score in zip(encoded["v"], encoded["s"])
+        }
+
+
+def encode_entries(entries: Iterable[Tuple[Any, float]]) -> List[List[Any]]:
+    """Encode ranked ``(vertex, score)`` entries (order-preserving)."""
+    scalars = _SCALAR_LABEL_TYPES
+    return [
+        [vertex if type(vertex) in scalars else encode_label(vertex), score]
+        for vertex, score in entries
+    ]
+
+
+def decode_entries(pairs: Iterable) -> List[Tuple[Any, float]]:
+    """Inverse of :func:`encode_entries`."""
+    scalars = _SCALAR_LABEL_TYPES
+    decoded: List[Tuple[Any, float]] = []
+    try:
+        for label, score in pairs:
+            if type(label) not in scalars:
+                label = decode_label(label)
+            decoded.append((label, score))
+    except (TypeError, ValueError) as error:
+        raise ProtocolError("malformed entry pair on the wire") from error
+    return decoded
+
+
+# ----------------------------------------------------------------------
+# Typed error mapping
+# ----------------------------------------------------------------------
+
+#: Every concrete exception class of the library hierarchy, by name —
+#: introspected so a class added to :mod:`repro.errors` is wire-mappable
+#: without touching this module.
+ERROR_TYPES: Dict[str, type] = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, _errors.ReproError)
+}
+
+
+def encode_error(error: BaseException) -> Dict[str, str]:
+    """Ship an exception as its ``(type, message)`` wire form."""
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+def decode_error(obj: Dict[str, Any]) -> Exception:
+    """Rebuild the library exception a server shipped.
+
+    Returns an instance of the *same* class whenever the type is known and
+    constructible from its message; otherwise a
+    :class:`~repro.errors.RemoteError` carrying the original type name.
+    """
+    if not isinstance(obj, dict):
+        return RemoteError(f"malformed error object {obj!r}")
+    name = obj.get("type", "Exception")
+    message = obj.get("message", "")
+    cls = ERROR_TYPES.get(name)
+    if cls is not None:
+        try:
+            error = cls(message)
+            # Classes with formatting constructors (they build their
+            # message from structured arguments the wire did not carry)
+            # would re-wrap the already-formatted message — the verbatim
+            # check sends those to the RemoteError fallback instead.
+            if str(error) == message:
+                return error
+        except Exception:  # noqa: BLE001 - fall through to the generic form
+            pass
+    return RemoteError(f"{name}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+
+
+def hello_message() -> Dict[str, Any]:
+    """The client's opening frame."""
+    return {"op": "hello", "protocol": PROTOCOL_VERSION}
+
+
+def check_hello(message: Dict[str, Any]) -> None:
+    """Validate a client hello; raises :class:`ProtocolError` on mismatch."""
+    if message.get("op") != "hello":
+        raise ProtocolError(
+            f"expected a hello frame to open the connection, got op="
+            f"{message.get('op')!r}"
+        )
+    version = message.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+
+
+# ----------------------------------------------------------------------
+# WebSocket (RFC 6455) helpers — the minimal subset the server needs
+# ----------------------------------------------------------------------
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+WS_TEXT = 0x1
+WS_CLOSE = 0x8
+WS_PING = 0x9
+WS_PONG = 0xA
+
+
+def websocket_accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's nonce."""
+    digest = hashlib.sha1((client_key + _WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def ws_encode_message(
+    payload: bytes, *, opcode: int = WS_TEXT, mask: bool = False, mask_key: bytes = b"\x00\x00\x00\x00"
+) -> bytes:
+    """Encode one unfragmented WebSocket frame (FIN set).
+
+    Servers send unmasked frames; test/client peers set ``mask=True`` (the
+    RFC requires client frames to be masked).
+    """
+    header = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        header += mask_key
+        payload = bytes(b ^ mask_key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + payload
+
+
+async def ws_read_message(
+    reader: asyncio.StreamReader, *, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Tuple[int, bytes]]:
+    """Read one unfragmented frame; ``(opcode, payload)`` or ``None`` on EOF.
+
+    Masked payloads (client frames) are unmasked.  Fragmented messages are
+    rejected — the JSON messages this protocol carries always fit one
+    frame.
+    """
+    try:
+        first = await reader.readexactly(2)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed inside a WebSocket header") from None
+    fin = first[0] & 0x80
+    opcode = first[0] & 0x0F
+    if not fin:
+        raise ProtocolError("fragmented WebSocket messages are not supported")
+    masked = first[1] & 0x80
+    length = first[1] & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    if length > max_bytes:
+        raise ProtocolError(f"WebSocket frame of {length} bytes exceeds {max_bytes}")
+    mask_key = await reader.readexactly(4) if masked else b""
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed inside a WebSocket payload") from None
+    if masked:
+        payload = bytes(b ^ mask_key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload

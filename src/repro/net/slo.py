@@ -1,0 +1,422 @@
+"""Wire-level SLO load harness: open-loop arrivals, honest percentiles.
+
+:mod:`repro.serving.loadgen` measures *throughput* with a closed-loop
+fleet — each client waits for its answer before sending the next request,
+so a slow server conveniently slows the offered load down with it
+(coordinated omission).  An SLO is a statement about **open-loop** load:
+requests arrive by a Poisson process at a target rate whether or not the
+previous ones finished, and latency is measured from each request's
+*scheduled arrival*, so queueing delay the server caused is charged to
+the server.
+
+:func:`run_slo_benchmark` drives the same workload through two
+transports and reports both:
+
+* ``gateway`` — in-process :class:`~repro.serving.ServingGateway` calls
+  (the pre-network baseline), and
+* ``net`` — a real :class:`~repro.net.server.EgoServer` socket on
+  loopback, queried by a pooled :class:`~repro.net.client.EgoClient`
+  over the length-prefixed wire protocol.
+
+Each transport gets an open-loop phase (p50/p95/p99 latency, goodput —
+answers inside ``deadline_ms`` — and shed rate) and a closed-loop
+saturation phase (max sustained qps), and the payload's headline is
+``retention_net_vs_gateway``: the fraction of in-process throughput the
+wire path keeps.  Every answer from either transport is checked
+**bit-identical** to the serial CSR kernel oracle before any number is
+reported.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.csr_kernels import all_ego_betweenness_csr
+from repro.errors import (
+    CircuitOpenError,
+    GatewayOverloadedError,
+    InvalidParameterError,
+    RequestTimeoutError,
+)
+from repro.graph.csr import CompactGraph
+from repro.net.client import EgoClient
+from repro.net.server import EgoServer
+from repro.serving.gateway import ServingGateway
+from repro.serving.metrics import percentiles
+
+__all__ = ["run_slo_benchmark"]
+
+#: Errors that count as *shed* (deliberate load rejection), not failures.
+_SHED_ERRORS = (GatewayOverloadedError, CircuitOpenError)
+
+
+def _coerce_graph(graph: Any) -> CompactGraph:
+    """Accept a :class:`CompactGraph`, a graph object, or a plain edge list."""
+    if isinstance(graph, CompactGraph):
+        return graph
+    if hasattr(graph, "to_compact"):
+        return graph.to_compact()
+    return CompactGraph.from_edges(graph)
+
+
+def _check_answer(answer, request, oracle) -> None:
+    expected = oracle if request is None else {v: oracle[v] for v in request}
+    if answer != expected:
+        raise AssertionError("network answer diverged from the serial kernel oracle")
+
+
+def _workload(
+    tenants: Dict[str, CompactGraph],
+    total: int,
+    hot_fraction: float,
+    subset_pool: int,
+    seed: int,
+) -> List[Tuple[str, Optional[list]]]:
+    """The request mix: hot full-map keys + a small pool of subset keys.
+
+    ``hot_fraction`` of the requests ask a tenant's *full map* — the hot
+    key a real ranking service hammers — and the rest draw from
+    ``subset_pool`` fixed random slices per tenant, so the cache layers
+    see a realistic key distribution instead of one degenerate key.
+    """
+    rng = random.Random(seed)
+    names = list(tenants)
+    pools: Dict[str, List[list]] = {}
+    for name, compact in tenants.items():
+        labels = compact.labels
+        size = max(1, len(labels) // 8)
+        pools[name] = [
+            rng.sample(labels, min(size, len(labels))) for _ in range(subset_pool)
+        ]
+    plan: List[Tuple[str, Optional[list]]] = []
+    for index in range(total):
+        tenant_id = names[index % len(names)]
+        if rng.random() < hot_fraction:
+            plan.append((tenant_id, None))
+        else:
+            plan.append((tenant_id, rng.choice(pools[tenant_id])))
+    return plan
+
+
+async def _open_loop_phase(
+    execute: Callable,
+    plan: List[Tuple[str, Optional[list]]],
+    oracles: Dict[str, Dict],
+    *,
+    rate: float,
+    deadline_ms: float,
+    seed: int,
+) -> Dict[str, Any]:
+    """Fire the plan at Poisson arrivals of ``rate``/s; charge queueing.
+
+    Tasks launch at their scheduled arrival regardless of completions
+    (the driver never awaits an answer before firing the next request),
+    and each latency is measured from the *scheduled* arrival time.
+    """
+    loop = asyncio.get_running_loop()
+    rng = random.Random(seed + 1)
+    offsets: List[float] = []
+    clock = 0.0
+    for _ in plan:
+        clock += rng.expovariate(rate)
+        offsets.append(clock)
+    latencies: List[float] = []
+    outcome = {"completed": 0, "good": 0, "late": 0, "shed": 0, "deadline_misses": 0}
+    budget = deadline_ms / 1000.0
+
+    async def fire(scheduled: float, tenant_id: str, request) -> None:
+        try:
+            answer = await execute(tenant_id, request, deadline_ms)
+        except _SHED_ERRORS:
+            outcome["shed"] += 1
+            return
+        except RequestTimeoutError:
+            outcome["deadline_misses"] += 1
+            return
+        latency = loop.time() - scheduled
+        _check_answer(answer, request, oracles[tenant_id])
+        latencies.append(latency)
+        outcome["completed"] += 1
+        if latency <= budget:
+            outcome["good"] += 1
+        else:
+            outcome["late"] += 1
+
+    start = loop.time()
+    tasks = []
+    for offset, (tenant_id, request) in zip(offsets, plan):
+        delay = start + offset - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(
+            asyncio.ensure_future(fire(start + offset, tenant_id, request))
+        )
+    await asyncio.gather(*tasks)
+    elapsed = loop.time() - start
+    issued = len(plan)
+    return {
+        "offered_rate": rate,
+        "issued": issued,
+        "seconds": elapsed,
+        "achieved_qps": outcome["completed"] / elapsed if elapsed else 0.0,
+        "goodput_qps": outcome["good"] / elapsed if elapsed else 0.0,
+        "shed_rate": outcome["shed"] / issued if issued else 0.0,
+        "deadline_miss_rate": (
+            (outcome["deadline_misses"] + outcome["late"]) / issued if issued else 0.0
+        ),
+        **outcome,
+        **percentiles(latencies),
+    }
+
+
+async def _closed_loop_phase(
+    execute: Callable,
+    plan: List[Tuple[str, Optional[list]]],
+    oracles: Dict[str, Dict],
+    *,
+    concurrency: int,
+    duration_seconds: float,
+) -> Dict[str, Any]:
+    """Saturate: ``concurrency`` workers back-to-back for the duration."""
+    loop = asyncio.get_running_loop()
+    stop_at = loop.time() + duration_seconds
+    counter = {"completed": 0, "next": 0}
+
+    async def worker() -> None:
+        while loop.time() < stop_at:
+            index = counter["next"]
+            counter["next"] += 1
+            tenant_id, request = plan[index % len(plan)]
+            answer = await execute(tenant_id, request, None)
+            _check_answer(answer, request, oracles[tenant_id])
+            counter["completed"] += 1
+
+    start = loop.time()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    elapsed = loop.time() - start
+    completed = counter["completed"]
+    return {
+        "concurrency": concurrency,
+        "seconds": elapsed,
+        "completed": completed,
+        "qps": completed / elapsed if elapsed else 0.0,
+        "mean_s": elapsed / completed if completed else float("inf"),
+    }
+
+
+def run_slo_benchmark(
+    graphs: Dict[str, Any],
+    *,
+    rate: float = 400.0,
+    duration_seconds: float = 1.0,
+    deadline_ms: float = 100.0,
+    concurrency: int = 16,
+    hot_fraction: float = 0.75,
+    subset_pool: int = 4,
+    transports: Tuple[str, ...] = ("gateway", "net"),
+    window_seconds: float = 0.002,
+    max_batch: int = 64,
+    parallel: Optional[int] = None,
+    executor: str = "serial",
+    result_cache_size: int = 64,
+    encoded_cache_size: int = 128,
+    pool_size: int = 4,
+    seed: int = 7,
+) -> Dict[str, Any]:
+    """Open-loop SLO + closed-loop saturation, per transport.
+
+    Parameters
+    ----------
+    graphs:
+        ``{tenant_id: graph}`` — anything with ``to_compact()`` or a
+        :class:`CompactGraph`; each becomes one gateway tenant.
+    rate / duration_seconds:
+        Open-loop phase: Poisson arrivals at ``rate``/s for
+        ``rate * duration_seconds`` total requests; closed-loop phase:
+        ``concurrency`` workers for ``duration_seconds``.
+    deadline_ms:
+        The SLO budget: per-request deadline propagated through the
+        transport; answers inside it are *goodput*.
+    hot_fraction / subset_pool:
+        The key distribution (see the workload builder above).
+    transports:
+        Which transports to measure; ``retention_net_vs_gateway`` needs
+        both (the default).
+    window_seconds / max_batch / parallel / executor:
+        Gateway configuration, shared by both transports.
+    result_cache_size / encoded_cache_size / pool_size:
+        The network front door's knobs (net transport only): the
+        gateway hot-key result LRU behind the server, the server's
+        serialised-response cache, and the client connection pool.  The
+        ``gateway`` baseline always runs the in-process defaults (no
+        result cache — in-process callers opt in), so the retention
+        headline compares the shipped front door against serving as it
+        already existed.  Pass zeros to measure the raw wire overhead.
+    seed:
+        Workload and arrival-process RNG seed.
+
+    Returns
+    -------
+    The canonical bench payload: ``backends`` with one entry per
+    transport (closed-loop ``mean_s``/``qps`` plus the open-loop SLO
+    block), the ``retention_net_vs_gateway`` headline, the gateway cache
+    counters (hot-key hits / zero-kernel serving evidence), and
+    ``bit_identical`` (an :class:`AssertionError` is raised before any
+    number is reported if an answer diverges from the serial kernels).
+    """
+    if rate <= 0 or duration_seconds <= 0:
+        raise InvalidParameterError("rate and duration_seconds must be positive")
+    if deadline_ms <= 0:
+        raise InvalidParameterError("deadline_ms must be positive")
+    if concurrency < 1:
+        raise InvalidParameterError("concurrency must be positive")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise InvalidParameterError("hot_fraction must be in [0, 1]")
+    if not graphs:
+        raise InvalidParameterError("at least one tenant graph is required")
+    unknown = set(transports) - {"gateway", "net"}
+    if unknown:
+        raise InvalidParameterError(f"unknown transports {sorted(unknown)!r}")
+    tenants = {name: _coerce_graph(graph) for name, graph in graphs.items()}
+    oracles = {name: all_ego_betweenness_csr(cg) for name, cg in tenants.items()}
+    total = max(1, int(rate * duration_seconds))
+    plan = _workload(tenants, total, hot_fraction, subset_pool, seed)
+
+    def build_gateway(cache_size: int) -> ServingGateway:
+        return ServingGateway(
+            window_seconds=window_seconds,
+            max_batch=max_batch,
+            parallel=parallel,
+            executor=executor,
+            result_cache_size=cache_size,
+        )
+
+    async def run_gateway_transport() -> Dict[str, Any]:
+        # The baseline is the in-process gateway in its own default
+        # configuration — no result cache, exactly what in-process
+        # callers run — so the retention headline states what the front
+        # door costs relative to serving as it already shipped.
+        async with build_gateway(0) as gateway:
+            for name, compact in tenants.items():
+                gateway.add_tenant(name, compact)
+            for name in tenants:  # priming: pool launch + first kernel sweep
+                _check_answer(await gateway.scores(name), None, oracles[name])
+
+            async def execute(tenant_id, request, budget_ms):
+                call = gateway.scores(tenant_id, request)
+                if budget_ms is None:
+                    return await call
+                try:
+                    return await asyncio.wait_for(
+                        asyncio.ensure_future(call), budget_ms / 1000.0
+                    )
+                except asyncio.TimeoutError:
+                    raise RequestTimeoutError(
+                        f"request missed its {budget_ms}ms SLO budget"
+                    ) from None
+
+            open_loop = await _open_loop_phase(
+                execute, plan, oracles, rate=rate, deadline_ms=deadline_ms, seed=seed
+            )
+            closed_loop = await _closed_loop_phase(
+                execute,
+                plan,
+                oracles,
+                concurrency=concurrency,
+                duration_seconds=duration_seconds,
+            )
+            stats = gateway.stats()
+        return {
+            **closed_loop,
+            "open_loop": open_loop,
+            "gateway": stats["gateway"],
+        }
+
+    async def run_net_transport() -> Dict[str, Any]:
+        gateway = build_gateway(result_cache_size)
+        for name, compact in tenants.items():
+            gateway.add_tenant(name, compact)
+        server = EgoServer(
+            gateway,
+            encoded_cache_size=encoded_cache_size,
+            max_connections=max(64, concurrency + pool_size + 8),
+        )
+        async with server:
+            async with EgoClient(
+                server.host, server.port, pool_size=pool_size
+            ) as client:
+                for name in tenants:  # priming through the wire
+                    _check_answer(await client.scores(name), None, oracles[name])
+
+                async def execute(tenant_id, request, budget_ms):
+                    return await client.scores(
+                        tenant_id, request, deadline_ms=budget_ms
+                    )
+
+                open_loop = await _open_loop_phase(
+                    execute,
+                    plan,
+                    oracles,
+                    rate=rate,
+                    deadline_ms=deadline_ms,
+                    seed=seed,
+                )
+                closed_loop = await _closed_loop_phase(
+                    execute,
+                    plan,
+                    oracles,
+                    concurrency=concurrency,
+                    duration_seconds=duration_seconds,
+                )
+                metrics_tree = server.metrics()
+        return {
+            **closed_loop,
+            "open_loop": open_loop,
+            "server": {
+                key: metrics_tree["server"][key]
+                for key in (
+                    "requests",
+                    "answered",
+                    "errors",
+                    "shed",
+                    "deadline_misses",
+                    "encoded_cache_hits",
+                    "encoded_cache_misses",
+                )
+            },
+            "gateway": metrics_tree["gateway"],
+        }
+
+    backends: Dict[str, Dict[str, Any]] = {}
+    for transport in transports:
+        if transport == "gateway":
+            backends["gateway"] = asyncio.run(run_gateway_transport())
+        else:
+            backends["net"] = asyncio.run(run_net_transport())
+
+    payload: Dict[str, Any] = {
+        "bench": "net_slo",
+        "unit": "queries per second (closed loop) + open-loop SLO",
+        "tenants": sorted(tenants),
+        "rate": rate,
+        "duration_seconds": duration_seconds,
+        "deadline_ms": deadline_ms,
+        "concurrency": concurrency,
+        "hot_fraction": hot_fraction,
+        "total_open_loop_requests": total,
+        "result_cache_size": result_cache_size,
+        "encoded_cache_size": encoded_cache_size,
+        "bit_identical": True,  # _check_answer raised otherwise
+        "backends": backends,
+    }
+    if "gateway" in backends and "net" in backends:
+        gateway_qps = backends["gateway"]["qps"]
+        payload["retention_net_vs_gateway"] = (
+            backends["net"]["qps"] / gateway_qps if gateway_qps else 0.0
+        )
+    else:
+        only = next(iter(backends), None)
+        payload["retention_net_vs_gateway"] = None if only is None else 1.0
+    return payload

@@ -48,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -72,6 +73,10 @@ __all__ = ["ServingGateway", "GatewayStats"]
 #: Default coalescing window: long enough to batch a burst of concurrent
 #: requests, short enough to be invisible next to a kernel pass.
 DEFAULT_WINDOW_SECONDS = 0.002
+
+#: Sentinel distinguishing "no cached answer" from a cached falsy answer
+#: (an empty scores map is a legitimate cache value).
+_CACHE_MISS = object()
 
 
 @dataclass
@@ -108,6 +113,14 @@ class GatewayStats:
     circuit_opens / circuit_shed:
         Times a tenant's circuit breaker tripped open, and requests shed
         with :class:`~repro.errors.CircuitOpenError` while it was open.
+    cache_hits / cache_misses / cache_evictions / cache_invalidations:
+        The hot-key result LRU: requests answered straight from a cached
+        ``(version, query-key)`` entry (zero kernel/batch work), lookups
+        that fell through to a batch, entries evicted by LRU pressure, and
+        whole-tenant invalidations fired by ``apply()`` version bumps.
+    applies / applied_events:
+        Mutation calls admitted through :meth:`ServingGateway.apply` and
+        the update events they carried.
     per_tenant:
         Requests accepted per tenant id.
     """
@@ -131,6 +144,12 @@ class GatewayStats:
     batch_faults: int = 0
     circuit_opens: int = 0
     circuit_shed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    applies: int = 0
+    applied_events: int = 0
     per_tenant: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -161,6 +180,12 @@ class GatewayStats:
             "batch_faults": self.batch_faults,
             "circuit_opens": self.circuit_opens,
             "circuit_shed": self.circuit_shed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_invalidations": self.cache_invalidations,
+            "applies": self.applies,
+            "applied_events": self.applied_events,
             "per_tenant": dict(self.per_tenant),
         }
 
@@ -189,6 +214,9 @@ class _Tenant:
         "circuit_state",
         "consecutive_failures",
         "circuit_open_until",
+        "cache",
+        "cache_version",
+        "version_listener",
     )
 
     def __init__(self, tenant_id: str, session: EgoSession) -> None:
@@ -206,6 +234,12 @@ class _Tenant:
         self.circuit_state = "closed"
         self.consecutive_failures = 0
         self.circuit_open_until = 0.0
+        # Hot-key result LRU: query-key → answer, valid for exactly one
+        # topology version (cache_version); the session version listener
+        # clears it the moment apply() moves the graph.
+        self.cache: "OrderedDict" = OrderedDict()
+        self.cache_version = session.version
+        self.version_listener = None
 
 
 class ServingGateway:
@@ -249,6 +283,19 @@ class ServingGateway:
         Bound on the :meth:`close` drain: batches still unanswered after
         this long are cancelled and their requests failed with
         :class:`GatewayClosedError` — a broken pool cannot hang close().
+    result_cache_size:
+        Per-tenant hot-key result LRU capacity (``0`` — the default —
+        disables caching and keeps the execution path byte-for-byte what
+        it was without it).  When enabled, an answered ``scores``/
+        ``top_k`` query is remembered under its ``(version, query-key)``
+        and identical repeats are served with **zero kernel executions**
+        until the tenant's topology version moves — every ``apply()``
+        (through the gateway or directly on the session) fires the
+        session's version listener and drops the tenant's entries.
+        Cached hits bypass back-pressure and the circuit breaker: a
+        known answer is free to serve even while the tenant sheds fresh
+        work.  The network front door (:mod:`repro.net`) enables this by
+        default; in-process callers opt in.
 
     Notes
     -----
@@ -275,6 +322,7 @@ class ServingGateway:
         circuit_reset_seconds: float = 1.0,
         drain_seconds: float = 5.0,
         durability_root: Optional[str] = None,
+        result_cache_size: int = 0,
     ) -> None:
         if window_seconds < 0:
             raise InvalidParameterError("window_seconds must be >= 0")
@@ -290,6 +338,8 @@ class ServingGateway:
             raise InvalidParameterError("circuit_reset_seconds must be positive")
         if drain_seconds <= 0:
             raise InvalidParameterError("drain_seconds must be positive")
+        if result_cache_size < 0:
+            raise InvalidParameterError("result_cache_size must be >= 0")
         self.window_seconds = window_seconds
         self.max_batch = max_batch
         self.max_pending = max_pending
@@ -301,6 +351,7 @@ class ServingGateway:
         self.circuit_reset_seconds = circuit_reset_seconds
         self.drain_seconds = drain_seconds
         self.durability_root = durability_root
+        self.result_cache_size = result_cache_size
         self._owns_pool = pool is None
         self._pool = (pool or WorkerPool(max_workers, keep_alive=True)).acquire()
         self._owns_store = store is None
@@ -390,7 +441,12 @@ class ServingGateway:
                 # — forking a multi-threaded process risks inheriting held
                 # locks in the child.
                 self._pool.ensure_started()
-        self._tenants[tenant_id] = _Tenant(tenant_id, session)
+        tenant = _Tenant(tenant_id, session)
+        # Version-keyed cache hook: every apply() — through the gateway or
+        # directly on the session — drops this tenant's hot-key entries.
+        tenant.version_listener = partial(self._invalidate_tenant_cache, tenant)
+        session.add_version_listener(tenant.version_listener)
+        self._tenants[tenant_id] = tenant
         return session
 
     def tenant(self, tenant_id: str) -> EgoSession:
@@ -487,6 +543,12 @@ class ServingGateway:
         if self._closed:
             raise GatewayClosedError("this gateway has been closed")
         stats = self._stats
+        if self.result_cache_size:
+            cached = self._cache_lookup(tenant, ("top_k", k))
+            if cached is not _CACHE_MISS:
+                stats.topk_requests += 1
+                stats.per_tenant[tenant_id] = stats.per_tenant.get(tenant_id, 0) + 1
+                return cached
         self._check_circuit(tenant)
         if tenant.backlog >= self.max_pending:
             # top-k traffic obeys the same back-pressure bound as scores
@@ -520,6 +582,30 @@ class ServingGateway:
         finally:
             tenant.backlog -= 1
 
+    async def apply(self, tenant_id: str, events) -> int:
+        """Apply edge updates to a tenant through the gateway; return the count.
+
+        The mutation serialises with the tenant's batches on the tenant
+        lock (``EgoSession`` is not thread-safe) and runs in a worker
+        thread, so the event loop keeps answering other tenants while the
+        update lands.  Applied events bump the session version, which
+        fires the version listener and invalidates the tenant's hot-key
+        result cache — the next identical query recomputes on the new
+        topology.  Mutations are **never** admitted from cache and never
+        retried by any client layer: they are not idempotent.
+        """
+        tenant = self._require(tenant_id)
+        if self._closed:
+            raise GatewayClosedError("this gateway has been closed")
+        loop = asyncio.get_running_loop()
+        async with tenant.lock:
+            applied = await loop.run_in_executor(
+                None, partial(tenant.session.apply, events)
+            )
+        self._stats.applies += 1
+        self._stats.applied_events += applied
+        return applied
+
     async def _await_with_deadline(self, awaitable, tenant_id: str):
         """Await, bounded by ``request_deadline`` when one is configured.
 
@@ -551,7 +637,12 @@ class ServingGateway:
                 )
             else:
                 call = partial(tenant.session.top_k, k, algorithm="naive")
-            return await loop.run_in_executor(None, call)
+            result = await loop.run_in_executor(None, call)
+            # Version read under the tenant lock: no batch/apply can have
+            # interleaved, so the answer belongs to exactly this version.
+            version = tenant.session.version
+        self._cache_store(tenant, version, ("top_k", k), result)
+        return result
 
     async def _submit(
         self, tenant_id: str, request: Optional[List[Vertex]]
@@ -560,6 +651,21 @@ class ServingGateway:
         if self._closed:
             raise GatewayClosedError("this gateway has been closed")
         stats = self._stats
+        cache_key: Optional[Tuple] = None
+        if self.result_cache_size:
+            try:
+                cache_key = self._cache_key(request)
+            except TypeError:
+                cache_key = None  # unhashable vertex: the batch will raise
+            cached = self._cache_lookup(tenant, cache_key)
+            if cached is not _CACHE_MISS:
+                # A known answer is free: serve it even while the tenant
+                # sheds fresh work (no circuit/back-pressure, no backlog
+                # slot, zero kernel executions).
+                stats.requests += 1
+                stats.answered += 1
+                stats.per_tenant[tenant_id] = stats.per_tenant.get(tenant_id, 0) + 1
+                return dict(cached)
         self._check_circuit(tenant)
         if tenant.backlog >= self.max_pending:
             stats.rejected += 1
@@ -637,6 +743,68 @@ class ServingGateway:
             self._stats.circuit_opens += 1
 
     # ------------------------------------------------------------------
+    # Hot-key result cache
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cache_key(request: Optional[List[Vertex]]) -> Tuple:
+        """The query key a scores request caches under.
+
+        A full-map request is ``("scores", None)``; a subset request keys
+        on the *set* of vertices, so permutations of one subset share an
+        entry (the answer is a map — order never shows).  Raises
+        ``TypeError`` on unhashable vertices; callers skip caching then
+        and let the batch path surface the proper error.
+        """
+        if request is None:
+            return ("scores", None)
+        return ("scores", frozenset(request))
+
+    def _invalidate_tenant_cache(self, tenant: _Tenant, version: int) -> None:
+        """Session version listener: the topology moved, drop everything."""
+        if tenant.cache:
+            tenant.cache.clear()
+            self._stats.cache_invalidations += 1
+        tenant.cache_version = version
+
+    def _cache_lookup(self, tenant: _Tenant, key: Optional[Tuple]):
+        """Return the cached answer for ``key`` or :data:`_CACHE_MISS`.
+
+        Ticks the hit/miss counters.  A stale epoch (the session's version
+        moved without the listener firing — defensive only, the listener
+        is registered for every tenant) clears the entries first.
+        """
+        if not self.result_cache_size or key is None:
+            return _CACHE_MISS
+        if tenant.cache_version != tenant.session.version:
+            self._invalidate_tenant_cache(tenant, tenant.session.version)
+        value = tenant.cache.get(key, _CACHE_MISS)
+        if value is _CACHE_MISS:
+            self._stats.cache_misses += 1
+            return _CACHE_MISS
+        tenant.cache.move_to_end(key)
+        self._stats.cache_hits += 1
+        return value
+
+    def _cache_store(
+        self, tenant: _Tenant, version: int, key: Optional[Tuple], value
+    ) -> None:
+        """Remember ``key → value`` computed at ``version`` (LRU-bounded).
+
+        Silently skipped when the tenant's topology moved while the
+        answer was computing — a stale answer must never enter the cache.
+        """
+        if not self.result_cache_size or key is None:
+            return
+        if tenant.cache_version != version or tenant.session.version != version:
+            return
+        cache = tenant.cache
+        cache[key] = value
+        cache.move_to_end(key)
+        while len(cache) > self.result_cache_size:
+            cache.popitem(last=False)
+            self._stats.cache_evictions += 1
+
+    # ------------------------------------------------------------------
     # Batching
     # ------------------------------------------------------------------
     def _take_batch(self, tenant: _Tenant) -> List[_Request]:
@@ -703,6 +871,7 @@ class ServingGateway:
                         answers.append((await loop.run_in_executor(None, single))[0])
                     except Exception as error:  # noqa: BLE001 - that caller's
                         answers.append(error)
+            batch_version = tenant.session.version
         stats = self._stats
         stats.batches += 1
         stats.coalesced_requests += len(live)
@@ -714,6 +883,14 @@ class ServingGateway:
         else:
             stats.drain_flushes += 1
         for request, answer in zip(live, answers):
+            if not isinstance(answer, Exception) and self.result_cache_size:
+                try:
+                    key = self._cache_key(request.payload)
+                except TypeError:
+                    key = None
+                # Cache a private copy: the caller gets (and may mutate)
+                # the original dict; hits hand out fresh copies too.
+                self._cache_store(tenant, batch_version, key, dict(answer))
             if request.future.done():
                 continue
             if isinstance(answer, Exception):
@@ -765,12 +942,15 @@ class ServingGateway:
                 "circuit_threshold": self.circuit_threshold,
                 "circuit_reset_seconds": self.circuit_reset_seconds,
                 "drain_seconds": self.drain_seconds,
+                "result_cache_size": self.result_cache_size,
             },
             "tenants": {
                 tenant_id: {
                     **tenant.session.stats().as_dict(),
                     "circuit_state": tenant.circuit_state,
                     "consecutive_failures": tenant.consecutive_failures,
+                    "cache_entries": len(tenant.cache),
+                    "version": tenant.session.version,
                 }
                 for tenant_id, tenant in self._tenants.items()
             },
@@ -831,6 +1011,9 @@ class ServingGateway:
                 )
         self._outstanding.clear()
         for tenant in self._tenants.values():
+            if tenant.version_listener is not None:
+                tenant.session.remove_version_listener(tenant.version_listener)
+                tenant.version_listener = None
             try:
                 tenant.session.close()
             except Exception:  # noqa: BLE001 - teardown must reach the pool

@@ -17,31 +17,18 @@ from __future__ import annotations
 
 import asyncio
 import random
-import statistics
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import faults
 from repro.core.csr_kernels import all_ego_betweenness_csr
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CompactGraph
 from repro.serving.gateway import ServingGateway
+from repro.serving.metrics import percentiles
 from repro.session import EgoSession
 
 __all__ = ["run_serving_benchmark"]
-
-
-def _percentiles(samples: Sequence[float]) -> Dict[str, float]:
-    """p50/p95 of per-request latencies, in milliseconds."""
-    ordered = sorted(samples)
-    if not ordered:
-        return {"p50_ms": 0.0, "p95_ms": 0.0}
-    if len(ordered) == 1:
-        p50 = p95 = ordered[0]
-    else:
-        cuts = statistics.quantiles(ordered, n=20, method="inclusive")
-        p50, p95 = cuts[9], cuts[18]
-    return {"p50_ms": p50 * 1e3, "p95_ms": p95 * 1e3}
 
 
 def _request_plan(
@@ -241,13 +228,13 @@ def run_serving_benchmark(
             "seconds": cold_seconds,
             "qps": total_requests / cold_seconds if cold_seconds else float("inf"),
             "mean_s": cold_seconds / total_requests,
-            **_percentiles(cold_latencies),
+            **percentiles(cold_latencies),
         },
         "warm": {
             "seconds": warm_seconds,
             "qps": total_requests / warm_seconds if warm_seconds else float("inf"),
             "mean_s": warm_seconds / total_requests,
-            **_percentiles(warm["latencies"]),
+            **percentiles(warm["latencies"]),
         },
         "speedup_warm_vs_cold": (
             cold_seconds / warm_seconds if warm_seconds else float("inf")

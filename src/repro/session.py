@@ -431,6 +431,12 @@ class EgoSession:
         # identical queries must not re-run the pool.
         self._topk_cache: Dict[int, List] = {}
         self._topk_cache_version: Optional[int] = None
+        # Version listeners: callbacks fired after every apply() with the
+        # new topology version, so version-keyed caches held *outside* the
+        # session (the serving gateway's hot-key result LRU, a server's
+        # encoded-response cache) invalidate on the mutation itself instead
+        # of discovering staleness lazily.
+        self._version_listeners: List = []
 
         # Durability plane (None = purely in-memory).  Set by the
         # durability= argument here, or by recover() re-attaching the plane
@@ -590,6 +596,41 @@ class EgoSession:
     def _payload_key(self) -> PayloadKey:
         """The ``(graph_id, version)`` key this session's payloads ship under."""
         return (self.graph_id, self._current_version())
+
+    # ------------------------------------------------------------------
+    # Version listeners (external version-keyed caches)
+    # ------------------------------------------------------------------
+    def add_version_listener(self, listener) -> None:
+        """Register ``listener(version)`` to fire after every :meth:`apply`.
+
+        The hook for **version-keyed caches outside the session**: a
+        consumer caching answers under ``(graph_id, version)`` (the serving
+        gateway's hot-key result LRU, a network server's encoded-response
+        cache) registers a listener and drops its entries the moment the
+        topology moves, instead of serving from a key that can never be
+        asked for again.  Listeners run synchronously at the end of the
+        mutating call, after every event applied; exceptions they raise are
+        suppressed (the mutation has already happened — an observer must
+        not be able to fail it).
+        """
+        self._version_listeners.append(listener)
+
+    def remove_version_listener(self, listener) -> None:
+        """Unregister a listener added by :meth:`add_version_listener`."""
+        try:
+            self._version_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_version_listeners(self) -> None:
+        if not self._version_listeners:
+            return
+        version = self._current_version()
+        for listener in list(self._version_listeners):
+            try:
+                listener(version)
+            except Exception:  # noqa: BLE001 - observers cannot fail a mutation
+                pass
 
     def runtime(
         self,
@@ -1261,6 +1302,8 @@ class EgoSession:
             count += 1
         self._update_events += count
         self._record("apply", start, events=count)
+        if count:
+            self._notify_version_listeners()
         if durability is not None and durability.should_checkpoint():
             self.checkpoint()
         return count

@@ -1,0 +1,317 @@
+"""Wire-protocol tests: framing, codecs, error mapping, handshake, WebSocket.
+
+Pure in-memory — frames travel through :class:`asyncio.StreamReader`
+buffers, never a socket (the socket paths live in ``tests/test_net.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    GatewayOverloadedError,
+    ProtocolError,
+    RemoteError,
+    ReproError,
+    UnknownTenantError,
+)
+from repro.net.protocol import (
+    ERROR_TYPES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    WS_CLOSE,
+    WS_PING,
+    WS_TEXT,
+    check_hello,
+    decode_entries,
+    decode_error,
+    decode_frame,
+    decode_label,
+    decode_scores,
+    encode_entries,
+    encode_error,
+    encode_frame,
+    encode_label,
+    encode_raw_frame,
+    encode_scores,
+    hello_message,
+    read_frame,
+    websocket_accept_key,
+    ws_encode_message,
+    ws_read_message,
+)
+
+pytestmark = pytest.mark.net
+
+
+def reader_with(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+# A vertex label: ints, floats, strs, bools, None, and nested tuples.
+label_strategy = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(2**53), max_value=2**53),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=12),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.lists(children, min_size=1, max_size=4).map(tuple),
+    max_leaves=8,
+)
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        message = {"op": "scores", "tenant": "a", "vertices": [1, 2, 3]}
+        assert decode_frame(encode_frame(message)) == message
+
+    def test_raw_frame_matches_encode_frame(self):
+        message = {"id": 7, "ok": True, "result": [[1, 0.5]]}
+        import json
+
+        raw = json.dumps(message, separators=(",", ":")).encode("utf-8")
+        assert encode_raw_frame(raw) == encode_frame(message)
+
+    def test_oversized_payload_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_raw_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_decode_rejects_wire_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x00\x00")  # truncated prefix
+        with pytest.raises(ProtocolError):
+            decode_frame(struct.pack(">I", 10) + b"short")  # wrong length
+        with pytest.raises(ProtocolError):
+            decode_frame(struct.pack(">I", 4) + b"[1]x")  # invalid JSON
+        with pytest.raises(ProtocolError):
+            decode_frame(encode_raw_frame(b"[1,2]"))  # not an object
+        with pytest.raises(ProtocolError):
+            decode_frame(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_read_frame_clean_eof_returns_none(self):
+        async def run():
+            return await read_frame(reader_with(b""))
+
+        assert asyncio.run(run()) is None
+
+    def test_read_frame_eof_inside_prefix_raises(self):
+        async def run():
+            await read_frame(reader_with(b"\x00\x00"))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_read_frame_eof_inside_payload_raises(self):
+        async def run():
+            await read_frame(reader_with(struct.pack(">I", 10) + b"{}"))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_read_frame_enforces_max_bytes(self):
+        async def run():
+            data = encode_frame({"op": "ping"})
+            await read_frame(reader_with(data), max_bytes=2)
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_read_frame_sequence(self):
+        async def run():
+            reader = reader_with(
+                encode_frame({"id": 1}) + encode_frame({"id": 2})
+            )
+            return [
+                await read_frame(reader),
+                await read_frame(reader),
+                await read_frame(reader),
+            ]
+
+        assert asyncio.run(run()) == [{"id": 1}, {"id": 2}, None]
+
+
+class TestLabelCodec:
+    def test_scalar_labels_pass_through(self):
+        for label in (0, -7, "v", 1.5, True, None):
+            assert decode_label(encode_label(label)) == label
+
+    def test_tuple_labels_round_trip_as_objects(self):
+        label = (1, ("a", 2.5), None)
+        encoded = encode_label(label)
+        assert encoded == {"t": [1, {"t": ["a", 2.5]}, None]}
+        assert decode_label(encoded) == label
+
+    def test_int_and_str_keys_stay_distinct(self):
+        scores = {1: 0.5, "1": 0.25}
+        assert decode_scores(encode_scores(scores)) == scores
+
+    def test_float_scores_round_trip_bit_exactly(self):
+        scores = {0: 0.1 + 0.2, 1: 1e-17, 2: 123456789.123456789}
+        decoded = decode_scores(encode_scores(scores))
+        for vertex, score in scores.items():
+            assert decoded[vertex] == score  # exact, not approximate
+
+    def test_entries_preserve_order(self):
+        entries = [(3, 9.0), (1, 5.5), (2, 5.5)]
+        assert decode_entries(encode_entries(entries)) == entries
+
+    def test_unsupported_label_types_are_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_label([1, 2])
+        with pytest.raises(ProtocolError):
+            encode_label({"a": 1})
+
+    def test_malformed_wire_labels_are_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_label({"x": 1})
+        with pytest.raises(ProtocolError):
+            decode_label([1, 2])
+        with pytest.raises(ProtocolError):
+            decode_scores([[1, 0.5]])  # the legacy pair-list shape
+        with pytest.raises(ProtocolError):
+            decode_scores({"v": [1, 2], "s": [0.5]})  # length mismatch
+        with pytest.raises(ProtocolError):
+            decode_scores({"v": [1]})  # missing scores array
+        with pytest.raises(ProtocolError):
+            decode_entries([["v"]])
+
+    def test_score_maps_travel_as_parallel_arrays(self):
+        encoded = encode_scores({3: 1.5, "x": 0.25, (1, 2): 9.0})
+        assert encoded == {"v": [3, "x", {"t": [1, 2]}], "s": [1.5, 0.25, 9.0]}
+        assert decode_scores(encoded) == {3: 1.5, "x": 0.25, (1, 2): 9.0}
+
+    @settings(max_examples=50, deadline=None)
+    @given(label=label_strategy)
+    def test_any_label_round_trips(self, label):
+        assert decode_label(encode_label(label)) == label
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        scores=st.dictionaries(
+            st.one_of(st.integers(), st.text(max_size=8)),
+            st.floats(allow_nan=False, allow_infinity=False),
+            max_size=8,
+        )
+    )
+    def test_any_score_map_round_trips(self, scores):
+        assert decode_scores(encode_scores(scores)) == scores
+
+
+class TestErrorMapping:
+    def test_registry_covers_the_library_hierarchy(self):
+        assert "GatewayOverloadedError" in ERROR_TYPES
+        assert "UnknownTenantError" in ERROR_TYPES
+        assert all(issubclass(cls, ReproError) for cls in ERROR_TYPES.values())
+
+    def test_known_errors_round_trip_to_the_same_class(self):
+        for cls in (GatewayOverloadedError, ProtocolError):
+            rebuilt = decode_error(encode_error(cls("boom")))
+            assert type(rebuilt) is cls
+            assert str(rebuilt) == "boom"
+
+    def test_formatting_constructors_fall_back_without_double_wrapping(self):
+        # UnknownTenantError builds its message from a tenant id, so a
+        # verbatim reconstruction is impossible — the wire keeps the type
+        # name and the *exact* message in a RemoteError instead of
+        # re-wrapping the formatted text.
+        original = UnknownTenantError("ghost")
+        rebuilt = decode_error(encode_error(original))
+        assert isinstance(rebuilt, RemoteError)
+        assert str(rebuilt) == f"UnknownTenantError: {original}"
+
+    def test_unknown_type_falls_back_to_remote_error(self):
+        rebuilt = decode_error({"type": "SomethingElse", "message": "why"})
+        assert isinstance(rebuilt, RemoteError)
+        assert "SomethingElse" in str(rebuilt) and "why" in str(rebuilt)
+
+    def test_malformed_error_object_is_still_an_exception(self):
+        assert isinstance(decode_error("not a dict"), RemoteError)
+        assert isinstance(decode_error({}), Exception)
+
+
+class TestHandshake:
+    def test_hello_round_trip(self):
+        message = hello_message()
+        assert message == {"op": "hello", "protocol": PROTOCOL_VERSION}
+        check_hello(message)  # does not raise
+
+    def test_wrong_op_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            check_hello({"op": "scores", "protocol": PROTOCOL_VERSION})
+
+    def test_version_mismatch_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            check_hello({"op": "hello", "protocol": PROTOCOL_VERSION + 1})
+        with pytest.raises(ProtocolError):
+            check_hello({"op": "hello"})
+
+
+class TestWebSocketHelpers:
+    def test_accept_key_matches_rfc6455_example(self):
+        # The worked example from RFC 6455 §1.3.
+        key = websocket_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+        assert key == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+    def _round_trip(self, payload: bytes, **kwargs):
+        async def run():
+            data = ws_encode_message(payload, **kwargs)
+            return await ws_read_message(reader_with(data))
+
+        return asyncio.run(run())
+
+    def test_unmasked_round_trip(self):
+        assert self._round_trip(b'{"op":"ping"}') == (WS_TEXT, b'{"op":"ping"}')
+
+    def test_masked_round_trip(self):
+        opcode, payload = self._round_trip(
+            b"masked!", mask=True, mask_key=b"\x12\x34\x56\x78"
+        )
+        assert (opcode, payload) == (WS_TEXT, b"masked!")
+
+    def test_extended_16_bit_and_64_bit_lengths(self):
+        for size in (126, 70_000):
+            opcode, payload = self._round_trip(b"x" * size)
+            assert opcode == WS_TEXT and len(payload) == size
+
+    def test_control_opcodes_travel(self):
+        assert self._round_trip(b"", opcode=WS_PING)[0] == WS_PING
+        assert self._round_trip(b"bye", opcode=WS_CLOSE)[0] == WS_CLOSE
+
+    def test_fragmented_messages_are_rejected(self):
+        async def run():
+            data = bytearray(ws_encode_message(b"frag"))
+            data[0] &= 0x7F  # clear FIN
+            await ws_read_message(reader_with(bytes(data)))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_eof_between_frames_is_none_and_inside_raises(self):
+        async def clean():
+            return await ws_read_message(reader_with(b""))
+
+        async def torn():
+            await ws_read_message(reader_with(ws_encode_message(b"abc")[:3]))
+
+        assert asyncio.run(clean()) is None
+        with pytest.raises(ProtocolError):
+            asyncio.run(torn())
+
+    def test_oversized_ws_frame_is_rejected(self):
+        async def run():
+            data = ws_encode_message(b"x" * 200)
+            await ws_read_message(reader_with(data), max_bytes=100)
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
