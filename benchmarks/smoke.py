@@ -17,8 +17,12 @@ the recovery replay rate — the durability tax and how fast a crash heals)
 and ``BENCH_net.json`` (the wire-level SLO harness: open-loop p50/p95/p99,
 goodput and shed rate through a real loopback socket, plus the fraction of
 in-process gateway throughput the network front door retains)
-so every CI run records the perf trajectory of the repository.  Pure standard library — runnable
-as::
+and ``BENCH_kernels.json`` (per-dataset speedup of the vectorized numpy
+kernel tier over the python wedge kernels, bit-identity-checked against the
+hash-graph oracle; ``numpy_available: false`` with python timings when the
+``[fast]`` extra is absent)
+so every CI run records the perf trajectory of the repository.  Pure standard library
+(numpy optional — the kernels bench degrades gracefully) — runnable as::
 
     PYTHONPATH=src python benchmarks/smoke.py --scale 0.1 --out bench-artifacts
 
@@ -392,6 +396,24 @@ def bench_durability(scale: float, updates: int, seed: int) -> dict:
     }
 
 
+def bench_kernels(scale: float, repeats: int) -> dict:
+    """Kernel-tier speedups: vectorized numpy vs the python wedge kernels.
+
+    Delegates to ``benchmarks/bench_kernels.py`` (the >=3x acceptance
+    gate); every reported timing is bit-identical-checked against the
+    hash-graph oracle first.  Without importable numpy the payload still
+    lands with ``numpy_available: false`` and the python timings only.
+    """
+    try:
+        from benchmarks.bench_kernels import run_kernel_benchmark
+    except ImportError:
+        # Script execution puts benchmarks/ itself on sys.path, not the
+        # repo root — import the sibling module directly.
+        from bench_kernels import run_kernel_benchmark
+
+    return run_kernel_benchmark(scale=scale, repeats=repeats)
+
+
 def bench_net(scale: float, rate: float, concurrency: int) -> dict:
     """Wire-level SLO numbers: open-loop percentiles + throughput retention.
 
@@ -470,6 +492,7 @@ def main(argv=None) -> int:
             bench_durability(args.scale, max(args.updates * 5, 500), args.seed),
         ),
         ("BENCH_net.json", bench_net(args.scale, args.slo_rate, concurrency=8)),
+        ("BENCH_kernels.json", bench_kernels(args.scale, args.repeats)),
     ):
         write_bench_artifact(out_dir, name, payload, environment=env)
         print(bench_summary_line(name, payload))

@@ -2,9 +2,20 @@
 
 The execution environment has no ``wheel`` package and no network access, so
 ``pip install -e .`` must be able to fall back to the legacy
-``setup.py develop`` path.  All real metadata lives in ``pyproject.toml``.
+``setup.py develop`` path.
+
+The only optional dependency is the ``[fast]`` extra: numpy, which enables
+the vectorized kernel tier (``kernel="numpy"``; ``kernel="auto"`` picks it
+up automatically).  Everything else is pure standard library.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.6.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    extras_require={"fast": ["numpy"]},
+)

@@ -82,7 +82,7 @@ from repro.net import EgoClient, EgoServer, ServerStats, run_slo_benchmark
 from repro.serving import GatewayStats, ServingGateway
 from repro.session import EgoSession, Query, SessionStats
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

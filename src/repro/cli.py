@@ -71,6 +71,13 @@ _BACKEND_HELP = (
     "'hash' forces the hash-set oracle; results are identical (default: auto)"
 )
 
+_KERNEL_HELP = (
+    "kernel tier for chunk scoring: 'auto' negotiates numpy when importable "
+    "and python otherwise, 'numpy' pins the vectorized batch kernels, "
+    "'python' pins the interpreted oracle; every tier is bit-identical "
+    "(default: auto)"
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
@@ -100,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
             "both return identical results (default: auto)"
         ),
     )
+    _add_kernel_argument(topk)
     _add_json_argument(topk)
 
     stats = subparsers.add_parser("stats", help="print graph statistics")
@@ -134,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help=_BACKEND_HELP,
     )
+    _add_kernel_argument(maintain)
     _add_json_argument(maintain)
 
     bench = subparsers.add_parser(
@@ -154,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for the runtime (default: process)",
     )
     bench.add_argument("--seed", type=int, default=7, help="query-sampling RNG seed")
+    _add_kernel_argument(bench)
     _add_json_argument(bench)
 
     serve = subparsers.add_parser(
@@ -311,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="network mode: bound on the SIGTERM/SIGINT drain (default 5)",
     )
+    _add_kernel_argument(serve)
     _add_json_argument(serve)
 
     bench_slo = subparsers.add_parser(
@@ -376,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="net transport: server serialised-response cache entries",
     )
     bench_slo.add_argument("--seed", type=int, default=7, help="workload RNG seed")
+    _add_kernel_argument(bench_slo)
     _add_json_argument(bench_slo)
 
     recover = subparsers.add_parser(
@@ -444,6 +456,15 @@ def _add_graph_source_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=("auto", "python", "numpy"),
+        default="auto",
+        help=_KERNEL_HELP,
+    )
+
+
 def _add_json_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json",
@@ -463,7 +484,7 @@ def _emit_json(payload: Dict[str, Any]) -> None:
 
 
 def _run_topk(args: argparse.Namespace) -> None:
-    session = EgoSession(_load_graph(args), backend=args.backend)
+    session = EgoSession(_load_graph(args), backend=args.backend, kernel=args.kernel)
     result = session.top_k(args.k, algorithm=args.method, theta=args.theta)
     entries = [
         {"rank": rank + 1, "vertex": vertex, "ego_betweenness": score}
@@ -518,7 +539,7 @@ def _run_maintain(args: argparse.Namespace) -> None:
     # plus topology bookkeeping.  Per-row timings come from each
     # component's own update timer (EgoSession.maintenance_seconds), so the
     # table compares the algorithms, not the combined session wall-clock.
-    session = EgoSession(graph, backend=args.backend)
+    session = EgoSession(graph, backend=args.backend, kernel=args.kernel)
     if args.mode in ("local", "both"):
         session.scores()  # demand full values: the promotion seeds the index
         session.promote()
@@ -591,6 +612,7 @@ def run_throughput_benchmark(
     workers: int = 2,
     executor: str = "process",
     seed: int = 7,
+    kernel: str = "auto",
 ) -> Dict[str, Any]:
     """Cold vs warm batched-query throughput on the execution runtime.
 
@@ -626,7 +648,7 @@ def run_throughput_benchmark(
     cold_answers = []
     cold_ships = cold_pool_launches = 0
     for subset in subsets:
-        with EgoSession(compact) as session:
+        with EgoSession(compact, kernel=kernel) as session:
             session.runtime(executor, max_workers=workers)
             cold_answers.append(
                 session.scores_batch([subset], parallel=workers, executor=executor)[0]
@@ -636,7 +658,7 @@ def run_throughput_benchmark(
             cold_pool_launches += stats.pool_launches
     cold_seconds = time.perf_counter() - cold_start
 
-    with EgoSession(compact) as session:
+    with EgoSession(compact, kernel=kernel) as session:
         session.runtime(executor, max_workers=workers)
         warm_start = time.perf_counter()
         warm_answers = session.scores_batch(
@@ -657,6 +679,7 @@ def run_throughput_benchmark(
         "vertices_per_query": per_query,
         "workers": workers,
         "executor": executor,
+        "kernel": session_stats["kernel"],
         "cold": {
             "seconds": cold_seconds,
             "qps": queries / cold_seconds if cold_seconds else float("inf"),
@@ -682,6 +705,7 @@ def _run_bench_throughput(args: argparse.Namespace) -> None:
         workers=args.workers,
         executor=args.executor,
         seed=args.seed,
+        kernel=args.kernel,
     )
     payload["command"] = "bench-throughput"
     if args.json:
@@ -750,7 +774,7 @@ def _run_serve_http(args: argparse.Namespace) -> None:
             durability_root=args.wal_dir,
             result_cache_size=args.result_cache,
         )
-        session_options: Dict[str, Any] = {}
+        session_options: Dict[str, Any] = {"kernel": args.kernel}
         if args.task_deadline is not None:
             session_options["task_deadline"] = args.task_deadline
         for name, graph in graphs.items():
@@ -806,6 +830,7 @@ def _run_bench_slo(args: argparse.Namespace) -> None:
         result_cache_size=args.result_cache,
         encoded_cache_size=args.encoded_cache,
         seed=args.seed,
+        kernel=args.kernel,
     )
     payload["command"] = "bench-slo"
     if args.json:
@@ -876,6 +901,7 @@ def _run_serve(args: argparse.Namespace) -> None:
         task_deadline=args.task_deadline,
         request_deadline=args.request_deadline,
         durability_root=args.wal_dir,
+        kernel=args.kernel,
     )
     payload["command"] = "serve"
     if args.json:

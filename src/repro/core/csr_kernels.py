@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import heapq
 import time
-from collections import Counter
+from collections import Counter, OrderedDict
 from itertools import chain, combinations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -165,6 +165,39 @@ def normalize_backend(backend: str) -> str:
 def _build_neighbor_sets(indptr: Sequence[int], indices: Sequence[int]) -> List[set]:
     """Build the per-vertex neighbour-id sets from raw CSR arrays."""
     return [set(indices[indptr[i] : indptr[i + 1]]) for i in range(len(indptr) - 1)]
+
+
+#: Memo of derived neighbour sets keyed by CSR buffer identity.  Values pin
+#: the buffers themselves, which both keeps the ``id()`` keys valid (a
+#: pinned object cannot be garbage-collected and its id recycled) and lets
+#: the identity re-check below reject any coincidental key collision.
+_NBR_SETS_CACHE: "OrderedDict[Tuple[int, int], tuple]" = OrderedDict()
+_NBR_SETS_CACHE_LIMIT = 8
+
+
+def _neighbor_sets_cached(
+    indptr: Sequence[int], indices: Sequence[int]
+) -> List[set]:
+    """Return (possibly memoized) neighbour sets for the exact buffer pair.
+
+    Per-chunk entry points (:func:`ego_betweenness_from_arrays`,
+    :func:`top_k_entries_from_arrays`) are called many times against the
+    same resident CSR arrays — one shared-memory payload serves every chunk
+    of a graph version — so the derived sets are built once per buffer pair
+    instead of once per call.  CSR buffers are immutable by contract
+    (mutation creates a new version and new arrays), which is what makes
+    identity a sound cache key.
+    """
+    key = (id(indptr), id(indices))
+    hit = _NBR_SETS_CACHE.get(key)
+    if hit is not None and hit[0] is indptr and hit[1] is indices:
+        _NBR_SETS_CACHE.move_to_end(key)
+        return hit[2]
+    nbr_sets = _build_neighbor_sets(indptr, indices)
+    _NBR_SETS_CACHE[key] = (indptr, indices, nbr_sets)
+    while len(_NBR_SETS_CACHE) > _NBR_SETS_CACHE_LIMIT:
+        _NBR_SETS_CACHE.popitem(last=False)
+    return nbr_sets
 
 
 def _build_ego(
@@ -352,11 +385,12 @@ def ego_betweenness_from_arrays(
 
     This is the parallel-worker entry point: workers receive the two flat
     arrays (cheap to pickle) instead of a rebuilt adjacency dictionary and
-    never need labels at all.  The neighbour-set cache is built once per
-    call when not supplied.
+    never need labels at all.  When not supplied, the neighbour sets come
+    from the buffer-identity memo, so repeated chunk calls against the
+    same resident arrays reuse one build.
     """
     if nbr_sets is None:
-        nbr_sets = _build_neighbor_sets(indptr, indices)
+        nbr_sets = _neighbor_sets_cached(indptr, indices)
     return {pid: _ego_score_id(indptr, indices, pid, nbr_sets, dense) for pid in ids}
 
 
@@ -390,7 +424,7 @@ def top_k_entries_from_arrays(
     if k < 1:
         raise InvalidParameterError("k must be a positive integer")
     if nbr_sets is None:
-        nbr_sets = _build_neighbor_sets(indptr, indices)
+        nbr_sets = _neighbor_sets_cached(indptr, indices)
     entries = [
         (pid, _ego_score_id(indptr, indices, pid, nbr_sets, dense))
         for pid in sorted(ids)
@@ -436,8 +470,18 @@ class CSRChunkKernel:
     serves every vertex chunk of that version from it, so the per-call cost
     is the wedge enumeration alone.
 
-    Scores are bit-identical to :func:`all_ego_betweenness_csr` (both
-    accumulate through the canonical sorted histogram).
+    ``kernel`` selects the negotiated execution tier
+    (:data:`repro.core.vec_kernels.KERNEL_TIERS`): ``"python"`` runs the
+    interpreted wedge loops, ``"numpy"`` scores whole chunks through the
+    vectorized :class:`~repro.core.vec_kernels.VectorizedChunkScorer`, and
+    ``"auto"`` resolves at construction.  A numpy chunk that fails for any
+    reason demotes the kernel to the python tier permanently and counts one
+    ``kernel_fallbacks`` — the answer is recomputed, never lost.
+    ``chunks_by_tier`` records which tier actually served each chunk.
+
+    Scores are bit-identical to :func:`all_ego_betweenness_csr` on every
+    tier (all integer counting funnels through the canonical sorted
+    histogram).
 
     Examples
     --------
@@ -448,26 +492,75 @@ class CSRChunkKernel:
     True
     """
 
-    __slots__ = ("indptr", "indices", "nbr_sets", "dense")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "nbr_sets",
+        "dense",
+        "kernel",
+        "chunks_by_tier",
+        "kernel_fallbacks",
+        "_vec",
+    )
 
     def __init__(
         self,
         indptr: Sequence[int],
         indices: Sequence[int],
         build_dense: bool = True,
+        kernel: str = "python",
+        nbr_sets: Optional[List[set]] = None,
+        dense: Optional[bytearray] = None,
     ) -> None:
+        from repro.core.vec_kernels import normalize_kernel
+
         self.indptr = indptr
         self.indices = indices
-        self.nbr_sets = _build_neighbor_sets(indptr, indices)
-        self.dense = build_dense_adjacency(indptr, indices) if build_dense else None
+        self.nbr_sets = (
+            nbr_sets if nbr_sets is not None else _neighbor_sets_cached(indptr, indices)
+        )
+        if dense is not None:
+            self.dense = dense
+        else:
+            self.dense = build_dense_adjacency(indptr, indices) if build_dense else None
+        self.kernel = normalize_kernel(kernel)
+        self.chunks_by_tier: Dict[str, int] = {"python": 0, "numpy": 0}
+        self.kernel_fallbacks = 0
+        self._vec = None
 
     @property
     def num_vertices(self) -> int:
         """Number of vertices covered by the buffers."""
         return len(self.indptr) - 1
 
+    def _vectorized(self):
+        if self._vec is None:
+            from repro.core.vec_kernels import VectorizedChunkScorer
+
+            self._vec = VectorizedChunkScorer(
+                self.indptr, self.indices, dense=self.dense
+            )
+        return self._vec
+
+    def _demote(self) -> None:
+        """Fall back to the python tier permanently, counting the failure."""
+        self.kernel = "python"
+        self.kernel_fallbacks += 1
+        self._vec = None
+
     def score_chunk(self, ids: Iterable[int]) -> Dict[int, float]:
         """Return ``{id: CB(id)}`` for every dense vertex id in ``ids``."""
+        if self.kernel == "numpy":
+            id_list = list(ids)
+            try:
+                scores = self._vectorized().score_ids(id_list)
+            except Exception:
+                ids = id_list
+                self._demote()
+            else:
+                self.chunks_by_tier["numpy"] += 1
+                return scores
+        self.chunks_by_tier["python"] += 1
         indptr, indices = self.indptr, self.indices
         nbr_sets, dense = self.nbr_sets, self.dense
         return {
@@ -483,6 +576,23 @@ class CSRChunkKernel:
         the retention contract that keeps the parent merge bit-identical
         to the serial naive ranking.
         """
+        if k < 1:
+            raise InvalidParameterError("k must be a positive integer")
+        if self.kernel == "numpy":
+            id_list = sorted(ids)
+            try:
+                scores = self._vectorized().score_ids(id_list)
+            except Exception:
+                ids = id_list
+                self._demote()
+            else:
+                self.chunks_by_tier["numpy"] += 1
+                entries = [(pid, scores[pid]) for pid in id_list]
+                if len(entries) <= k:
+                    return entries
+                threshold = heapq.nlargest(k, (score for _, score in entries))[-1]
+                return [(pid, score) for pid, score in entries if score >= threshold]
+        self.chunks_by_tier["python"] += 1
         return top_k_entries_from_arrays(
             self.indptr, self.indices, ids, k, self.nbr_sets, self.dense
         )

@@ -224,6 +224,7 @@ def run_slo_benchmark(
     encoded_cache_size: int = 128,
     pool_size: int = 4,
     seed: int = 7,
+    kernel: str = "auto",
 ) -> Dict[str, Any]:
     """Open-loop SLO + closed-loop saturation, per transport.
 
@@ -256,6 +257,10 @@ def run_slo_benchmark(
         already existed.  Pass zeros to measure the raw wire overhead.
     seed:
         Workload and arrival-process RNG seed.
+    kernel:
+        Kernel tier for every tenant session (both transports); the
+        oracles stay on the serial python kernels, so the bit-identity
+        check spans tiers.
 
     Returns
     -------
@@ -300,7 +305,7 @@ def run_slo_benchmark(
         # door costs relative to serving as it already shipped.
         async with build_gateway(0) as gateway:
             for name, compact in tenants.items():
-                gateway.add_tenant(name, compact)
+                gateway.add_tenant(name, compact, kernel=kernel)
             for name in tenants:  # priming: pool launch + first kernel sweep
                 _check_answer(await gateway.scores(name), None, oracles[name])
 
@@ -337,7 +342,7 @@ def run_slo_benchmark(
     async def run_net_transport() -> Dict[str, Any]:
         gateway = build_gateway(result_cache_size)
         for name, compact in tenants.items():
-            gateway.add_tenant(name, compact)
+            gateway.add_tenant(name, compact, kernel=kernel)
         server = EgoServer(
             gateway,
             encoded_cache_size=encoded_cache_size,
@@ -407,6 +412,7 @@ def run_slo_benchmark(
         "hot_fraction": hot_fraction,
         "total_open_loop_requests": total,
         "result_cache_size": result_cache_size,
+        "kernel": kernel,
         "encoded_cache_size": encoded_cache_size,
         "bit_identical": True,  # _check_answer raised otherwise
         "backends": backends,

@@ -237,6 +237,19 @@ class RuntimeStats:
     integrity_failures:
         Torn/corrupt shared-memory payloads detected on worker attach
         (each one triggers an unlink + re-ship).
+    kernel:
+        The kernel tier this runtime asks its chunk kernels to serve
+        (``"python"`` or ``"numpy"`` — already resolved, never
+        ``"auto"``).
+    kernel_chunks:
+        Chunks actually served per tier.  A ``"numpy"`` runtime whose
+        workers demoted (vectorized path failed mid-batch) shows the
+        demoted chunks under ``"python"`` here — the tier *requested* and
+        the tier *served* are reported separately on purpose.
+    kernel_fallbacks:
+        Vectorized-kernel demotions observed across workers: each one is
+        a worker-side :class:`~repro.core.csr_kernels.CSRChunkKernel`
+        that permanently dropped from ``numpy`` to ``python``.
     last_batch:
         The most recent :class:`BatchStats`, or ``None``.
     """
@@ -262,6 +275,11 @@ class RuntimeStats:
     deadline_misses: int = 0
     quarantined_tasks: int = 0
     integrity_failures: int = 0
+    kernel: str = "python"
+    kernel_chunks: Dict[str, int] = field(
+        default_factory=lambda: {"python": 0, "numpy": 0}
+    )
+    kernel_fallbacks: int = 0
     last_batch: Optional[BatchStats] = None
 
     def as_dict(self) -> Dict[str, Any]:
@@ -288,6 +306,9 @@ class RuntimeStats:
             "deadline_misses": self.deadline_misses,
             "quarantined_tasks": self.quarantined_tasks,
             "integrity_failures": self.integrity_failures,
+            "kernel": self.kernel,
+            "kernel_chunks": dict(self.kernel_chunks),
+            "kernel_fallbacks": self.kernel_fallbacks,
         }
         if self.last_batch is not None:
             payload["last_batch"] = {
@@ -429,12 +450,15 @@ class _AttachedGraph:
     Attaching maps the shared segment and casts the two array regions as
     ``memoryview``\\ s — no deserialisation, no copy of the adjacency — then
     builds the process-local :class:`~repro.core.csr_kernels.CSRChunkKernel`
-    (neighbour sets, dense bitmap) once.  ``close`` releases the views
-    before closing the mapping, in that order, or ``mmap`` refuses to
-    unmap.
+    (neighbour sets, dense bitmap) once.  Higher kernel tiers attach
+    lazily through :meth:`kernel_for` and share those derived structures
+    — the numpy tier wraps ``np.frombuffer`` views around the *same*
+    segment bytes, so negotiating a tier ships nothing extra.  ``close``
+    releases the views before closing the mapping, in that order, or
+    ``mmap`` refuses to unmap.
     """
 
-    __slots__ = ("shm", "kernel", "_views")
+    __slots__ = ("shm", "kernel", "tier_kernels", "_views")
 
     def __init__(self, meta: Tuple[str, int, int]) -> None:
         from multiprocessing import shared_memory
@@ -462,7 +486,33 @@ class _AttachedGraph:
                 view.release()
             self.shm.close()
             raise
+        self.tier_kernels: Dict[str, Any] = {}
         self._views = (indices, indptr, whole)
+
+    def kernel_for(self, tier: str):
+        """The chunk kernel serving ``tier`` (lazily built per tier).
+
+        Non-python tiers reuse the base kernel's neighbour sets and dense
+        bitmap — only the tier dispatch state is new, and the numpy tier's
+        array views alias the already-attached segment (zero-copy).
+        """
+        if tier == "python":
+            return self.kernel
+        kernel = self.tier_kernels.get(tier)
+        if kernel is None:
+            from repro.core.csr_kernels import CSRChunkKernel
+
+            base = self.kernel
+            kernel = CSRChunkKernel(
+                base.indptr,
+                base.indices,
+                build_dense=False,
+                kernel=tier,
+                nbr_sets=base.nbr_sets,
+                dense=base.dense,
+            )
+            self.tier_kernels[tier] = kernel
+        return kernel
 
     @staticmethod
     def _verify(whole: memoryview, name: str, ptr_len: int, idx_len: int) -> None:
@@ -497,6 +547,7 @@ class _AttachedGraph:
 
     def close(self) -> None:
         self.kernel = None
+        self.tier_kernels = {}
         for view in self._views:
             view.release()
         self._views = ()
@@ -539,21 +590,47 @@ def _encode_ids(chunk: Sequence[int]):
     return ("l", list(chunk))
 
 
-def _score_task(meta: Tuple[str, int, int], index: int, spec, fault=None):
+def _serve_chunk(kernel, method: str, *args) -> Tuple[Any, float, Tuple[str, int]]:
+    """Run one chunk through ``kernel`` and observe which tier served it.
+
+    Returns ``(payload, seconds, (tier_served, fallback_delta))`` — the
+    tier is read off the kernel's own per-tier chunk counters, so a chunk
+    that demoted mid-call (vectorized failure → python retry) reports the
+    tier that actually produced the result plus the demotion it cost.
+    """
+    before_numpy = kernel.chunks_by_tier["numpy"]
+    before_falls = kernel.kernel_fallbacks
+    start = time.perf_counter()
+    payload = getattr(kernel, method)(*args)
+    seconds = time.perf_counter() - start
+    served = "numpy" if kernel.chunks_by_tier["numpy"] > before_numpy else "python"
+    return payload, seconds, (served, kernel.kernel_fallbacks - before_falls)
+
+
+def _score_task(
+    meta: Tuple[str, int, int], index: int, spec, tier: str = "python", fault=None
+):
     """Pool task: score one chunk against the worker's attached graph.
 
-    ``fault`` is the action drawn parent-side by the fault-injection
-    harness (``None`` outside chaos runs) and is performed before the
-    kernel touches the payload.
+    ``tier`` selects the negotiated kernel tier (resolved parent-side,
+    never ``"auto"``).  ``fault`` is the action drawn parent-side by the
+    fault-injection harness (``None`` outside chaos runs) and is
+    performed before the kernel touches the payload.
     """
     _faults.perform(fault)
-    kernel = _attached(meta).kernel
-    start = time.perf_counter()
-    scores = kernel.score_chunk(_decode_ids(spec))
-    return index, scores, time.perf_counter() - start
+    kernel = _attached(meta).kernel_for(tier)
+    scores, seconds, kinfo = _serve_chunk(kernel, "score_chunk", _decode_ids(spec))
+    return index, scores, seconds, kinfo
 
 
-def _topk_task(meta: Tuple[str, int, int], index: int, spec, k: int, fault=None):
+def _topk_task(
+    meta: Tuple[str, int, int],
+    index: int,
+    spec,
+    k: int,
+    tier: str = "python",
+    fault=None,
+):
     """Pool task: return the chunk's top-k candidates, not scores.
 
     The worker-side reduction: ``k`` ``(id, score)`` entries plus any ties
@@ -561,10 +638,9 @@ def _topk_task(meta: Tuple[str, int, int], index: int, spec, k: int, fault=None)
     instead of one score per chunk id.
     """
     _faults.perform(fault)
-    kernel = _attached(meta).kernel
-    start = time.perf_counter()
-    entries = kernel.top_chunk(_decode_ids(spec), k)
-    return index, entries, time.perf_counter() - start
+    kernel = _attached(meta).kernel_for(tier)
+    entries, seconds, kinfo = _serve_chunk(kernel, "top_chunk", _decode_ids(spec), k)
+    return index, entries, seconds, kinfo
 
 
 # ----------------------------------------------------------------------
@@ -1145,6 +1221,15 @@ class ExecutionRuntime:
         miss, injected fault, integrity failure) before it is quarantined
         and computed serially in the parent.  Default
         :data:`DEFAULT_MAX_TASK_RETRIES`.
+    kernel:
+        Kernel tier the chunk kernels serve: ``"python"`` (default, the
+        interpreted oracle), ``"numpy"`` (vectorized batch kernels over
+        the same CSR arrays — workers attach ``np.frombuffer`` views onto
+        the already-shipped segments, so the tier changes zero transport
+        bytes) or ``"auto"`` (numpy when importable, else python).
+        Resolved once at construction via
+        :func:`~repro.core.vec_kernels.normalize_kernel`; every tier is
+        bit-identical by construction.
 
     Notes
     -----
@@ -1165,8 +1250,11 @@ class ExecutionRuntime:
         store: Optional[PayloadStore] = None,
         task_deadline: Optional[float] = DEFAULT_TASK_DEADLINE,
         max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
+        kernel: str = "python",
     ) -> None:
         import weakref
+
+        from repro.core.vec_kernels import normalize_kernel
 
         if max_workers is not None and max_workers < 1:
             raise InvalidParameterError("max_workers must be positive")
@@ -1178,6 +1266,7 @@ class ExecutionRuntime:
             raise InvalidParameterError("max_task_retries must be >= 0")
         self.task_deadline = task_deadline
         self.max_task_retries = max_task_retries
+        self.kernel = normalize_kernel(kernel)
         self.executor = ParallelBackend(executor)
         if pool is None:
             pool = WorkerPool(max_workers)
@@ -1208,9 +1297,15 @@ class ExecutionRuntime:
         self._owner: Optional[CompactGraph] = None
         self._estimates: Optional[List[float]] = None
         self._estimates_for: Optional[PayloadKey] = None
+        # Parent-side chunk kernel for serial execution, memoized per
+        # snapshot (the tier dispatch + counters live on the kernel).
+        self._parent_kernel: Optional[Any] = None
+        self._parent_kernel_for: Optional[CompactGraph] = None
         self._closed = False
         self._stats = RuntimeStats(
-            executor=self.executor.value, max_workers=self.max_workers
+            executor=self.executor.value,
+            max_workers=self.max_workers,
+            kernel=self.kernel,
         )
         self._finalizer = weakref.finalize(self, _release_runtime_state, self._state)
 
@@ -1249,6 +1344,8 @@ class ExecutionRuntime:
         self._owner = None
         self._estimates = None
         self._estimates_for = None
+        self._parent_kernel = None
+        self._parent_kernel_for = None
 
     def __enter__(self) -> "ExecutionRuntime":
         return self
@@ -1338,6 +1435,35 @@ class ExecutionRuntime:
         self._stats.payload_ships += 1
         self._stats.payload_bytes_shipped += entry.nbytes
 
+    def _tally_kernel(self, kinfo: Tuple[str, int]) -> None:
+        """Fold one chunk's ``(tier served, fallback delta)`` into stats."""
+        served, fallbacks = kinfo
+        chunks = self._stats.kernel_chunks
+        chunks[served] = chunks.get(served, 0) + 1
+        self._stats.kernel_fallbacks += fallbacks
+
+    def _serial_kernel(self, compact: CompactGraph):
+        """The parent-side chunk kernel on ``compact``'s cached structures.
+
+        Used by the serial executor; memoized per snapshot so repeated
+        batches reuse one neighbour-set/dense build (and, on the numpy
+        tier, one attached scorer).
+        """
+        if self._parent_kernel is None or self._parent_kernel_for is not compact:
+            from repro.core.csr_kernels import CSRChunkKernel
+
+            dense = compact.dense_adjacency()
+            self._parent_kernel = CSRChunkKernel(
+                compact.indptr,
+                compact.indices,
+                build_dense=False,
+                kernel=self.kernel,
+                nbr_sets=compact.neighbor_sets(),
+                dense=dense,
+            )
+            self._parent_kernel_for = compact
+        return self._parent_kernel
+
     def _run_supervised(
         self,
         task_fn: Callable,
@@ -1355,25 +1481,29 @@ class ExecutionRuntime:
         retry budget (they run serially in the parent — the kernels are
         pure, so every recovery path stays bit-identical).
 
-        Returns ``{chunk index: (result payload, kernel seconds)}`` for
-        every submitted task.  Deterministic kernel errors (anything that
-        is not a worker fault) propagate unchanged.
+        Returns ``{chunk index: (result payload, kernel seconds,
+        (tier served, fallback delta))}`` for every submitted task.
+        Deterministic kernel errors (anything that is not a worker fault)
+        propagate unchanged.
         """
         pool: WorkerPool = self.pool
         stats = self._stats
         chunk_of: Dict[int, Sequence[int]] = dict(tasks)
         specs = {index: _encode_ids(chunk) for index, chunk in tasks}
         retries = {index: 0 for index, _ in tasks}
-        outputs: Dict[int, Tuple[Any, float]] = {}
+        outputs: Dict[int, Tuple[Any, float, Tuple[str, int]]] = {}
         # index -> [async_result, submitted_at, meta-at-submit]
         pending: Dict[int, List[Any]] = {}
         to_submit = [index for index, _ in tasks]
         respawn_budget = _MAX_RESPAWNS_PER_BATCH
 
         def run_quarantined(index: int) -> None:
+            # Quarantined chunks run the parent's serial python oracle —
+            # bit-identical by the tier contract, so no tier bookkeeping
+            # beyond attributing the chunk to the python tier.
             start = time.perf_counter()
             payload = serial_chunk(chunk_of[index])
-            outputs[index] = (payload, time.perf_counter() - start)
+            outputs[index] = (payload, time.perf_counter() - start, ("python", 0))
 
         def charge_retry(index: int) -> None:
             retries[index] += 1
@@ -1440,8 +1570,8 @@ class ExecutionRuntime:
                 except InjectedFaultError:
                     charge_retry(index)
                 else:
-                    out_index, payload, seconds = out
-                    outputs[out_index] = (payload, seconds)
+                    out_index, payload, seconds, kinfo = out
+                    outputs[out_index] = (payload, seconds, kinfo)
 
             if progressed or not pending:
                 continue
@@ -1581,17 +1711,12 @@ class ExecutionRuntime:
         chunk_seconds = [0.0] * len(chunks)
         tasks = [(i, chunk) for i, chunk in enumerate(chunks) if chunk]
         if self.executor is ParallelBackend.SERIAL:
-            from repro.core.csr_kernels import ego_betweenness_from_arrays
-
-            indptr, indices = compact.indptr, compact.indices
-            nbr_sets = compact.neighbor_sets()
-            dense = compact.dense_adjacency()
+            kernel = self._serial_kernel(compact)
             for i, chunk in tasks:
-                start = time.perf_counter()
-                merged.update(
-                    ego_betweenness_from_arrays(indptr, indices, chunk, nbr_sets, dense)
-                )
-                chunk_seconds[i] = time.perf_counter() - start
+                scores, seconds, kinfo = _serve_chunk(kernel, "score_chunk", chunk)
+                merged.update(scores)
+                chunk_seconds[i] = seconds
+                self._tally_kernel(kinfo)
         else:
             from repro.core.csr_kernels import ego_betweenness_from_arrays
 
@@ -1604,11 +1729,14 @@ class ExecutionRuntime:
                     compact.dense_adjacency(),
                 )
 
-            outputs = self._run_supervised(_score_task, tasks, (), serial_chunk)
+            outputs = self._run_supervised(
+                _score_task, tasks, (self.kernel,), serial_chunk
+            )
             for i, _ in tasks:
-                scores, seconds = outputs[i]
+                scores, seconds, kinfo = outputs[i]
                 merged.update(scores)
                 chunk_seconds[i] = seconds
+                self._tally_kernel(kinfo)
         merged = {pid: merged[pid] for pid in sorted(merged)}
         compute_seconds = time.perf_counter() - compute_start
 
@@ -1671,17 +1799,14 @@ class ExecutionRuntime:
         cap = min(k, len(id_list)) if id_list else 0
         if cap:
             if self.executor is ParallelBackend.SERIAL:
-                from repro.core.csr_kernels import top_k_entries_from_arrays
-
-                indptr, indices = compact.indptr, compact.indices
-                nbr_sets = compact.neighbor_sets()
-                dense = compact.dense_adjacency()
+                kernel = self._serial_kernel(compact)
                 for i, chunk in tasks:
-                    start = time.perf_counter()
-                    per_chunk[i] = top_k_entries_from_arrays(
-                        indptr, indices, chunk, cap, nbr_sets, dense
+                    entries, seconds, kinfo = _serve_chunk(
+                        kernel, "top_chunk", chunk, cap
                     )
-                    chunk_seconds[i] = time.perf_counter() - start
+                    per_chunk[i] = entries
+                    chunk_seconds[i] = seconds
+                    self._tally_kernel(kinfo)
             else:
                 from repro.core.csr_kernels import top_k_entries_from_arrays
 
@@ -1695,11 +1820,14 @@ class ExecutionRuntime:
                         compact.dense_adjacency(),
                     )
 
-                outputs = self._run_supervised(_topk_task, tasks, (cap,), serial_chunk)
+                outputs = self._run_supervised(
+                    _topk_task, tasks, (cap, self.kernel), serial_chunk
+                )
                 for i, _ in tasks:
-                    entries, seconds = outputs[i]
+                    entries, seconds, kinfo = outputs[i]
                     per_chunk[i] = entries
                     chunk_seconds[i] = seconds
+                    self._tally_kernel(kinfo)
         merged_entries: List[Tuple[int, float]] = []
         if cap:
             accumulator = TopKAccumulator(cap)

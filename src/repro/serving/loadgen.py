@@ -84,6 +84,7 @@ def run_serving_benchmark(
     task_deadline: Optional[float] = None,
     request_deadline: Optional[float] = None,
     durability_root: Optional[str] = None,
+    kernel: str = "auto",
 ) -> Dict[str, Any]:
     """Cold per-query baseline vs warm gateway under concurrent async load.
 
@@ -124,6 +125,12 @@ def run_serving_benchmark(
         write-ahead logged and checkpointed under
         ``<durability_root>/<tenant_id>`` — and the payload reports the
         per-tenant durability counters alongside the serving numbers.
+    kernel:
+        Kernel tier for every session the benchmark creates — the cold
+        baseline sessions and each gateway tenant (see
+        :class:`~repro.session.EgoSession`).  The oracles stay on the
+        serial python kernels, so bit-identity is still checked across
+        tiers.
 
     Returns
     -------
@@ -154,7 +161,9 @@ def run_serving_benchmark(
     for schedule in plan:
         for tenant_id, request in schedule:
             begin = time.perf_counter()
-            answer = EgoSession(tenants[tenant_id]).scores(vertices=request)
+            answer = EgoSession(tenants[tenant_id], kernel=kernel).scores(
+                vertices=request
+            )
             cold_latencies.append(time.perf_counter() - begin)
             _check_answer(answer, request, oracles[tenant_id])
     cold_seconds = time.perf_counter() - cold_start
@@ -166,7 +175,7 @@ def run_serving_benchmark(
         gateway_options: Dict[str, Any] = {}
         if request_deadline is not None:
             gateway_options["request_deadline"] = request_deadline
-        session_options: Dict[str, Any] = {}
+        session_options: Dict[str, Any] = {"kernel": kernel}
         if task_deadline is not None:
             session_options["task_deadline"] = task_deadline
         async with ServingGateway(
@@ -223,6 +232,7 @@ def run_serving_benchmark(
         "window_seconds": window_seconds,
         "parallel": parallel,
         "executor": executor,
+        "kernel": kernel,
         "bit_identical": True,  # _check_answer raised otherwise
         "cold": {
             "seconds": cold_seconds,

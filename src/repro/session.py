@@ -208,6 +208,19 @@ class SessionStats:
         Queries this session answered from the serial kernels after the
         parallel path failed (graceful degradation — answers stayed
         bit-identical, only latency degraded).
+    kernel:
+        The negotiated kernel tier (``"python"`` or ``"numpy"`` — the
+        ``"auto"`` request resolves at construction, mirroring backend
+        negotiation).
+    kernel_chunks:
+        Vertex chunks actually served per tier, aggregated over the
+        session's serial kernel and every runtime it created.  Answers
+        are bit-identical across tiers by construction; this shows which
+        tier did the work.
+    kernel_fallbacks:
+        Counted kernel degradations: a ``kernel="numpy"`` request without
+        importable numpy, plus every worker/serial chunk kernel that
+        demoted to python after a vectorized failure.
     worker_deaths / respawns / task_retries / deadline_misses /
     integrity_failures:
         Failure accounting aggregated over the session's runtimes (see
@@ -235,6 +248,11 @@ class SessionStats:
     overlay_rebuilds: int = 0
     runtimes: Dict[str, RuntimeStats] = field(default_factory=dict)
     fallbacks: int = 0
+    kernel: str = "python"
+    kernel_chunks: Dict[str, int] = field(
+        default_factory=lambda: {"python": 0, "numpy": 0}
+    )
+    kernel_fallbacks: int = 0
     worker_deaths: int = 0
     respawns: int = 0
     task_retries: int = 0
@@ -259,6 +277,9 @@ class SessionStats:
             "lazy_maintainer_ks": list(self.lazy_maintainer_ks),
             "overlay_rebuilds": self.overlay_rebuilds,
             "fallbacks": self.fallbacks,
+            "kernel": self.kernel,
+            "kernel_chunks": dict(self.kernel_chunks),
+            "kernel_fallbacks": self.kernel_fallbacks,
             "worker_deaths": self.worker_deaths,
             "respawns": self.respawns,
             "task_retries": self.task_retries,
@@ -306,6 +327,16 @@ class EgoSession:
         an iterable of ``(u, v)`` edge pairs, or a registry dataset name.
     backend:
         One of :data:`SESSION_BACKENDS`; see the module docstring.
+    kernel:
+        Kernel tier for chunk scoring, negotiated once at construction
+        exactly like the backend: ``"auto"`` (the default) resolves to
+        ``"numpy"`` when numpy is importable and ``"python"`` otherwise;
+        the explicit tiers pin the choice.  An explicit ``"numpy"``
+        without importable numpy degrades to ``"python"`` with a counted
+        ``SessionStats.kernel_fallbacks`` (or raises
+        :class:`DegradedModeError` when ``degraded_fallback=False``).
+        Every tier is bit-identical; the numpy tier vectorizes the batch
+        wedge kernels over the same CSR arrays.
     scale:
         Dataset scale factor, used only when ``source`` is a dataset name.
     auto_promote:
@@ -358,6 +389,7 @@ class EgoSession:
         source: GraphSource,
         backend: str = "auto",
         *,
+        kernel: str = "auto",
         scale: Optional[float] = None,
         auto_promote: bool = True,
         graph_id: Optional[str] = None,
@@ -384,6 +416,13 @@ class EgoSession:
         self._task_deadline = task_deadline
         self._max_task_retries = max_task_retries
         self._fallbacks = 0
+        self._kernel_fallbacks = 0
+        self.kernel = self._negotiate_kernel(kernel)
+        # Tier-aware serial chunk kernel, memoized per compact snapshot;
+        # counters of replaced kernels fold into the retired totals so
+        # stats() survives promotions and snapshot rebuilds.
+        self._chunk_kernel: Optional[tuple] = None
+        self._kernel_chunks_retired: Dict[str, int] = {"python": 0, "numpy": 0}
         if overlay_options and self.backend == "hash":
             raise TypeError(
                 "overlay options are only valid with the 'compact' and "
@@ -474,6 +513,71 @@ class EgoSession:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    def _negotiate_kernel(self, kernel: str) -> str:
+        """Resolve the requested kernel tier (PR-6 degradation idiom).
+
+        ``auto`` resolves silently; an explicit ``numpy`` request without
+        importable numpy is an infrastructure shortfall — degrade to the
+        python oracle with a counted fallback, or raise
+        :class:`DegradedModeError` when the session wants the failure
+        signal instead.
+        """
+        from repro.core.vec_kernels import (
+            KERNEL_TIERS,
+            describe_kernels,
+            normalize_kernel,
+            numpy_available,
+        )
+
+        kernel = kernel.lower()
+        if kernel not in KERNEL_TIERS:
+            raise InvalidParameterError(
+                f"unknown kernel {kernel!r}; accepted values are "
+                f"{describe_kernels(KERNEL_TIERS)}"
+            )
+        if kernel == "numpy" and not numpy_available():
+            if not self._degraded_fallback:
+                raise DegradedModeError(
+                    "kernel='numpy' requested but numpy is not importable "
+                    "and this session was opened with "
+                    "degraded_fallback=False (install the [fast] extra "
+                    "or use kernel='auto')"
+                )
+            self._kernel_fallbacks += 1
+            return "python"
+        return normalize_kernel(kernel)
+
+    def _serial_chunk_kernel(self, compact: CompactGraph):
+        """The session's tier-aware serial chunk kernel over ``compact``.
+
+        Memoized per snapshot; a replaced kernel's tier counters fold into
+        the retired totals so :meth:`stats` keeps the full history.
+        """
+        cached = self._chunk_kernel
+        if cached is not None and cached[0] is compact:
+            return cached[1]
+        from repro.core.csr_kernels import CSRChunkKernel
+
+        if cached is not None:
+            self._retire_chunk_kernel(cached[1])
+        kernel = CSRChunkKernel(
+            compact.indptr,
+            compact.indices,
+            build_dense=False,
+            kernel=self.kernel,
+            nbr_sets=compact.neighbor_sets(),
+            dense=compact.dense_adjacency(),
+        )
+        self._chunk_kernel = (compact, kernel)
+        return kernel
+
+    def _retire_chunk_kernel(self, kernel) -> None:
+        for tier, count in kernel.chunks_by_tier.items():
+            self._kernel_chunks_retired[tier] = (
+                self._kernel_chunks_retired.get(tier, 0) + count
+            )
+        self._kernel_fallbacks += kernel.kernel_fallbacks
+
     @staticmethod
     def _coerce_source(source: GraphSource, scale: Optional[float]):
         if isinstance(source, (Graph, CompactGraph, DynamicCompactGraph)):
@@ -663,6 +767,7 @@ class EgoSession:
                 store=store,
                 task_deadline=self._task_deadline,
                 max_task_retries=self._max_task_retries,
+                kernel=self.kernel,
             )
             self._runtimes[key] = runtime
         return runtime
@@ -1167,6 +1272,17 @@ class EgoSession:
         if self._values is None or self._values_version != version:
             if self.backend == "hash":
                 self._values = all_ego_betweenness(self._hash)
+            elif self.kernel != "python":
+                # Serve the full sweep through the negotiated tier; the
+                # chunk kernel demotes (counted) on any vectorized failure,
+                # so this is bit-identical to all_ego_betweenness_csr.
+                compact = self._compact
+                kernel = self._serial_chunk_kernel(compact)
+                id_scores = kernel.score_chunk(range(compact.num_vertices))
+                labels = compact.labels
+                self._values = {
+                    labels[i]: score for i, score in id_scores.items()
+                }
             else:
                 self._values = all_ego_betweenness_csr(self._compact)
             self._values_version = version
@@ -1594,6 +1710,16 @@ class EgoSession:
         runtimes = {
             name: replace(stats) for name, stats in self.runtime_stats().items()
         }
+        kernel_chunks = dict(self._kernel_chunks_retired)
+        kernel_fallbacks = self._kernel_fallbacks
+        if self._chunk_kernel is not None:
+            for tier, count in self._chunk_kernel[1].chunks_by_tier.items():
+                kernel_chunks[tier] = kernel_chunks.get(tier, 0) + count
+            kernel_fallbacks += self._chunk_kernel[1].kernel_fallbacks
+        for runtime_stats in runtimes.values():
+            for tier, count in runtime_stats.kernel_chunks.items():
+                kernel_chunks[tier] = kernel_chunks.get(tier, 0) + count
+            kernel_fallbacks += runtime_stats.kernel_fallbacks
         return SessionStats(
             backend=self.backend,
             state=self._state,
@@ -1611,6 +1737,9 @@ class EgoSession:
             # must not mutate as later queries tick the live counters.
             runtimes=runtimes,
             fallbacks=self._fallbacks,
+            kernel=self.kernel,
+            kernel_chunks=kernel_chunks,
+            kernel_fallbacks=kernel_fallbacks,
             worker_deaths=sum(s.worker_deaths for s in runtimes.values()),
             respawns=sum(s.respawns for s in runtimes.values()),
             task_retries=sum(s.task_retries for s in runtimes.values()),
