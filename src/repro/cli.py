@@ -42,6 +42,10 @@ Subcommands
 ``checkpoint``
     Force a checkpoint on a durability directory: recover the session,
     write a fresh snapshot and prune the now-covered WAL segments.
+``partition``
+    Partition a graph into halo-augmented shards and report the plan —
+    shard sizes, cut-edge fraction, halo overhead — without running any
+    queries (the dry-run for ``--shards``/``--partitioner``).
 ``experiment``
     Run one of the paper-reproduction experiments and print its report.
 ``datasets``
@@ -78,6 +82,18 @@ _KERNEL_HELP = (
     "(default: auto)"
 )
 
+_SHARDS_HELP = (
+    "fan parallel sweeps out across N halo-augmented shard payloads "
+    "instead of one resident CSR image (0 = unsharded; default 0)"
+)
+
+_PARTITIONER_HELP = (
+    "shard partitioner: 'auto' resolves to 'community' (size-capped label "
+    "propagation — keeps neighbourhoods together), 'range' is the "
+    "contiguous id-block baseline; answers are bit-identical either way "
+    "(default: auto)"
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
@@ -107,7 +123,24 @@ def build_parser() -> argparse.ArgumentParser:
             "both return identical results (default: auto)"
         ),
     )
+    topk.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "answer through the persistent execution runtime with N workers "
+            "(exact all-vertex ranking; --method is ignored)"
+        ),
+    )
+    topk.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="process",
+        help="execution backend for --parallel (default: process)",
+    )
     _add_kernel_argument(topk)
+    _add_sharding_arguments(topk)
     _add_json_argument(topk)
 
     stats = subparsers.add_parser("stats", help="print graph statistics")
@@ -164,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=7, help="query-sampling RNG seed")
     _add_kernel_argument(bench)
+    _add_sharding_arguments(bench)
     _add_json_argument(bench)
 
     serve = subparsers.add_parser(
@@ -322,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="network mode: bound on the SIGTERM/SIGINT drain (default 5)",
     )
     _add_kernel_argument(serve)
+    _add_sharding_arguments(serve)
     _add_json_argument(serve)
 
     bench_slo = subparsers.add_parser(
@@ -388,7 +423,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_slo.add_argument("--seed", type=int, default=7, help="workload RNG seed")
     _add_kernel_argument(bench_slo)
+    _add_sharding_arguments(bench_slo)
     _add_json_argument(bench_slo)
+
+    partition = subparsers.add_parser(
+        "partition",
+        help=(
+            "partition a graph into halo-augmented shards and report the "
+            "plan without running queries"
+        ),
+    )
+    _add_graph_source_arguments(partition)
+    partition.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="number of shards to plan (default 4)",
+    )
+    partition.add_argument(
+        "--partitioner",
+        choices=("auto", "range", "community"),
+        default="auto",
+        help=_PARTITIONER_HELP,
+    )
+    _add_json_argument(partition)
 
     recover = subparsers.add_parser(
         "recover",
@@ -465,6 +524,18 @@ def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N", help=_SHARDS_HELP
+    )
+    parser.add_argument(
+        "--partitioner",
+        choices=("auto", "range", "community"),
+        default="auto",
+        help=_PARTITIONER_HELP,
+    )
+
+
 def _add_json_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json",
@@ -484,8 +555,24 @@ def _emit_json(payload: Dict[str, Any]) -> None:
 
 
 def _run_topk(args: argparse.Namespace) -> None:
-    session = EgoSession(_load_graph(args), backend=args.backend, kernel=args.kernel)
-    result = session.top_k(args.k, algorithm=args.method, theta=args.theta)
+    session = EgoSession(
+        _load_graph(args),
+        backend=args.backend,
+        kernel=args.kernel,
+        shards=args.shards,
+        partitioner=args.partitioner,
+    )
+    result = session.top_k(
+        args.k,
+        algorithm=args.method,
+        theta=args.theta,
+        parallel=args.parallel,
+        executor=args.executor,
+    )
+    # Snapshot the stats before close(): closing detaches the runtimes,
+    # and with them the runtime-side accounting (sharded batches, ships).
+    session_stats = session.stats().as_dict()
+    session.close()
     entries = [
         {"rank": rank + 1, "vertex": vertex, "ego_betweenness": score}
         for rank, (vertex, score) in enumerate(result.entries)
@@ -499,7 +586,7 @@ def _run_topk(args: argparse.Namespace) -> None:
                 "theta": args.theta,
                 "entries": entries,
                 "search_stats": vars(result.stats),
-                "session": session.stats().as_dict(),
+                "session": session_stats,
             }
         )
         return
@@ -613,6 +700,8 @@ def run_throughput_benchmark(
     executor: str = "process",
     seed: int = 7,
     kernel: str = "auto",
+    shards: int = 0,
+    partitioner: str = "auto",
 ) -> Dict[str, Any]:
     """Cold vs warm batched-query throughput on the execution runtime.
 
@@ -644,11 +733,12 @@ def run_throughput_benchmark(
         rng.sample(vertices, min(per_query, len(vertices))) for _ in range(queries)
     ]
 
+    sharding = {"shards": shards, "partitioner": partitioner}
     cold_start = time.perf_counter()
     cold_answers = []
     cold_ships = cold_pool_launches = 0
     for subset in subsets:
-        with EgoSession(compact, kernel=kernel) as session:
+        with EgoSession(compact, kernel=kernel, **sharding) as session:
             session.runtime(executor, max_workers=workers)
             cold_answers.append(
                 session.scores_batch([subset], parallel=workers, executor=executor)[0]
@@ -658,7 +748,7 @@ def run_throughput_benchmark(
             cold_pool_launches += stats.pool_launches
     cold_seconds = time.perf_counter() - cold_start
 
-    with EgoSession(compact, kernel=kernel) as session:
+    with EgoSession(compact, kernel=kernel, **sharding) as session:
         session.runtime(executor, max_workers=workers)
         warm_start = time.perf_counter()
         warm_answers = session.scores_batch(
@@ -680,6 +770,8 @@ def run_throughput_benchmark(
         "workers": workers,
         "executor": executor,
         "kernel": session_stats["kernel"],
+        "shards": shards,
+        "partitioner": partitioner,
         "cold": {
             "seconds": cold_seconds,
             "qps": queries / cold_seconds if cold_seconds else float("inf"),
@@ -706,6 +798,8 @@ def _run_bench_throughput(args: argparse.Namespace) -> None:
         executor=args.executor,
         seed=args.seed,
         kernel=args.kernel,
+        shards=args.shards,
+        partitioner=args.partitioner,
     )
     payload["command"] = "bench-throughput"
     if args.json:
@@ -777,6 +871,9 @@ def _run_serve_http(args: argparse.Namespace) -> None:
         session_options: Dict[str, Any] = {"kernel": args.kernel}
         if args.task_deadline is not None:
             session_options["task_deadline"] = args.task_deadline
+        if args.shards:
+            session_options["shards"] = args.shards
+            session_options["partitioner"] = args.partitioner
         for name, graph in graphs.items():
             gateway.add_tenant(name, graph, **session_options)
         server = EgoServer(
@@ -831,6 +928,8 @@ def _run_bench_slo(args: argparse.Namespace) -> None:
         encoded_cache_size=args.encoded_cache,
         seed=args.seed,
         kernel=args.kernel,
+        shards=args.shards,
+        partitioner=args.partitioner,
     )
     payload["command"] = "bench-slo"
     if args.json:
@@ -902,6 +1001,8 @@ def _run_serve(args: argparse.Namespace) -> None:
         request_deadline=args.request_deadline,
         durability_root=args.wal_dir,
         kernel=args.kernel,
+        shards=args.shards,
+        partitioner=args.partitioner,
     )
     payload["command"] = "serve"
     if args.json:
@@ -1004,6 +1105,43 @@ def _run_serve(args: argparse.Namespace) -> None:
             f"{gateway['circuit_opens']} circuit opens, "
             f"{gateway['deadline_misses']} request deadline misses"
         )
+
+
+def _run_partition(args: argparse.Namespace) -> None:
+    """Plan a sharding and report it without running any queries."""
+    from repro.graph.partition import partition_graph
+
+    graph = _load_graph(args)
+    plan = partition_graph(graph.to_compact(), args.shards, args.partitioner)
+    summary = plan.summary()
+    if args.json:
+        _emit_json({"command": "partition", **summary})
+        return
+    rows = [
+        {
+            "shard": shard.index,
+            "owned": shard.num_owned,
+            "members": shard.num_members,
+            "halo": shard.halo_count,
+        }
+        for shard in plan.shards
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Shard plan: {summary['shards']} shards "
+                f"({summary['partitioner']} partitioner, "
+                f"{summary['num_vertices']} vertices)"
+            ),
+        )
+    )
+    print(
+        f"cut edges: {summary['cut_edges']}/{summary['total_edges']} "
+        f"({summary['cut_edge_fraction']:.4f} of all edges); "
+        f"halo overhead: {summary['halo_vertices']} duplicated vertices "
+        f"({summary['halo_overhead']:.4f} of the vertex count)"
+    )
 
 
 def _run_recover(args: argparse.Namespace) -> None:
@@ -1122,6 +1260,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _run_serve(args)
         elif args.command == "bench-slo":
             _run_bench_slo(args)
+        elif args.command == "partition":
+            _run_partition(args)
         elif args.command == "recover":
             _run_recover(args)
         elif args.command == "checkpoint":

@@ -67,6 +67,7 @@ __all__ = [
     "ego_betweenness_from_arrays",
     "top_k_entries_from_arrays",
     "build_dense_adjacency",
+    "set_neighbor_sets_cache_limit",
     "CSRChunkKernel",
     "ego_bw_cal_csr",
     "bound_decomposition_csr",
@@ -172,7 +173,47 @@ def _build_neighbor_sets(indptr: Sequence[int], indices: Sequence[int]) -> List[
 #: pinned object cannot be garbage-collected and its id recycled) and lets
 #: the identity re-check below reject any coincidental key collision.
 _NBR_SETS_CACHE: "OrderedDict[Tuple[int, int], tuple]" = OrderedDict()
-_NBR_SETS_CACHE_LIMIT = 8
+_DEFAULT_NBR_SETS_CACHE_LIMIT = 8
+
+
+def _env_nbr_sets_limit(default: int = _DEFAULT_NBR_SETS_CACHE_LIMIT) -> int:
+    """Read ``REPRO_NBR_SETS_CACHE_LIMIT`` (positive int) or the default."""
+    import os
+
+    raw = os.environ.get("REPRO_NBR_SETS_CACHE_LIMIT")
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
+
+
+_NBR_SETS_CACHE_LIMIT = _env_nbr_sets_limit()
+
+
+def set_neighbor_sets_cache_limit(limit: "Optional[int]" = None) -> int:
+    """Resize this process's neighbour-set memo; return the new limit.
+
+    The historical capacity of 8 buffer pairs starves N-shard ×
+    multi-tenant interleaving (each shard subgraph is its own buffer
+    pair), so the limit is tunable: ``None`` re-reads the
+    ``REPRO_NBR_SETS_CACHE_LIMIT`` environment variable (falling back to
+    the built-in default of 8); an integer sets it directly.  Worker
+    processes apply their pool's configured limit via the fork
+    initializer (``WorkerPool(neighbor_cache_limit=…)``).  Shrinking
+    evicts the least-recently-used entries immediately.
+    """
+    global _NBR_SETS_CACHE_LIMIT
+    if limit is None:
+        limit = _env_nbr_sets_limit()
+    if limit < 1:
+        raise InvalidParameterError("neighbour-set cache limit must be >= 1")
+    _NBR_SETS_CACHE_LIMIT = limit
+    while len(_NBR_SETS_CACHE) > _NBR_SETS_CACHE_LIMIT:
+        _NBR_SETS_CACHE.popitem(last=False)
+    return _NBR_SETS_CACHE_LIMIT
 
 
 def _neighbor_sets_cached(

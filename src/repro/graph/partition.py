@@ -1,0 +1,494 @@
+"""Community-aware horizontal sharding of one CSR graph.
+
+The serving plane scales tenant *count* (PR 5) and the kernels are
+vectorized (PR 9), but a single huge graph is still one resident payload:
+every sweep walks the whole vertex set on one CSR image.  This module
+splits one graph into **shard payloads** that the runtime fans out across
+and merges back bit-identically:
+
+* :func:`partition_graph` assigns every vertex to exactly one shard —
+  either contiguous id ranges (the baseline) or a deterministic,
+  size-capped **label-propagation community partition** that groups
+  neighbourhoods together.  Ego networks are 1-hop-local, so a partition
+  that keeps communities intact minimises the vertices a shard must
+  duplicate from its neighbours.
+* Each shard materialises as a **halo-augmented**
+  :class:`~repro.graph.csr.CompactGraph`: the shard's owned vertices plus
+  their 1-hop boundary neighbours (the *halo*), with the adjacency induced
+  on that member set.  Every owned vertex's ego network — its neighbours
+  *and* the edges among them — is therefore complete inside the shard
+  subgraph, which is what keeps shard-local scores **bit-identical** to
+  the unsharded oracle: the per-vertex score depends only on the ego's
+  pair/edge counts and the multiset of connector counts, all invariant to
+  the local re-labelling.  Halo vertices exist only as context; their
+  shard-local scores are wrong by construction and are never reported.
+* The resulting :class:`ShardPlan` carries the vertex→shard map, the
+  per-shard subgraphs keyed for the payload store as
+  ``(graph_id, shard, version)``, cut-edge statistics, and an incremental
+  :meth:`ShardPlan.refresh` that rebuilds **only the shards an edge
+  update touched** (so a mutation re-ships one shard payload, not N).
+
+Determinism: the label-propagation loop visits vertices in ascending id
+order, breaks ties toward the smallest community id, caps community sizes
+so one giant community cannot swallow the graph, and bin-packs the final
+communities LPT-style with fixed tie-breaking — no randomness, no
+wall-clock, so the same graph always yields the same plan.
+
+Examples
+--------
+>>> from repro.graph.csr import CompactGraph
+>>> cg = CompactGraph.from_edges([(0, 1), (1, 2), (3, 4)])
+>>> plan = partition_graph(cg, 2, partitioner="range")
+>>> [shard.owned_labels for shard in plan.shards]
+[[0, 1, 2], [3, 4]]
+>>> plan.cut_edges
+0
+
+Two triangles bridged by one edge: the community partitioner recovers the
+triangles, so exactly the bridge is cut and each side duplicates one halo
+vertex.
+
+>>> bridged = CompactGraph.from_edges(
+...     [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)]
+... )
+>>> plan2 = partition_graph(bridged, 2, partitioner="community")
+>>> (plan2.cut_edges, plan2.halo_vertices)
+(1, 2)
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import InvalidParameterError, VertexNotFoundError
+from repro.graph.csr import CompactGraph
+
+__all__ = [
+    "PARTITIONERS",
+    "Shard",
+    "ShardPlan",
+    "normalize_partitioner",
+    "partition_graph",
+]
+
+#: The partitioner names a session negotiates between.  ``auto`` resolves
+#: to ``community`` — the locality-aware cut is the whole point of
+#: sharding an ego-network workload; ``range`` is the measurable baseline.
+PARTITIONERS = ("auto", "range", "community")
+
+#: Rounds of label propagation before the assignment is frozen.  The loop
+#: almost always converges in 3–5 rounds; the bound only guards against
+#: tie-rule oscillation on adversarial graphs.
+_MAX_LP_ROUNDS = 10
+
+#: Community size cap as a multiple of the ideal shard size.  Capping
+#: stops label propagation from collapsing a well-connected graph into one
+#: giant community (which would make balanced sharding impossible) while
+#: leaving the bin-packer enough slack to keep real communities whole.
+_COMMUNITY_CAP_SLACK = 1.2
+
+
+def normalize_partitioner(partitioner: str) -> str:
+    """Resolve a requested partitioner name (``auto`` → ``community``)."""
+    name = partitioner.lower() if isinstance(partitioner, str) else partitioner
+    if name not in PARTITIONERS:
+        raise InvalidParameterError(
+            f"unknown partitioner {partitioner!r}; accepted values are "
+            "'auto' (resolves to 'community'), 'range' (contiguous id "
+            "blocks) and 'community' (size-capped label propagation)"
+        )
+    return "community" if name == "auto" else name
+
+
+@dataclass
+class Shard:
+    """One shard of a :class:`ShardPlan`.
+
+    Attributes
+    ----------
+    index:
+        The shard's position in the plan (also the ``shard`` component of
+        its ``(graph_id, shard, version)`` payload key).
+    version:
+        Monotonic rebuild counter — bumped every time a refresh rebuilds
+        this shard, so the payload store sees a new key exactly when the
+        shard subgraph changed.
+    owned_labels:
+        Labels of the vertices this shard owns (scores are reported for
+        these and only these), ascending by the parent's dense id at the
+        last (re)build.
+    graph:
+        The halo-augmented induced subgraph.  Its labels are the *parent
+        session's* labels (not dense ids), so routing survives snapshot
+        re-compaction; its local adjacency preserves every owned vertex's
+        exact ego network.
+    owned_local:
+        Dense local ids (into :attr:`graph`) of the owned vertices,
+        ascending.
+    member_labels:
+        All member labels (owned + halo) as a set — the refresh path's
+        touched-shard test.
+    halo_count:
+        Number of halo (non-owned member) vertices.
+    """
+
+    index: int
+    version: int
+    owned_labels: List[Hashable]
+    graph: CompactGraph
+    owned_local: List[int]
+    member_labels: Set[Hashable]
+    halo_count: int
+
+    @property
+    def num_owned(self) -> int:
+        """Number of vertices this shard owns."""
+        return len(self.owned_labels)
+
+    @property
+    def num_members(self) -> int:
+        """Number of vertices materialised in the shard subgraph."""
+        return self.graph.num_vertices
+
+
+@dataclass
+class ShardPlan:
+    """A complete sharding of one graph (see :func:`partition_graph`).
+
+    Attributes
+    ----------
+    partitioner:
+        ``"range"`` or ``"community"`` (already resolved, never ``"auto"``).
+    owner:
+        The total vertex→shard map: every current vertex label appears in
+        exactly one shard's owned set.
+    shards:
+        The halo-augmented :class:`Shard` subgraphs, in shard-index order.
+    cut_edges / total_edges:
+        Undirected edges whose endpoints live in different shards, and the
+        graph total — the partition-quality signal (every cut edge is a
+        vertex some shard must duplicate as halo).
+    halo_vertices:
+        Total halo duplications across shards (one vertex haloed into two
+        shards counts twice — it is resident twice).
+    num_vertices:
+        Vertices of the parent graph at the last (re)build.
+    """
+
+    partitioner: str
+    owner: Dict[Hashable, int]
+    shards: List[Shard]
+    cut_edges: int
+    total_edges: int
+    halo_vertices: int
+    num_vertices: int
+    rebuilds: int = field(default=0)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.shards)
+
+    @property
+    def cut_edge_fraction(self) -> float:
+        """Cut edges as a fraction of all edges (0.0 for an edgeless graph)."""
+        return self.cut_edges / self.total_edges if self.total_edges else 0.0
+
+    @property
+    def halo_overhead(self) -> float:
+        """Halo duplications as a fraction of the vertex count."""
+        return self.halo_vertices / self.num_vertices if self.num_vertices else 0.0
+
+    def shard_of(self, label: Hashable) -> int:
+        """The shard index owning ``label`` (raises on unknown vertices)."""
+        try:
+            return self.owner[label]
+        except KeyError:
+            raise VertexNotFoundError(label) from None
+
+    def payload_key(self, graph_id: str, shard: Shard) -> Tuple[str, int, int]:
+        """The ``(graph_id, shard, version)`` store key of one shard."""
+        return (graph_id, shard.index, shard.version)
+
+    def summary(self) -> Dict[str, Any]:
+        """A JSON-friendly description (stats/CLI payload shape)."""
+        return {
+            "shards": len(self.shards),
+            "partitioner": self.partitioner,
+            "num_vertices": self.num_vertices,
+            "cut_edges": self.cut_edges,
+            "total_edges": self.total_edges,
+            "cut_edge_fraction": self.cut_edge_fraction,
+            "halo_vertices": self.halo_vertices,
+            "halo_overhead": self.halo_overhead,
+            "rebuilds": self.rebuilds,
+            "shard_sizes": [shard.num_owned for shard in self.shards],
+            "shard_members": [shard.num_members for shard in self.shards],
+            "shard_versions": [shard.version for shard in self.shards],
+        }
+
+    def refresh(
+        self, compact: CompactGraph, touched_pairs: Sequence[Tuple[Hashable, Hashable]]
+    ) -> List[int]:
+        """Absorb applied edge updates; rebuild only the touched shards.
+
+        ``compact`` is the parent graph's *current* snapshot and
+        ``touched_pairs`` the ``(u, v)`` label pairs of every update applied
+        since the plan was last (re)built, in order.  A shard must rebuild
+        exactly when an update could have changed an owned vertex's ego
+        network: an endpoint is owned by the shard (its neighbourhood —
+        hence the member set — moved), or **both** endpoints are members
+        (a halo–halo edge sits inside some owned ego).  An edge entirely
+        outside a shard's member set cannot intersect any owned ego —
+        every ego edge joins two members — so untouched shard subgraphs
+        remain exact and keep their payload keys (and stay resident in the
+        store).  New vertices are adopted by the other endpoint's shard
+        (both-new pairs go to the smallest shard).  Returns the rebuilt
+        shard indices; per-shard versions bump on rebuild.
+        """
+        touched: Set[int] = set()
+        for u, v in touched_pairs:
+            known_u, known_v = u in self.owner, v in self.owner
+            if not known_u and not known_v:
+                target = min(
+                    range(len(self.shards)),
+                    key=lambda s: (self.shards[s].num_owned, s),
+                )
+                self._adopt(u, target)
+                self._adopt(v, target)
+            elif not known_u:
+                self._adopt(u, self.owner[v])
+            elif not known_v:
+                self._adopt(v, self.owner[u])
+            touched.add(self.owner[u])
+            touched.add(self.owner[v])
+            for shard in self.shards:
+                if shard.index in touched:
+                    continue
+                if u in shard.member_labels and v in shard.member_labels:
+                    touched.add(shard.index)
+        rebuilt = sorted(touched)
+        for index in rebuilt:
+            shard = self.shards[index]
+            owned_ids = []
+            kept_labels = []
+            for label in shard.owned_labels:
+                try:
+                    owned_ids.append(compact.id_of(label))
+                    kept_labels.append(label)
+                except VertexNotFoundError:  # pragma: no cover - defensive
+                    self.owner.pop(label, None)
+            order = sorted(range(len(owned_ids)), key=owned_ids.__getitem__)
+            self.shards[index] = _materialize_shard(
+                compact,
+                index,
+                shard.version + 1,
+                [owned_ids[i] for i in order],
+            )
+            self.rebuilds += 1
+        if rebuilt:
+            self._recount(compact)
+        return rebuilt
+
+    def _adopt(self, label: Hashable, shard_index: int) -> None:
+        self.owner[label] = shard_index
+        self.shards[shard_index].owned_labels.append(label)
+
+    def _recount(self, compact: CompactGraph) -> None:
+        """Recompute the cut/halo statistics against the current snapshot."""
+        labels = compact.labels
+        indptr, indices = compact.indptr, compact.indices
+        cut = 0
+        for u in range(compact.num_vertices):
+            su = self.owner[labels[u]]
+            for w in indices[indptr[u] : indptr[u + 1]]:
+                if w > u and self.owner[labels[w]] != su:
+                    cut += 1
+        self.cut_edges = cut
+        self.total_edges = compact.num_edges
+        self.num_vertices = compact.num_vertices
+        self.halo_vertices = sum(shard.halo_count for shard in self.shards)
+
+
+def partition_graph(
+    compact: CompactGraph, shards: int, partitioner: str = "auto"
+) -> ShardPlan:
+    """Partition ``compact`` into ``shards`` halo-augmented shard subgraphs.
+
+    ``shards`` is clamped to the vertex count (an empty graph yields one
+    empty shard); every shard of a non-empty graph owns at least one
+    vertex.  ``partitioner`` is one of :data:`PARTITIONERS`.
+    """
+    if shards < 1:
+        raise InvalidParameterError("shards must be a positive integer")
+    partitioner = normalize_partitioner(partitioner)
+    n = compact.num_vertices
+    shards = max(1, min(shards, n)) if n else 1
+    if partitioner == "range":
+        assignment = _range_assignment(n, shards)
+    else:
+        assignment = _community_assignment(compact, shards)
+    _fill_empty_shards(assignment, shards)
+
+    labels = compact.labels
+    owner = {labels[v]: assignment[v] for v in range(n)}
+    owned_by_shard: List[List[int]] = [[] for _ in range(shards)]
+    for v in range(n):  # ascending id order per shard, by construction
+        owned_by_shard[assignment[v]].append(v)
+    built = [
+        _materialize_shard(compact, index, 0, owned)
+        for index, owned in enumerate(owned_by_shard)
+    ]
+    indptr, indices = compact.indptr, compact.indices
+    cut = 0
+    for u in range(n):
+        su = assignment[u]
+        for w in indices[indptr[u] : indptr[u + 1]]:
+            if w > u and assignment[w] != su:
+                cut += 1
+    return ShardPlan(
+        partitioner=partitioner,
+        owner=owner,
+        shards=built,
+        cut_edges=cut,
+        total_edges=compact.num_edges,
+        halo_vertices=sum(shard.halo_count for shard in built),
+        num_vertices=n,
+    )
+
+
+def _range_assignment(n: int, shards: int) -> List[int]:
+    """Contiguous, equally sized id blocks (the PR-4 scheduling baseline)."""
+    assignment = [0] * n
+    size, remainder = divmod(n, shards)
+    start = 0
+    for shard in range(shards):
+        extent = size + (1 if shard < remainder else 0)
+        for v in range(start, start + extent):
+            assignment[v] = shard
+        start += extent
+    return assignment
+
+
+def _community_assignment(compact: CompactGraph, shards: int) -> List[int]:
+    """Deterministic size-capped label propagation + LPT bin-packing.
+
+    Phase 1 grows communities: every vertex starts alone and repeatedly
+    adopts the most frequent community among its neighbours (ascending id
+    sweep; ties toward the smallest community id; a community at the size
+    cap accepts no newcomers).  Phase 2 packs the converged communities
+    onto shards largest-first, each onto the currently lightest shard —
+    whole communities land on one shard, so intra-community edges are
+    never cut.
+    """
+    n = compact.num_vertices
+    indptr, indices = compact.indptr, compact.indices
+    community = list(range(n))
+    size = [1] * n
+    cap = max(1, int(_COMMUNITY_CAP_SLACK * n / shards))
+    for _ in range(_MAX_LP_ROUNDS):
+        moved = 0
+        for v in range(n):
+            row = indices[indptr[v] : indptr[v + 1]]
+            if not row:
+                continue
+            counts: Dict[int, int] = {}
+            for w in row:
+                c = community[w]
+                counts[c] = counts.get(c, 0) + 1
+            current = community[v]
+            best, best_count = current, counts.get(current, 0)
+            for c in sorted(counts):
+                if c == current:
+                    continue
+                if size[c] + 1 > cap:
+                    continue
+                count = counts[c]
+                if count > best_count or (count == best_count and c < best):
+                    best, best_count = c, count
+            if best != current:
+                community[v] = best
+                size[current] -= 1
+                size[best] += 1
+                moved += 1
+        if not moved:
+            break
+
+    groups: Dict[int, List[int]] = {}
+    for v in range(n):
+        groups.setdefault(community[v], []).append(v)
+    # Largest community first (ties: smallest member id), each onto the
+    # lightest shard (ties: lowest index) — the LPT greedy of
+    # repro.parallel.partition, specialised to whole communities.
+    ordered = sorted(groups.values(), key=lambda g: (-len(g), g[0]))
+    heap: List[Tuple[int, int]] = [(0, s) for s in range(shards)]
+    heapq.heapify(heap)
+    assignment = [0] * n
+    for group in ordered:
+        load, shard = heapq.heappop(heap)
+        for v in group:
+            assignment[v] = shard
+        heapq.heappush(heap, (load + len(group), shard))
+    return assignment
+
+
+def _fill_empty_shards(assignment: List[int], shards: int) -> None:
+    """Guarantee every shard owns a vertex (steal from the largest shard)."""
+    if not assignment:
+        return
+    counts = [0] * shards
+    for shard in assignment:
+        counts[shard] += 1
+    for shard in range(shards):
+        while counts[shard] == 0:
+            donor = max(range(shards), key=lambda s: (counts[s], -s))
+            if counts[donor] <= 1:  # pragma: no cover - shards <= n holds
+                break
+            # Highest-id vertex of the donor: deterministic, and the last
+            # block member is the least community-central choice.
+            victim = max(v for v, s in enumerate(assignment) if s == donor)
+            assignment[victim] = shard
+            counts[donor] -= 1
+            counts[shard] += 1
+
+
+def _materialize_shard(
+    compact: CompactGraph, index: int, version: int, owned_ids: Sequence[int]
+) -> Shard:
+    """Build one halo-augmented shard subgraph.
+
+    ``owned_ids`` are parent dense ids in ascending order.  The member set
+    is the owned set plus every neighbour of an owned vertex (the 1-hop
+    halo); the subgraph is the adjacency induced on the members, labelled
+    by the parent's labels.  Members are taken in ascending parent id, so
+    the local re-labelling is monotonic and each CSR row stays sorted
+    without re-sorting.
+    """
+    indptr, indices = compact.indptr, compact.indices
+    labels = compact.labels
+    member_set: Set[int] = set(owned_ids)
+    for u in owned_ids:
+        member_set.update(indices[indptr[u] : indptr[u + 1]])
+    members = sorted(member_set)
+    local = {g: i for i, g in enumerate(members)}
+    local_labels = [labels[g] for g in members]
+    sub_indptr: List[int] = [0]
+    sub_indices: List[int] = []
+    for g in members:
+        for w in indices[indptr[g] : indptr[g + 1]]:
+            if w in member_set:
+                sub_indices.append(local[w])
+        sub_indptr.append(len(sub_indices))
+    graph = CompactGraph(local_labels, sub_indptr, sub_indices)
+    owned_labels = [labels[g] for g in owned_ids]
+    return Shard(
+        index=index,
+        version=version,
+        owned_labels=owned_labels,
+        graph=graph,
+        owned_local=[local[g] for g in owned_ids],
+        member_labels=set(local_labels),
+        halo_count=len(members) - len(owned_ids),
+    )

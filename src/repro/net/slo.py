@@ -225,6 +225,8 @@ def run_slo_benchmark(
     pool_size: int = 4,
     seed: int = 7,
     kernel: str = "auto",
+    shards: int = 0,
+    partitioner: str = "auto",
 ) -> Dict[str, Any]:
     """Open-loop SLO + closed-loop saturation, per transport.
 
@@ -261,6 +263,10 @@ def run_slo_benchmark(
         Kernel tier for every tenant session (both transports); the
         oracles stay on the serial python kernels, so the bit-identity
         check spans tiers.
+    shards / partitioner:
+        Sharding negotiation for every tenant session (both transports,
+        ``repro bench-slo --shards/--partitioner``); the oracles stay
+        unsharded, so the bit-identity check spans the sharding boundary.
 
     Returns
     -------
@@ -286,6 +292,10 @@ def run_slo_benchmark(
         raise InvalidParameterError(f"unknown transports {sorted(unknown)!r}")
     tenants = {name: _coerce_graph(graph) for name, graph in graphs.items()}
     oracles = {name: all_ego_betweenness_csr(cg) for name, cg in tenants.items()}
+    session_options: Dict[str, Any] = {"kernel": kernel}
+    if shards:
+        session_options["shards"] = shards
+        session_options["partitioner"] = partitioner
     total = max(1, int(rate * duration_seconds))
     plan = _workload(tenants, total, hot_fraction, subset_pool, seed)
 
@@ -305,7 +315,7 @@ def run_slo_benchmark(
         # door costs relative to serving as it already shipped.
         async with build_gateway(0) as gateway:
             for name, compact in tenants.items():
-                gateway.add_tenant(name, compact, kernel=kernel)
+                gateway.add_tenant(name, compact, **session_options)
             for name in tenants:  # priming: pool launch + first kernel sweep
                 _check_answer(await gateway.scores(name), None, oracles[name])
 
@@ -342,7 +352,7 @@ def run_slo_benchmark(
     async def run_net_transport() -> Dict[str, Any]:
         gateway = build_gateway(result_cache_size)
         for name, compact in tenants.items():
-            gateway.add_tenant(name, compact, kernel=kernel)
+            gateway.add_tenant(name, compact, **session_options)
         server = EgoServer(
             gateway,
             encoded_cache_size=encoded_cache_size,
@@ -413,6 +423,8 @@ def run_slo_benchmark(
         "total_open_loop_requests": total,
         "result_cache_size": result_cache_size,
         "kernel": kernel,
+        "shards": shards,
+        "partitioner": partitioner,
         "encoded_cache_size": encoded_cache_size,
         "bit_identical": True,  # _check_answer raised otherwise
         "backends": backends,

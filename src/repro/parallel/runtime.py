@@ -92,11 +92,13 @@ __all__ = [
     "WorkerPool",
     "PayloadStore",
     "PayloadKey",
+    "ShardPayloadKey",
     "ExecutionRuntime",
     "RuntimeStats",
     "BatchStats",
     "shared_worker_pool",
     "shared_payload_store",
+    "set_worker_cache_limit",
     "DEFAULT_OVERSUBSCRIBE",
     "DEFAULT_TASK_DEADLINE",
     "DEFAULT_MAX_TASK_RETRIES",
@@ -132,6 +134,15 @@ _ITEMSIZE = array(_TYPECODE).itemsize
 #: their stable graph id and their topology version counter; anonymous
 #: snapshots get a store-assigned id.
 PayloadKey = Tuple[str, int]
+
+#: A sharded payload-store key: ``(graph_id, shard, version)``.  One huge
+#: graph split by a :class:`~repro.graph.partition.ShardPlan` ships each
+#: halo-augmented shard subgraph as its own resident entry; the version
+#: component is the *shard's* rebuild counter, so a mutation re-keys (and
+#: re-ships) only the shards it touched.  Both key shapes coexist in one
+#: :class:`PayloadStore` — the store never interprets keys beyond equality
+#: (rendering aside).
+ShardPayloadKey = Tuple[str, int, int]
 
 
 class ParallelBackend(str, Enum):
@@ -170,6 +181,9 @@ class BatchStats:
     kind:
         ``"scores"`` (full merged map) or ``"top_k"`` (worker-side bounded
         reduction).
+    shards:
+        Number of shard payloads this batch fanned out across (0 for the
+        single-payload path).
     """
 
     num_tasks: int
@@ -180,6 +194,7 @@ class BatchStats:
     compute_seconds: float
     chunk_seconds: List[float] = field(default_factory=list)
     kind: str = "scores"
+    shards: int = 0
 
 
 @dataclass
@@ -250,6 +265,13 @@ class RuntimeStats:
         Vectorized-kernel demotions observed across workers: each one is
         a worker-side :class:`~repro.core.csr_kernels.CSRChunkKernel`
         that permanently dropped from ``numpy`` to ``python``.
+    sharded_batches:
+        Batches executed through the sharded fan-out
+        (:meth:`ExecutionRuntime.execute_sharded` /
+        :meth:`~ExecutionRuntime.execute_top_k_sharded`).
+    shard_chunks:
+        Cumulative chunks executed per shard index (string-keyed for the
+        JSON payload) — the load-balance readout of the shard plan.
     last_batch:
         The most recent :class:`BatchStats`, or ``None``.
     """
@@ -280,6 +302,8 @@ class RuntimeStats:
         default_factory=lambda: {"python": 0, "numpy": 0}
     )
     kernel_fallbacks: int = 0
+    sharded_batches: int = 0
+    shard_chunks: Dict[str, int] = field(default_factory=dict)
     last_batch: Optional[BatchStats] = None
 
     def as_dict(self) -> Dict[str, Any]:
@@ -310,6 +334,9 @@ class RuntimeStats:
             "kernel_chunks": dict(self.kernel_chunks),
             "kernel_fallbacks": self.kernel_fallbacks,
         }
+        if self.sharded_batches or self.shard_chunks:
+            payload["sharded_batches"] = self.sharded_batches
+            payload["shard_chunks"] = dict(self.shard_chunks)
         if self.last_batch is not None:
             payload["last_batch"] = {
                 "num_tasks": self.last_batch.num_tasks,
@@ -320,6 +347,8 @@ class RuntimeStats:
                 "setup_seconds": self.last_batch.setup_seconds,
                 "compute_seconds": self.last_batch.compute_seconds,
             }
+            if self.last_batch.shards:
+                payload["last_batch"]["shards"] = self.last_batch.shards
         return payload
 
 
@@ -558,8 +587,73 @@ class _AttachedGraph:
 #: Sized for multi-tenant pools: one kernel per resident payload key, so
 #: several tenants' batches interleave without re-attaching (the eviction
 #: only matters when more than ``_WORKER_CACHE_LIMIT`` graphs are live).
+#: The historical default of 8 starves N-shard × multi-tenant interleaving
+#: — every sweep over a 16-shard graph would thrash the cache — so the
+#: limit is tunable: the ``REPRO_WORKER_CACHE_LIMIT`` environment variable
+#: at import, :func:`set_worker_cache_limit` at runtime, and
+#: ``WorkerPool(worker_cache_limit=…)`` per pool (applied in each worker's
+#: initializer at fork).
 _WORKER_CACHE: Dict[str, _AttachedGraph] = {}
-_WORKER_CACHE_LIMIT = 8
+_DEFAULT_WORKER_CACHE_LIMIT = 8
+
+
+def _env_cache_limit(name: str, default: int) -> int:
+    """Read a positive integer cache limit from the environment."""
+    import os
+
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
+
+
+_WORKER_CACHE_LIMIT = _env_cache_limit(
+    "REPRO_WORKER_CACHE_LIMIT", _DEFAULT_WORKER_CACHE_LIMIT
+)
+
+
+def set_worker_cache_limit(limit: Optional[int] = None) -> int:
+    """Resize this process's attached-payload LRU; return the new limit.
+
+    ``None`` re-reads ``REPRO_WORKER_CACHE_LIMIT`` (falling back to the
+    built-in default of 8).  Shrinking evicts (closes) the
+    least-recently-used attachments immediately.  Worker processes apply
+    their pool's configured limit in the fork initializer; calling this in
+    the parent affects only parent-side attachments.
+    """
+    global _WORKER_CACHE_LIMIT
+    if limit is None:
+        limit = _env_cache_limit(
+            "REPRO_WORKER_CACHE_LIMIT", _DEFAULT_WORKER_CACHE_LIMIT
+        )
+    if limit < 1:
+        raise InvalidParameterError("worker cache limit must be >= 1")
+    _WORKER_CACHE_LIMIT = limit
+    while len(_WORKER_CACHE) > _WORKER_CACHE_LIMIT:
+        _WORKER_CACHE.pop(next(iter(_WORKER_CACHE))).close()
+    return _WORKER_CACHE_LIMIT
+
+
+def _init_worker(
+    worker_cache_limit: Optional[int] = None,
+    neighbor_cache_limit: Optional[int] = None,
+) -> None:
+    """Pool initializer: apply per-pool cache limits in each worker.
+
+    Runs in every worker process at fork (and under spawn, where module
+    globals are re-imported rather than inherited), so a pool sized for a
+    16-shard graph keeps all 16 attachments resident.
+    """
+    if worker_cache_limit is not None:
+        set_worker_cache_limit(worker_cache_limit)
+    if neighbor_cache_limit is not None:
+        from repro.core.csr_kernels import set_neighbor_sets_cache_limit
+
+        set_neighbor_sets_cache_limit(neighbor_cache_limit)
 
 
 def _attached(meta: Tuple[str, int, int]) -> _AttachedGraph:
@@ -688,6 +782,14 @@ class WorkerPool:
         calls: the first respawn is immediate, later ones sleep
         ``respawn_backoff × 2^n`` capped at ``max_respawn_backoff``.  The
         runtime resets the window after every healthy batch.
+    worker_cache_limit / neighbor_cache_limit:
+        Per-worker LRU capacities, applied in each worker's initializer at
+        fork: the attached-payload cache (:func:`set_worker_cache_limit`)
+        and the kernel neighbour-set cache
+        (:func:`~repro.core.csr_kernels.set_neighbor_sets_cache_limit`).
+        ``None`` (the default) leaves each worker on its environment-driven
+        default — size these for N-shard × multi-tenant pools, where more
+        than 8 payload keys interleave per sweep.
     """
 
     def __init__(
@@ -696,6 +798,8 @@ class WorkerPool:
         keep_alive: bool = False,
         respawn_backoff: float = 0.05,
         max_respawn_backoff: float = 2.0,
+        worker_cache_limit: Optional[int] = None,
+        neighbor_cache_limit: Optional[int] = None,
     ) -> None:
         import os
         import weakref
@@ -704,8 +808,14 @@ class WorkerPool:
             raise InvalidParameterError("max_workers must be positive")
         if respawn_backoff < 0 or max_respawn_backoff < 0:
             raise InvalidParameterError("respawn backoff values must be >= 0")
+        if worker_cache_limit is not None and worker_cache_limit < 1:
+            raise InvalidParameterError("worker_cache_limit must be >= 1 or None")
+        if neighbor_cache_limit is not None and neighbor_cache_limit < 1:
+            raise InvalidParameterError("neighbor_cache_limit must be >= 1 or None")
         self.max_workers = max_workers or os.cpu_count() or 1
         self.keep_alive = keep_alive
+        self.worker_cache_limit = worker_cache_limit
+        self.neighbor_cache_limit = neighbor_cache_limit
         self.respawn_backoff = respawn_backoff
         self.max_respawn_backoff = max_respawn_backoff
         self.launches = 0
@@ -775,7 +885,14 @@ class WorkerPool:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
-        pool = context.Pool(processes=self.max_workers)
+        if self.worker_cache_limit is None and self.neighbor_cache_limit is None:
+            pool = context.Pool(processes=self.max_workers)
+        else:
+            pool = context.Pool(
+                processes=self.max_workers,
+                initializer=_init_worker,
+                initargs=(self.worker_cache_limit, self.neighbor_cache_limit),
+            )
         self._state["pool"] = pool
         self._known_pids = self._live_pids(pool)
         self.launches += 1
@@ -925,6 +1042,15 @@ def shared_payload_store() -> "PayloadStore":
 # ----------------------------------------------------------------------
 # PayloadStore: the multi-entry shared-memory table
 # ----------------------------------------------------------------------
+def _render_key(key: Tuple) -> str:
+    """Render a store key for stats: ``gid@vN`` or ``gid#sS@vN`` (sharded)."""
+    if len(key) == 3:
+        graph_id, shard, version = key
+        return f"{graph_id}#s{shard}@v{version}"
+    graph_id, version = key
+    return f"{graph_id}@v{version}"
+
+
 class _StoreEntry:
     """One resident ``(graph_id, version)`` payload.
 
@@ -1147,8 +1273,8 @@ class PayloadStore:
                 "resident_bytes": sum(e.nbytes for e in self._entries.values()),
                 "bytes_shipped": self.bytes_shipped,
                 "by_key": {
-                    f"{graph_id}@v{version}": bytes_shipped
-                    for (graph_id, version), bytes_shipped in self.shipped_by_key.items()
+                    _render_key(key): bytes_shipped
+                    for key, bytes_shipped in self.shipped_by_key.items()
                 },
             }
 
@@ -1179,12 +1305,17 @@ def _release_runtime_state(state: Dict[str, Any]) -> None:
     key = state.pop("entry_key", None)
     if store is not None and key is not None and not store.closed:
         store.release(key)
+    for shard_key in state.pop("shard_keys", None) or []:
+        if store is not None and not store.closed:
+            store.release(shard_key)
     if store is not None and state.pop("owns_store", False) and not store.closed:
         store.close()
     pool: Optional[WorkerPool] = state.pop("pool", None)
     if pool is not None and not pool.closed:
         pool.release()
-    state.update(store=None, entry_key=None, pool=None, owns_store=False)
+    state.update(
+        store=None, entry_key=None, shard_keys=[], pool=None, owns_store=False
+    )
 
 
 class ExecutionRuntime:
@@ -1282,8 +1413,15 @@ class ExecutionRuntime:
             "store": store,
             "owns_store": owns_store,
             "entry_key": None,
+            "shard_keys": [],
         }
         self._entry: Optional[_StoreEntry] = None
+        # Sharded execution holds one store reference per resident shard
+        # key (unlike the singular ``_entry``, shard entries are *not*
+        # released when another shard executes — a sweep touches them all).
+        self._shard_entries: Dict[ShardPayloadKey, _StoreEntry] = {}
+        self._shard_estimates: Dict[ShardPayloadKey, List[float]] = {}
+        self._shard_kernels: Dict[ShardPayloadKey, Any] = {}
         # Poison-task quarantine: (payload key, encoded chunk spec) pairs
         # that exhausted their retry budget execute serially in the parent
         # for the life of this runtime.
@@ -1346,6 +1484,9 @@ class ExecutionRuntime:
         self._estimates_for = None
         self._parent_kernel = None
         self._parent_kernel_for = None
+        self._shard_entries = {}
+        self._shard_estimates = {}
+        self._shard_kernels = {}
 
     def __enter__(self) -> "ExecutionRuntime":
         return self
@@ -1419,6 +1560,81 @@ class ExecutionRuntime:
             self._stats.pool_launches += 1
         return started
 
+    def _ensure_shard_entry(
+        self, compact: CompactGraph, key: ShardPayloadKey
+    ) -> Tuple[_StoreEntry, bool]:
+        """Attach one shard's store entry, shipping it if not yet held.
+
+        Unlike :meth:`_ensure_shipped`, acquiring a new shard key does not
+        release the others — a sharded sweep needs every shard resident at
+        once.  Stale keys (a shard rebuilt under a newer version) are
+        released by :meth:`_release_stale_shards` at batch setup.
+        """
+        entry = self._shard_entries.get(key)
+        if entry is not None:
+            return entry, False
+        store: PayloadStore = self._state["store"]
+        entry, shipped = store.ship(
+            compact,
+            key=key,
+            materialize=self.executor is ParallelBackend.PROCESS,
+        )
+        self._shard_entries[key] = entry
+        self._state["shard_keys"] = list(self._shard_entries)
+        if shipped:
+            self._stats.payload_ships += 1
+            self._stats.payload_bytes_shipped += entry.nbytes
+            if entry.payload is not None and _faults.draw_ship_corruption():
+                entry.payload.corrupt_header()
+                _faults.note_performed("corruptions")
+        return entry, shipped
+
+    def _release_stale_shards(self, wanted: set, graph_id: str) -> None:
+        """Drop held shard keys of ``graph_id`` that this batch replaced."""
+        store: PayloadStore = self._state["store"]
+        stale = [
+            key
+            for key in self._shard_entries
+            if key[0] == graph_id and key not in wanted
+        ]
+        for key in stale:
+            del self._shard_entries[key]
+            self._shard_estimates.pop(key, None)
+            self._shard_kernels.pop(key, None)
+            if not store.closed:
+                store.release(key)
+        if stale:
+            self._state["shard_keys"] = list(self._shard_entries)
+
+    def _shard_estimates_for(
+        self, key: ShardPayloadKey, compact: CompactGraph
+    ) -> List[float]:
+        """Per-id work estimates of one shard subgraph (cached per key)."""
+        estimates = self._shard_estimates.get(key)
+        if estimates is None:
+            from repro.parallel.partition import vertex_work_estimates_csr
+
+            estimates = vertex_work_estimates_csr(compact)
+            self._shard_estimates[key] = estimates
+        return estimates
+
+    def _shard_serial_kernel(self, key: ShardPayloadKey, compact: CompactGraph):
+        """The parent-side chunk kernel of one shard (cached per key)."""
+        kernel = self._shard_kernels.get(key)
+        if kernel is None:
+            from repro.core.csr_kernels import CSRChunkKernel
+
+            kernel = CSRChunkKernel(
+                compact.indptr,
+                compact.indices,
+                build_dense=False,
+                kernel=self.kernel,
+                nbr_sets=compact.neighbor_sets(),
+                dense=compact.dense_adjacency(),
+            )
+            self._shard_kernels[key] = kernel
+        return kernel
+
     # ------------------------------------------------------------------
     # Supervised process execution
     # ------------------------------------------------------------------
@@ -1429,9 +1645,9 @@ class ExecutionRuntime:
             return spec
         return ("l", tuple(spec[1]))
 
-    def _reship_payload(self) -> None:
-        """Replace the attached entry's segment after an integrity failure."""
-        entry = self.store.reship(self._entry.key)
+    def _reship_entry(self, entry: _StoreEntry) -> None:
+        """Replace one entry's segment after an integrity failure."""
+        entry = self.store.reship(entry.key)
         self._stats.payload_ships += 1
         self._stats.payload_bytes_shipped += entry.nbytes
 
@@ -1469,7 +1685,8 @@ class ExecutionRuntime:
         task_fn: Callable,
         tasks: Sequence[Tuple[int, Sequence[int]]],
         extra: Tuple,
-        serial_chunk: Callable[[Sequence[int]], Any],
+        serial_chunk: Callable[[int, Sequence[int]], Any],
+        entry_of: Optional[Dict[int, _StoreEntry]] = None,
     ) -> Dict[int, Tuple[Any, float]]:
         """Submit chunk tasks and collect results under supervision.
 
@@ -1480,6 +1697,12 @@ class ExecutionRuntime:
         with bounded backoff, and quarantines chunks that exhaust their
         retry budget (they run serially in the parent — the kernels are
         pure, so every recovery path stays bit-identical).
+
+        ``entry_of`` maps a task index to the store entry its chunk
+        executes against (sharded batches fan one submission loop out over
+        many shard payloads); ``None`` means every task runs on the
+        runtime's singular attached entry.  ``serial_chunk(index, chunk)``
+        is the in-parent fallback for quarantined chunks.
 
         Returns ``{chunk index: (result payload, kernel seconds,
         (tier served, fallback delta))}`` for every submitted task.
@@ -1497,18 +1720,23 @@ class ExecutionRuntime:
         to_submit = [index for index, _ in tasks]
         respawn_budget = _MAX_RESPAWNS_PER_BATCH
 
+        def entry_for(index: int) -> _StoreEntry:
+            return self._entry if entry_of is None else entry_of[index]
+
         def run_quarantined(index: int) -> None:
             # Quarantined chunks run the parent's serial python oracle —
             # bit-identical by the tier contract, so no tier bookkeeping
             # beyond attributing the chunk to the python tier.
             start = time.perf_counter()
-            payload = serial_chunk(chunk_of[index])
+            payload = serial_chunk(index, chunk_of[index])
             outputs[index] = (payload, time.perf_counter() - start, ("python", 0))
 
         def charge_retry(index: int) -> None:
             retries[index] += 1
             if retries[index] > self.max_task_retries:
-                self._quarantine.add((self._entry.key, self._spec_key(specs[index])))
+                self._quarantine.add(
+                    (entry_for(index).key, self._spec_key(specs[index]))
+                )
                 stats.quarantined_tasks += 1
                 run_quarantined(index)
             else:
@@ -1519,11 +1747,14 @@ class ExecutionRuntime:
             # --- submit everything queued --------------------------------
             while to_submit:
                 index = to_submit[-1]
-                if (self._entry.key, self._spec_key(specs[index])) in self._quarantine:
+                if (
+                    entry_for(index).key,
+                    self._spec_key(specs[index]),
+                ) in self._quarantine:
                     to_submit.pop()
                     run_quarantined(index)
                     continue
-                meta = self._entry.payload.meta
+                meta = entry_for(index).payload.meta
                 fault = _faults.draw_task_fault()
                 try:
                     result = pool.submit(
@@ -1564,8 +1795,8 @@ class ExecutionRuntime:
                     # concurrent re-ship): re-ship once per corruption, then
                     # retry the task against the fresh segment.
                     stats.integrity_failures += 1
-                    if meta == self._entry.payload.meta:
-                        self._reship_payload()
+                    if meta == entry_for(index).payload.meta:
+                        self._reship_entry(entry_for(index))
                     charge_retry(index)
                 except InjectedFaultError:
                     charge_retry(index)
@@ -1613,7 +1844,13 @@ class ExecutionRuntime:
         return self._estimates
 
     def dynamic_chunks(
-        self, compact: CompactGraph, ids: Sequence[int], num_workers: int
+        self,
+        compact: CompactGraph,
+        ids: Sequence[int],
+        num_workers: int,
+        *,
+        estimates: Optional[List[float]] = None,
+        target_chunks: Optional[int] = None,
     ) -> List[List[int]]:
         """Split ``ids`` into weight-balanced contiguous id ranges.
 
@@ -1621,12 +1858,19 @@ class ExecutionRuntime:
         friendly, range-encodable) cut into ``num_workers × oversubscribe``
         chunks of approximately equal estimated work, executed via the
         pool's shared queue so idle workers steal the next chunk.
+        ``estimates``/``target_chunks`` override the attached-payload
+        estimate cache and the chunk-count target (the sharded fan-out
+        chunks each shard subgraph with its own estimates and splits the
+        oversubscription budget across shards).
         """
         ids = sorted(ids)
         if not ids:
             return []
-        estimates = self._work_estimates(compact)
-        target_chunks = max(1, min(len(ids), num_workers * self.oversubscribe))
+        if estimates is None:
+            estimates = self._work_estimates(compact)
+        if target_chunks is None:
+            target_chunks = num_workers * self.oversubscribe
+        target_chunks = max(1, min(len(ids), target_chunks))
         total = sum(estimates[i] for i in ids)
         target = total / target_chunks
         chunks: List[List[int]] = []
@@ -1720,7 +1964,7 @@ class ExecutionRuntime:
         else:
             from repro.core.csr_kernels import ego_betweenness_from_arrays
 
-            def serial_chunk(chunk):
+            def serial_chunk(index, chunk):
                 return ego_betweenness_from_arrays(
                     compact.indptr,
                     compact.indices,
@@ -1810,7 +2054,7 @@ class ExecutionRuntime:
             else:
                 from repro.core.csr_kernels import top_k_entries_from_arrays
 
-                def serial_chunk(chunk):
+                def serial_chunk(index, chunk):
                     return top_k_entries_from_arrays(
                         compact.indptr,
                         compact.indices,
@@ -1849,6 +2093,267 @@ class ExecutionRuntime:
             compute_seconds=compute_seconds,
             chunk_seconds=chunk_seconds,
             kind="top_k",
+        )
+        self._account_batch(batch)
+        return merged_entries, batch
+
+    # ------------------------------------------------------------------
+    # Sharded execution: one batch fanned out across shard payloads
+    # ------------------------------------------------------------------
+    def _prepare_sharded_batch(
+        self, units: Sequence[Tuple]
+    ) -> Tuple[List[_StoreEntry], int, bool, float]:
+        """Ship/attach every shard entry, drop stale ones, start the pool."""
+        if self._closed:
+            raise InvalidParameterError("this ExecutionRuntime has been closed")
+        if not units:
+            raise InvalidParameterError("sharded execution needs at least one unit")
+        setup_start = time.perf_counter()
+        entries: List[_StoreEntry] = []
+        shipped = 0
+        for unit in units:
+            key, compact = unit[0], unit[1]
+            entry, did_ship = self._ensure_shard_entry(compact, key)
+            entries.append(entry)
+            shipped += 1 if did_ship else 0
+        self._release_stale_shards({unit[0] for unit in units}, units[0][0][0])
+        pool_started = self._ensure_pool()
+        return entries, shipped, pool_started, time.perf_counter() - setup_start
+
+    def _sharded_tasks(
+        self,
+        units: Sequence[Tuple],
+        entries: List[_StoreEntry],
+        workers: int,
+    ) -> Tuple[List[Tuple[int, List[int]]], Dict[int, _StoreEntry], Dict[int, int]]:
+        """Chunk every shard's ids into one flat supervised task list.
+
+        The oversubscription budget (``workers × oversubscribe`` chunks) is
+        split across the shards, so the total task count — and hence the
+        self-scheduling granularity — matches the single-payload path; each
+        shard is chunked with its own work estimates.  Returns the flat
+        ``(index, chunk)`` tasks plus the per-index entry and unit maps.
+        """
+        budget = max(len(units), workers * self.oversubscribe)
+        per_shard = max(1, budget // len(units))
+        tasks: List[Tuple[int, List[int]]] = []
+        entry_of: Dict[int, _StoreEntry] = {}
+        unit_of: Dict[int, int] = {}
+        for u, unit in enumerate(units):
+            key, compact, ids = unit[0], unit[1], unit[2]
+            estimates = self._shard_estimates_for(key, compact)
+            for chunk in self.dynamic_chunks(
+                compact,
+                list(ids),
+                workers,
+                estimates=estimates,
+                target_chunks=per_shard,
+            ):
+                index = len(tasks)
+                tasks.append((index, chunk))
+                entry_of[index] = entries[u]
+                unit_of[index] = u
+        return tasks, entry_of, unit_of
+
+    def _tally_shard_chunks(
+        self, units: Sequence[Tuple], unit_of: Dict[int, int]
+    ) -> None:
+        """Fold this batch's per-shard chunk counts into the runtime stats."""
+        chunks = self._stats.shard_chunks
+        for u in unit_of.values():
+            shard_index = str(units[u][0][1])
+            chunks[shard_index] = chunks.get(shard_index, 0) + 1
+        self._stats.sharded_batches += 1
+
+    def execute_sharded(
+        self,
+        units: Sequence[Tuple[ShardPayloadKey, CompactGraph, Sequence[int]]],
+        *,
+        num_workers: Optional[int] = None,
+    ) -> Tuple[List[Dict[int, float]], BatchStats]:
+        """Score shard-local vertex chunks across many shard payloads.
+
+        ``units`` is one ``(payload key, shard subgraph, shard-local ids)``
+        triple per shard, in canonical (ascending shard index) order — the
+        session derives them from its
+        :class:`~repro.graph.partition.ShardPlan`.  Every shard entry is
+        shipped at most once and stays resident across batches (all held
+        shard references are dropped only when a newer shard version
+        replaces them, or at :meth:`close`), so a warm sweep ships nothing
+        and fans its chunk tasks over all shards through one supervised
+        submission loop — worker death, stragglers, torn shard payloads and
+        quarantine all recover exactly as on the single-payload path.
+
+        Returns one ``{local id: score}`` map per unit (ascending local id,
+        aligned with ``units``) plus the batch's :class:`BatchStats`.  The
+        scores are bit-identical to running the serial kernels on each
+        shard subgraph — and, because each shard contains every owned
+        vertex's complete ego network (the halo construction), to the
+        unsharded oracle on the parent graph.
+        """
+        entries, shipped, pool_started, setup_seconds = self._prepare_sharded_batch(
+            units
+        )
+        workers = num_workers or self.max_workers
+        tasks, entry_of, unit_of = self._sharded_tasks(units, entries, workers)
+
+        compute_start = time.perf_counter()
+        chunk_seconds = [0.0] * len(tasks)
+        results: List[Dict[int, float]] = [{} for _ in units]
+        if self.executor is ParallelBackend.SERIAL:
+            for index, chunk in tasks:
+                unit = units[unit_of[index]]
+                kernel = self._shard_serial_kernel(unit[0], unit[1])
+                scores, seconds, kinfo = _serve_chunk(kernel, "score_chunk", chunk)
+                results[unit_of[index]].update(scores)
+                chunk_seconds[index] = seconds
+                self._tally_kernel(kinfo)
+        elif tasks:
+            from repro.core.csr_kernels import ego_betweenness_from_arrays
+
+            def serial_chunk(index, chunk):
+                compact = units[unit_of[index]][1]
+                return ego_betweenness_from_arrays(
+                    compact.indptr,
+                    compact.indices,
+                    chunk,
+                    compact.neighbor_sets(),
+                    compact.dense_adjacency(),
+                )
+
+            outputs = self._run_supervised(
+                _score_task, tasks, (self.kernel,), serial_chunk, entry_of=entry_of
+            )
+            for index, _ in tasks:
+                scores, seconds, kinfo = outputs[index]
+                results[unit_of[index]].update(scores)
+                chunk_seconds[index] = seconds
+                self._tally_kernel(kinfo)
+        results = [
+            {local: merged[local] for local in sorted(merged)} for merged in results
+        ]
+        compute_seconds = time.perf_counter() - compute_start
+
+        self._tally_shard_chunks(units, unit_of)
+        batch = BatchStats(
+            num_tasks=len(tasks),
+            schedule="dynamic",
+            shipped=shipped > 0,
+            pool_started=pool_started,
+            setup_seconds=setup_seconds,
+            compute_seconds=compute_seconds,
+            chunk_seconds=chunk_seconds,
+            kind="scores",
+            shards=len(units),
+        )
+        self._account_batch(batch)
+        return results, batch
+
+    def execute_top_k_sharded(
+        self,
+        units: Sequence[
+            Tuple[ShardPayloadKey, CompactGraph, Sequence[int], Sequence[int]]
+        ],
+        k: int,
+        *,
+        num_workers: Optional[int] = None,
+    ) -> Tuple[List[Tuple[int, float]], BatchStats]:
+        """Top-k across shard payloads with merged threshold cuts.
+
+        ``units`` adds a fourth element per shard: ``global_rank``, mapping
+        each shard-local id to its *parent-graph* dense id.  Each chunk
+        task returns its bounded candidate set (``cap`` entries plus the
+        tie cohort at the chunk threshold, exactly as the single-payload
+        path); the parent maps every surviving candidate to its parent id
+        and offers them all to one
+        :class:`~repro.core.topk.TopKAccumulator` in **ascending parent-id
+        order**.  That replays the serial ascending-id sweep over the
+        parent graph with only strictly-below-threshold entries omitted —
+        the chunks partition the owned vertices across shards, so the
+        existing per-chunk merge proof covers the shard fan-out unchanged
+        and the retained entries (tie-breaking included) are bit-identical
+        to the unsharded serial ranking.
+
+        Returns the ranked ``(parent id, score)`` entries and the batch's
+        :class:`BatchStats`.
+        """
+        from repro.core.topk import TopKAccumulator
+
+        if k < 1:
+            raise InvalidParameterError("k must be a positive integer")
+        entries, shipped, pool_started, setup_seconds = self._prepare_sharded_batch(
+            units
+        )
+        workers = num_workers or self.max_workers
+        cap = min(k, sum(len(unit[2]) for unit in units))
+        tasks: List[Tuple[int, List[int]]] = []
+        entry_of: Dict[int, _StoreEntry] = {}
+        unit_of: Dict[int, int] = {}
+        if cap:
+            tasks, entry_of, unit_of = self._sharded_tasks(units, entries, workers)
+
+        compute_start = time.perf_counter()
+        chunk_seconds = [0.0] * len(tasks)
+        per_task: Dict[int, List[Tuple[int, float]]] = {}
+        if tasks:
+            if self.executor is ParallelBackend.SERIAL:
+                for index, chunk in tasks:
+                    unit = units[unit_of[index]]
+                    kernel = self._shard_serial_kernel(unit[0], unit[1])
+                    chunk_entries, seconds, kinfo = _serve_chunk(
+                        kernel, "top_chunk", chunk, cap
+                    )
+                    per_task[index] = chunk_entries
+                    chunk_seconds[index] = seconds
+                    self._tally_kernel(kinfo)
+            else:
+                from repro.core.csr_kernels import top_k_entries_from_arrays
+
+                def serial_chunk(index, chunk):
+                    compact = units[unit_of[index]][1]
+                    return top_k_entries_from_arrays(
+                        compact.indptr,
+                        compact.indices,
+                        chunk,
+                        cap,
+                        compact.neighbor_sets(),
+                        compact.dense_adjacency(),
+                    )
+
+                outputs = self._run_supervised(
+                    _topk_task, tasks, (cap, self.kernel), serial_chunk,
+                    entry_of=entry_of,
+                )
+                for index, _ in tasks:
+                    chunk_entries, seconds, kinfo = outputs[index]
+                    per_task[index] = chunk_entries
+                    chunk_seconds[index] = seconds
+                    self._tally_kernel(kinfo)
+        merged_entries: List[Tuple[int, float]] = []
+        if tasks:
+            candidates: List[Tuple[int, float]] = []
+            for index, _ in tasks:
+                global_rank = units[unit_of[index]][3]
+                for local, score in per_task[index]:
+                    candidates.append((global_rank[local], score))
+            candidates.sort(key=lambda entry: entry[0])
+            accumulator = TopKAccumulator(cap)
+            for parent_id, score in candidates:
+                accumulator.offer(parent_id, score)
+            merged_entries = accumulator.ranked_entries()
+        compute_seconds = time.perf_counter() - compute_start
+
+        self._tally_shard_chunks(units, unit_of)
+        batch = BatchStats(
+            num_tasks=len(tasks),
+            schedule="dynamic",
+            shipped=shipped > 0,
+            pool_started=pool_started,
+            setup_seconds=setup_seconds,
+            compute_seconds=compute_seconds,
+            chunk_seconds=chunk_seconds,
+            kind="top_k",
+            shards=len(units),
         )
         self._account_batch(batch)
         return merged_entries, batch

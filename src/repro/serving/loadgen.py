@@ -85,6 +85,8 @@ def run_serving_benchmark(
     request_deadline: Optional[float] = None,
     durability_root: Optional[str] = None,
     kernel: str = "auto",
+    shards: int = 0,
+    partitioner: str = "auto",
 ) -> Dict[str, Any]:
     """Cold per-query baseline vs warm gateway under concurrent async load.
 
@@ -131,6 +133,12 @@ def run_serving_benchmark(
         :class:`~repro.session.EgoSession`).  The oracles stay on the
         serial python kernels, so bit-identity is still checked across
         tiers.
+    shards / partitioner:
+        Sharding negotiation for every gateway tenant (``repro serve
+        --shards/--partitioner``): ``shards=N`` fans each tenant's
+        parallel sweeps out across N halo-augmented shard payloads.  The
+        cold baseline and the oracles stay unsharded, so bit-identity is
+        checked across the sharding boundary too.
 
     Returns
     -------
@@ -178,6 +186,9 @@ def run_serving_benchmark(
         session_options: Dict[str, Any] = {"kernel": kernel}
         if task_deadline is not None:
             session_options["task_deadline"] = task_deadline
+        if shards:
+            session_options["shards"] = shards
+            session_options["partitioner"] = partitioner
         async with ServingGateway(
             window_seconds=window_seconds,
             max_batch=max_batch,
@@ -233,6 +244,8 @@ def run_serving_benchmark(
         "parallel": parallel,
         "executor": executor,
         "kernel": kernel,
+        "shards": shards,
+        "partitioner": partitioner,
         "bit_identical": True,  # _check_answer raised otherwise
         "cold": {
             "seconds": cold_seconds,

@@ -105,6 +105,11 @@ from repro.errors import (
 from repro.graph.csr import CompactGraph
 from repro.graph.dynamic_csr import DynamicCompactGraph
 from repro.graph.graph import Graph, Vertex
+from repro.graph.partition import (
+    ShardPlan,
+    normalize_partitioner,
+    partition_graph,
+)
 from repro.parallel.engines import (
     ParallelRunResult,
     edge_parallel_ego_betweenness,
@@ -230,6 +235,13 @@ class SessionStats:
         counters (WAL appends/syncs/segments, checkpoints written,
         events since the last checkpoint) of the attached
         :class:`~repro.durability.manager.DurabilityManager`.
+    sharding:
+        ``None`` for an unsharded session; otherwise the sharding-plane
+        description — the negotiated ``shards``/``partitioner``, the
+        current :meth:`~repro.graph.partition.ShardPlan.summary` once a
+        plan exists (cut edges, halo overhead, per-shard sizes/versions,
+        rebuilds), and the per-shard chunk counts / sharded batch totals
+        aggregated over the session's runtimes.
     last_query:
         The most recent :class:`Query`, or ``None``.
     """
@@ -259,6 +271,7 @@ class SessionStats:
     deadline_misses: int = 0
     integrity_failures: int = 0
     durability: Optional[Dict[str, Any]] = None
+    sharding: Optional[Dict[str, Any]] = None
     last_query: Optional[Query] = None
 
     def as_dict(self) -> Dict[str, Any]:
@@ -292,6 +305,8 @@ class SessionStats:
             }
         if self.durability is not None:
             payload["durability"] = dict(self.durability)
+        if self.sharding is not None:
+            payload["sharding"] = dict(self.sharding)
         if self.last_query is not None:
             payload["last_query"] = {
                 key: value
@@ -390,6 +405,8 @@ class EgoSession:
         backend: str = "auto",
         *,
         kernel: str = "auto",
+        shards: int = 0,
+        partitioner: str = "auto",
         scale: Optional[float] = None,
         auto_promote: bool = True,
         graph_id: Optional[str] = None,
@@ -418,6 +435,7 @@ class EgoSession:
         self._fallbacks = 0
         self._kernel_fallbacks = 0
         self.kernel = self._negotiate_kernel(kernel)
+        self.shards, self.partitioner = self._negotiate_sharding(shards, partitioner)
         # Tier-aware serial chunk kernel, memoized per compact snapshot;
         # counters of replaced kernels fold into the retired totals so
         # stats() survives promotions and snapshot rebuilds.
@@ -476,6 +494,13 @@ class EgoSession:
         # encoded-response cache) invalidate on the mutation itself instead
         # of discovering staleness lazily.
         self._version_listeners: List = []
+        # Sharding plane: the ShardPlan over the current snapshot, built
+        # lazily by the first sharded execution and refreshed incrementally
+        # from the edge endpoints applied since (only touched shards
+        # rebuild and re-ship; the rest keep their payload keys).
+        self._shard_plan: Optional[ShardPlan] = None
+        self._shard_plan_version: Optional[int] = None
+        self._pending_shard_events: List[tuple] = []
 
         # Durability plane (None = purely in-memory).  Set by the
         # durability= argument here, or by recover() re-attaching the plane
@@ -546,6 +571,29 @@ class EgoSession:
             self._kernel_fallbacks += 1
             return "python"
         return normalize_kernel(kernel)
+
+    def _negotiate_sharding(self, shards, partitioner: str):
+        """Resolve the requested shard fan-out (backend/kernel idiom).
+
+        ``shards=0`` (the default) keeps the single-payload path;
+        ``shards=N`` fans parallel sweeps out across ``N`` halo-augmented
+        shard payloads.  The partitioner name resolves exactly like
+        backends and kernels (``auto`` → ``community``).  The ``hash``
+        oracle backend has no CSR arrays to partition, so sharding it is
+        a contradiction rather than a degradation — it raises.
+        """
+        if isinstance(shards, bool) or not isinstance(shards, int) or shards < 0:
+            raise InvalidParameterError(
+                f"shards must be a non-negative integer — got {shards!r}"
+            )
+        partitioner = normalize_partitioner(partitioner)
+        if shards and self.backend == "hash":
+            raise InvalidParameterError(
+                "sharding partitions the CSR arrays and the 'hash' oracle "
+                "backend has none; use backend='compact' or 'dynamic' "
+                "with shards=N"
+            )
+        return shards, partitioner
 
     def _serial_chunk_kernel(self, compact: CompactGraph):
         """The session's tier-aware serial chunk kernel over ``compact``.
@@ -700,6 +748,105 @@ class EgoSession:
     def _payload_key(self) -> PayloadKey:
         """The ``(graph_id, version)`` key this session's payloads ship under."""
         return (self.graph_id, self._current_version())
+
+    # ------------------------------------------------------------------
+    # Sharding plane
+    # ------------------------------------------------------------------
+    def _current_shard_plan(self) -> Optional[ShardPlan]:
+        """The shard plan over the current state (``None`` when unsharded).
+
+        Built lazily by the first sharded execution.  After updates the
+        plan refreshes incrementally: only the shards the touched edge
+        endpoints reach rebuild (bumping their payload versions, so
+        exactly those re-ship), the rest keep their keys and stay
+        resident in the store.
+        """
+        if not self.shards:
+            return None
+        version = self._current_version()
+        if self._shard_plan is not None and self._shard_plan_version == version:
+            return self._shard_plan
+        compact = self._current_compact()
+        if self._shard_plan is not None and self._pending_shard_events:
+            self._shard_plan.refresh(compact, self._pending_shard_events)
+        else:
+            self._shard_plan = partition_graph(compact, self.shards, self.partitioner)
+        self._pending_shard_events = []
+        self._shard_plan_version = version
+        return self._shard_plan
+
+    def _sharded_units(self, plan: ShardPlan) -> List[tuple]:
+        """Full-sweep execution units: every shard, all of its owned ids."""
+        return [
+            (plan.payload_key(self.graph_id, shard), shard.graph, shard.owned_local)
+            for shard in plan.shards
+            if shard.owned_local
+        ]
+
+    @staticmethod
+    def _merge_shard_scores(units, per_shard) -> Dict[Vertex, float]:
+        """Map shard-local score maps back to parent labels and merge.
+
+        Each local id is reported by exactly one unit (shards own
+        disjoint vertex sets and units only request owned ids), so the
+        merge is a plain union.
+        """
+        merged: Dict[Vertex, float] = {}
+        for (_key, graph, _local_ids), scores in zip(units, per_shard):
+            labels = graph.labels
+            for local_id, score in scores.items():
+                merged[labels[local_id]] = score
+        return merged
+
+    def _sharded_values(
+        self, num_workers: int, executor: str
+    ) -> Optional[Dict[Vertex, float]]:
+        """The full values map computed shard-by-shard (``None`` to punt).
+
+        Fans the sweep out across every shard payload, then re-orders the
+        merged map into the canonical vertex order so the memo and every
+        ranking consumer stay bit-identical to the single-payload path.
+        """
+        plan = self._current_shard_plan()
+        if plan is None:
+            return None
+        units = self._sharded_units(plan)
+        if not units:
+            return None
+        runtime = self.runtime(executor, max_workers=self._pool_size(num_workers))
+        try:
+            per_shard, _ = runtime.execute_sharded(units, num_workers=num_workers)
+        except WorkerFaultError as error:
+            return self._degraded(
+                error,
+                f"sharded full sweep ({num_workers} workers)",
+                self._all_scores,
+            )
+        merged = self._merge_shard_scores(units, per_shard)
+        result = {v: merged[v] for v in self._canonical_vertices()}
+        if self._state == "static":
+            self._values = dict(result)
+            self._values_version = self._current_version()
+        return result
+
+    def _sharded_subset(
+        self, plan: ShardPlan, targets: List[Vertex], runtime, num_workers: int
+    ) -> Dict[Vertex, float]:
+        """Route a subset request to each target's owning shard payload."""
+        by_shard: Dict[int, List[int]] = {}
+        for vertex in targets:
+            shard = plan.shards[plan.shard_of(vertex)]
+            by_shard.setdefault(shard.index, []).append(shard.graph.id_of(vertex))
+        units = [
+            (
+                plan.payload_key(self.graph_id, plan.shards[index]),
+                plan.shards[index].graph,
+                sorted(set(by_shard[index])),
+            )
+            for index in sorted(by_shard)
+        ]
+        per_shard, _ = runtime.execute_sharded(units, num_workers=num_workers)
+        return self._merge_shard_scores(units, per_shard)
 
     # ------------------------------------------------------------------
     # Version listeners (external version-keyed caches)
@@ -1009,10 +1156,30 @@ class EgoSession:
             return result
         compact = self._current_compact()
         runtime = self.runtime(executor, max_workers=self._pool_size(num_workers))
+        plan = self._current_shard_plan()
         try:
-            id_entries, _ = runtime.execute_top_k(
-                compact, k, num_workers=num_workers, payload_key=self._payload_key()
-            )
+            if plan is not None and any(s.owned_local for s in plan.shards):
+                # Sharded threshold-cut merge: every unit carries the map
+                # from shard-local ids back to the parent's dense ids, so
+                # the merged candidates replay the canonical ascending-id
+                # offer order exactly.
+                units = [
+                    (
+                        plan.payload_key(self.graph_id, shard),
+                        shard.graph,
+                        shard.owned_local,
+                        [compact.id_of(label) for label in shard.graph.labels],
+                    )
+                    for shard in plan.shards
+                    if shard.owned_local
+                ]
+                id_entries, _ = runtime.execute_top_k_sharded(
+                    units, k, num_workers=num_workers
+                )
+            else:
+                id_entries, _ = runtime.execute_top_k(
+                    compact, k, num_workers=num_workers, payload_key=self._payload_key()
+                )
         except WorkerFaultError as error:
             result = self._degraded(
                 error,
@@ -1176,6 +1343,10 @@ class EgoSession:
             return self._ensure_index().scores()
         if parallel is None:
             return self._all_scores()
+        if self.shards:
+            sharded = self._sharded_values(parallel, executor)
+            if sharded is not None:
+                return sharded
         return self._parallel_values(
             parallel, engine=engine, executor=executor, schedule="dynamic"
         )
@@ -1231,19 +1402,28 @@ class EgoSession:
                 source = {v: ego_betweenness(graph, v) for v in targets}
             elif parallel is not None:
                 compact = self._current_compact()
-                ids = [compact.id_of(v) for v in targets]
                 runtime = self.runtime(
                     executor, max_workers=self._pool_size(parallel)
                 )
+                plan = self._current_shard_plan()
                 try:
-                    id_scores, _ = runtime.execute(
-                        compact,
-                        ids=ids,
-                        num_workers=parallel,
-                        payload_key=self._payload_key(),
-                    )
-                    labels = compact.labels
-                    source = {labels[i]: score for i, score in id_scores.items()}
+                    if plan is not None:
+                        # Each query id routes to its owning shard's chunk
+                        # tasks; only the touched shard payloads ship.
+                        source = self._sharded_subset(
+                            plan, targets, runtime, parallel
+                        )
+                    else:
+                        id_scores, _ = runtime.execute(
+                            compact,
+                            ids=[compact.id_of(v) for v in targets],
+                            num_workers=parallel,
+                            payload_key=self._payload_key(),
+                        )
+                        labels = compact.labels
+                        source = {
+                            labels[i]: score for i, score in id_scores.items()
+                        }
                 except WorkerFaultError as error:
                     source = self._degraded(
                         error,
@@ -1415,6 +1595,11 @@ class EgoSession:
                 else:
                     maintainer.delete_edge(event.u, event.v)
                 self._lazy_update_seconds[k] += maintainer.last_update_seconds
+            if self._shard_plan is not None:
+                # Feed the incremental plan refresh: the endpoints decide
+                # which shards rebuild (and re-ship) on the next sharded
+                # execution.
+                self._pending_shard_events.append((event.u, event.v))
             count += 1
         self._update_events += count
         self._record("apply", start, events=count)
@@ -1720,6 +1905,21 @@ class EgoSession:
             for tier, count in runtime_stats.kernel_chunks.items():
                 kernel_chunks[tier] = kernel_chunks.get(tier, 0) + count
             kernel_fallbacks += runtime_stats.kernel_fallbacks
+        sharding: Optional[Dict[str, Any]] = None
+        if self.shards:
+            sharding = {"shards": self.shards, "partitioner": self.partitioner}
+            if self._shard_plan is not None:
+                sharding.update(self._shard_plan.summary())
+            sharded_batches = 0
+            shard_chunks: Dict[str, int] = {}
+            for runtime_stats in runtimes.values():
+                sharded_batches += runtime_stats.sharded_batches
+                for shard_name, count in runtime_stats.shard_chunks.items():
+                    shard_chunks[shard_name] = (
+                        shard_chunks.get(shard_name, 0) + count
+                    )
+            sharding["sharded_batches"] = sharded_batches
+            sharding["shard_chunks"] = shard_chunks
         return SessionStats(
             backend=self.backend,
             state=self._state,
@@ -1750,6 +1950,7 @@ class EgoSession:
             durability=(
                 self._durability.stats() if self._durability is not None else None
             ),
+            sharding=sharding,
             last_query=self._last_query,
         )
 
